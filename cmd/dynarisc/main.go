@@ -1,0 +1,78 @@
+// Command dynarisc assembles, runs and disassembles DynaRisc programs,
+// and prints the instruction set (the paper's Table 1).
+//
+// Usage:
+//
+//	dynarisc -isa                        # print the 23-instruction ISA
+//	dynarisc -run prog.asm [-in file]    # assemble + execute
+//	dynarisc -disasm prog.asm            # assemble then disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"microlonys/dynarisc"
+)
+
+func main() {
+	isa := flag.Bool("isa", false, "print the DynaRisc instruction table (Table 1)")
+	run := flag.String("run", "", "assemble and run this source file")
+	disasm := flag.String("disasm", "", "assemble and disassemble this source file")
+	inFile := flag.String("in", "", "input stream file (bytes)")
+	maxSteps := flag.Uint64("maxsteps", 1<<32, "execution step limit")
+	flag.Parse()
+
+	switch {
+	case *isa:
+		printISA()
+	case *run != "":
+		src, err := os.ReadFile(*run)
+		check(err)
+		p, err := dynarisc.Assemble(string(src))
+		check(err)
+		cpu := dynarisc.NewCPU(0)
+		cpu.MaxSteps = *maxSteps
+		check(cpu.LoadProgram(p.Org, p.Words))
+		if *inFile != "" {
+			in, err := os.ReadFile(*inFile)
+			check(err)
+			cpu.SetInBytes(in)
+		}
+		check(cpu.Run())
+		fmt.Fprintf(os.Stderr, "halted after %d steps, %d output words\n", cpu.Steps, len(cpu.Out))
+		os.Stdout.Write(cpu.OutBytes())
+	case *disasm != "":
+		src, err := os.ReadFile(*disasm)
+		check(err)
+		p, err := dynarisc.Assemble(string(src))
+		check(err)
+		fmt.Print(dynarisc.Disassemble(p.Org, p.Words))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printISA() {
+	fmt.Printf("DynaRisc: %d instructions (Table 1 of the paper marks the 17 it names)\n\n", dynarisc.OpCount)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "OP\tCLASS\tSYNTAX\tIN TABLE 1")
+	for _, e := range dynarisc.ISATable() {
+		mark := ""
+		if e.InTable1 {
+			mark = "yes"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\n", e.Op, e.Class, e.Syntax, mark)
+	}
+	w.Flush()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynarisc: %v\n", err)
+		os.Exit(1)
+	}
+}

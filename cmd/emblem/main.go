@@ -1,0 +1,99 @@
+// Command emblem encodes payloads into emblem images and decodes scanned
+// emblems — and generates the paper's Figure 1 (a sample emblem).
+//
+// Usage:
+//
+//	emblem -demo figure1.png             # render a sample emblem
+//	emblem -encode payload.bin -out e.png [-dataw N -datah N -px N]
+//	emblem -decode scan.png [-dataw N -datah N -px N] -out payload.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/raster"
+)
+
+func main() {
+	demo := flag.String("demo", "", "write a Figure-1 style sample emblem PNG")
+	encode := flag.String("encode", "", "payload file to encode")
+	decode := flag.String("decode", "", "emblem PNG to decode")
+	out := flag.String("out", "", "output file")
+	dataW := flag.Int("dataw", 160, "data region width in modules")
+	dataH := flag.Int("datah", 120, "data region height in modules")
+	px := flag.Int("px", 4, "pixels per module")
+	flag.Parse()
+
+	l := emblem.Layout{DataW: *dataW, DataH: *dataH, PxPerModule: *px}
+	if err := l.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	switch {
+	case *demo != "":
+		payload := make([]byte, mocoder.Capacity(l))
+		rand.New(rand.NewSource(1)).Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+		img, err := mocoder.Encode(payload, hdr, l)
+		check(err)
+		writePNG(*demo, img)
+		fmt.Printf("sample emblem: %dx%d px, %d modules, %d byte capacity -> %s\n",
+			img.W, img.H, l.DataW*l.DataH, mocoder.Capacity(l), *demo)
+
+	case *encode != "":
+		payload, err := os.ReadFile(*encode)
+		check(err)
+		if *out == "" {
+			fatal("-out required")
+		}
+		if len(payload) > mocoder.Capacity(l) {
+			fatal("payload %d bytes exceeds capacity %d", len(payload), mocoder.Capacity(l))
+		}
+		hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+		img, err := mocoder.Encode(payload, hdr, l)
+		check(err)
+		writePNG(*out, img)
+		fmt.Printf("encoded %d bytes into %s (%dx%d)\n", len(payload), *out, img.W, img.H)
+
+	case *decode != "":
+		f, err := os.Open(*decode)
+		check(err)
+		img, err := raster.DecodePNG(f)
+		f.Close()
+		check(err)
+		payload, hdr, st, err := mocoder.Decode(img, l)
+		check(err)
+		fmt.Printf("decoded: kind=%s index=%d payload=%d bytes rotation=%d° corrected=%d bytes\n",
+			hdr.Kind, hdr.Index, len(payload), st.Rotation, st.BytesCorrected)
+		if *out != "" {
+			check(os.WriteFile(*out, payload, 0o644))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writePNG(path string, img *raster.Gray) {
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	check(img.EncodePNG(f))
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "emblem: "+format+"\n", args...)
+	os.Exit(1)
+}

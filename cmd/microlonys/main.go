@@ -1,0 +1,143 @@
+// Command microlonys archives a file to simulated analog media and
+// restores it back — the end-to-end ULE pipeline from the command line.
+//
+// Usage:
+//
+//	microlonys -in dump.sql [-profile paper|microfilm|cinema]
+//	           [-mode native|dynarisc|nested] [-raw] [-destroy N]
+//	           [-frames out/] [-bootstrap bootstrap.txt]
+//
+// The tool archives the input, optionally destroys N frames, restores
+// through the selected mode and verifies bit-exactness, printing the
+// manifest and capacity figures along the way.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"microlonys"
+	"microlonys/media"
+)
+
+func main() {
+	in := flag.String("in", "", "input file to archive (required)")
+	profile := flag.String("profile", "paper", "media profile: paper, microfilm, cinema")
+	mode := flag.String("mode", "native", "restore mode: native, dynarisc, nested")
+	raw := flag.Bool("raw", false, "archive without DBCoder compression")
+	destroy := flag.Int("destroy", 0, "destroy N random frames before restoring")
+	framesDir := flag.String("frames", "", "write frame PNGs to this directory")
+	bootOut := flag.String("bootstrap", "", "write the Bootstrap document to this file")
+	seed := flag.Int64("seed", 1, "seed for frame destruction")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	check(err)
+
+	var prof media.Profile
+	switch *profile {
+	case "paper":
+		prof = media.Paper()
+	case "microfilm":
+		prof = media.Microfilm()
+	case "cinema":
+		prof = media.CinemaFilm()
+	default:
+		fatal("unknown profile %q", *profile)
+	}
+
+	var m microlonys.Mode
+	switch *mode {
+	case "native":
+		m = microlonys.RestoreNative
+	case "dynarisc":
+		m = microlonys.RestoreDynaRisc
+	case "nested":
+		m = microlonys.RestoreNested
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+
+	opts := microlonys.DefaultOptions(prof)
+	opts.Compress = !*raw
+
+	fmt.Printf("archiving %s (%d bytes) to %s...\n", *in, len(data), prof.Name)
+	t0 := time.Now()
+	arch, err := microlonys.Archive(data, opts)
+	check(err)
+	encodeTime := time.Since(t0)
+
+	man := arch.Manifest
+	fmt.Printf("  raw %d B -> stream %d B (ratio %.2fx)\n", man.RawLen, man.StreamLen,
+		float64(man.RawLen)/float64(max(man.StreamLen, 1)))
+	fmt.Printf("  %d data + %d system + %d parity emblems (%d frames, %d groups)\n",
+		man.DataEmblems, man.SystemEmblems, man.ParityEmblems, man.TotalFrames, man.Groups)
+	fmt.Printf("  frame capacity %d B; encode time %v\n", prof.FrameCapacity(), encodeTime)
+
+	if *bootOut != "" {
+		check(os.WriteFile(*bootOut, []byte(arch.BootstrapText), 0o644))
+		fmt.Printf("  bootstrap -> %s (%d bytes)\n", *bootOut, len(arch.BootstrapText))
+	}
+	if *framesDir != "" {
+		check(os.MkdirAll(*framesDir, 0o755))
+		for i := 0; i < arch.Medium.FrameCount(); i++ {
+			img, err := arch.Medium.ScanFrame(i)
+			check(err)
+			f, err := os.Create(filepath.Join(*framesDir, fmt.Sprintf("frame%03d.png", i)))
+			check(err)
+			check(img.EncodePNG(f))
+			f.Close()
+		}
+		fmt.Printf("  %d frame scans -> %s/\n", arch.Medium.FrameCount(), *framesDir)
+	}
+
+	if *destroy > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *destroy; i++ {
+			idx := rng.Intn(arch.Medium.FrameCount())
+			check(arch.Medium.Destroy(idx))
+			fmt.Printf("  destroyed frame %d\n", idx)
+		}
+	}
+
+	fmt.Printf("restoring (mode %s)...\n", m)
+	t0 = time.Now()
+	got, st, err := microlonys.Restore(arch.Medium, arch.BootstrapText, m)
+	check(err)
+	fmt.Printf("  %d frames scanned, %d failed, %d groups recovered, %d bytes corrected\n",
+		st.FramesScanned, st.FramesFailed, st.GroupsRecovered, st.BytesCorrected)
+	fmt.Printf("  decode time %v\n", time.Since(t0))
+
+	if bytes.Equal(got, data) {
+		fmt.Println("RESTORED BIT-EXACT")
+	} else {
+		fatal("restored data differs from input")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "microlonys: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

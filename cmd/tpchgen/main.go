@@ -1,0 +1,40 @@
+// Command tpchgen generates TPC-H-shaped SQL archives (the pg_dump-style
+// text files the paper's experiments archive).
+//
+// Usage:
+//
+//	tpchgen -sf 0.0002 > dump.sql        # explicit scale factor
+//	tpchgen -target 1200000 > dump.sql   # fit the paper's ≈1.2MB archive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microlonys/internal/sqldump"
+	"microlonys/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0, "scale factor (TPC-H SF 1 = 6M lineitems)")
+	target := flag.Int("target", 0, "fit scale factor to this dump size in bytes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var db *tpch.Database
+	switch {
+	case *target > 0:
+		fitted, d := tpch.FitScaleFactor(*target, *seed, sqldump.Dump)
+		db = d
+		fmt.Fprintf(os.Stderr, "fitted scale factor %g\n", fitted)
+	case *sf > 0:
+		db = tpch.Generate(*sf, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "tpchgen: one of -sf or -target is required")
+		os.Exit(2)
+	}
+	dump := sqldump.Dump(db)
+	fmt.Fprintf(os.Stderr, "%d tables, %d rows, %d bytes\n", len(db.Tables), db.TotalRows(), len(dump))
+	os.Stdout.Write(dump)
+}

@@ -1,0 +1,494 @@
+package dynarisc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled DynaRisc image.
+type Program struct {
+	Org    uint16
+	Words  []uint16
+	Labels map[string]uint16
+}
+
+// Assemble translates DynaRisc assembly source into a memory image.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//	label:  LDI   R0, 0x1F        ; immediates: decimal, hex, 'c', labels
+//	        MOVE  D0, R1          ; registers R0..R7, D0..D3
+//	        MOVH  D0, R2          ; set pointer high byte (MOVE mode 1)
+//	        LDM   R3, [D0]
+//	        STM   R3, [D1]
+//	        JUMP  loop            ; absolute
+//	        JUMP  R6              ; register-indirect
+//	        CALL  subroutine      ; pseudo: LDI R6, ret; JUMP target
+//	        RET                   ; pseudo: JUMP R6
+//	.org    0x100                 ; location counter (word address)
+//	.equ    NAME, expr
+//	.word   1, 2, label+3
+//	.space  16                    ; 16 zero words (optional fill value)
+//	.ascii  "text"                ; one character per word
+//
+// Expressions support + and - over numbers, character literals, .equ
+// names and labels (forward references allowed everywhere except .org and
+// .equ).
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		syms:   map[string]int64{},
+		labels: map[string]uint16{},
+	}
+	// Pass 1: sizes and labels. Pass 2: emission.
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		a.loc = 0
+		a.org = 0
+		a.orgSet = false
+		a.out = a.out[:0]
+		for lineNo, raw := range strings.Split(src, "\n") {
+			if err := a.line(raw, lineNo+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	labels := make(map[string]uint16, len(a.labels))
+	for k, v := range a.labels {
+		labels[k] = v
+	}
+	return &Program{Org: a.org, Words: append([]uint16(nil), a.out...), Labels: labels}, nil
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error (a build-time bug, not a runtime condition).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	pass   int
+	loc    int // location counter (word address)
+	org    uint16
+	orgSet bool
+	out    []uint16
+	syms   map[string]int64
+	labels map[string]uint16
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("dynarisc asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) emit(ws ...uint16) {
+	if a.pass == 2 {
+		a.out = append(a.out, ws...)
+	}
+	a.loc += len(ws)
+}
+
+func (a *assembler) line(raw string, n int) error {
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+
+	// Labels (possibly several, possibly followed by a statement).
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t\",") {
+			break
+		}
+		name := s[:i]
+		if !validName(name) {
+			return a.errf(n, "invalid label %q", name)
+		}
+		if a.pass == 1 {
+			if _, dup := a.labels[name]; dup {
+				return a.errf(n, "duplicate label %q", name)
+			}
+			if _, dup := a.syms[name]; dup {
+				return a.errf(n, "label %q collides with .equ", name)
+			}
+			a.labels[name] = uint16(a.loc)
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	mnemonic = strings.ToUpper(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(mnemonic, rest, n)
+	}
+	return a.instruction(mnemonic, rest, n)
+}
+
+func (a *assembler) directive(d, rest string, n int) error {
+	switch d {
+	case ".ORG":
+		v, err := a.eval(rest, n)
+		if err != nil {
+			return err
+		}
+		if v < int64(a.loc) {
+			return a.errf(n, ".org %d before current location %d", v, a.loc)
+		}
+		if !a.orgSet && a.loc == 0 {
+			a.org = uint16(v)
+			a.orgSet = true
+			a.loc = int(v)
+			return nil
+		}
+		// Pad forward.
+		for int64(a.loc) < v {
+			a.emit(0)
+		}
+		return nil
+	case ".EQU":
+		name, expr, ok := strings.Cut(rest, ",")
+		if !ok {
+			return a.errf(n, ".equ wants NAME, value")
+		}
+		name = strings.TrimSpace(name)
+		if !validName(name) {
+			return a.errf(n, "invalid .equ name %q", name)
+		}
+		v, err := a.eval(expr, n)
+		if err != nil {
+			return err
+		}
+		a.syms[name] = v
+		return nil
+	case ".WORD":
+		for _, f := range splitOperands(rest) {
+			v, err := a.eval(f, n)
+			if err != nil {
+				return err
+			}
+			a.emit(uint16(v))
+		}
+		return nil
+	case ".SPACE":
+		fields := splitOperands(rest)
+		if len(fields) == 0 || len(fields) > 2 {
+			return a.errf(n, ".space wants COUNT [, fill]")
+		}
+		count, err := a.eval(fields[0], n)
+		if err != nil {
+			return err
+		}
+		fill := int64(0)
+		if len(fields) == 2 {
+			if fill, err = a.eval(fields[1], n); err != nil {
+				return err
+			}
+		}
+		for i := int64(0); i < count; i++ {
+			a.emit(uint16(fill))
+		}
+		return nil
+	case ".ASCII":
+		str, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf(n, ".ascii wants a quoted string: %v", err)
+		}
+		for _, ch := range []byte(str) {
+			a.emit(uint16(ch))
+		}
+		return nil
+	default:
+		return a.errf(n, "unknown directive %s", d)
+	}
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, OpCount)
+	for op := Op(0); op < OpCount; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (a *assembler) instruction(mn, rest string, n int) error {
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions.
+	switch mn {
+	case "CALL":
+		if len(ops) != 1 {
+			return a.errf(n, "CALL wants one target")
+		}
+		// LDI R6, <after jump>; JUMP target — the link-register calling
+		// convention; callees return with RET (JUMP R6).
+		ret := a.loc + 4
+		a.emit(Encode(LDI, R6, 0, 0), uint16(ret))
+		v, err := a.eval(ops[0], n)
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(JUMP, 0, 0, 0), uint16(v))
+		return nil
+	case "RET":
+		if len(ops) != 0 {
+			return a.errf(n, "RET takes no operands")
+		}
+		a.emit(Encode(JUMP, R6, 0, 1))
+		return nil
+	case "NOP":
+		a.emit(Encode(MOVE, R0, R0, 0))
+		return nil
+	case "MOVH":
+		if len(ops) != 2 {
+			return a.errf(n, "MOVH wants Dd, Rs")
+		}
+		rd, ok1 := regByName(ops[0])
+		rs, ok2 := regByName(ops[1])
+		if !ok1 || !ok2 || !IsPointer(rd) {
+			return a.errf(n, "MOVH wants pointer destination and register source")
+		}
+		a.emit(Encode(MOVE, rd, rs, 1))
+		return nil
+	}
+
+	op, ok := opByName[mn]
+	if !ok {
+		return a.errf(n, "unknown instruction %q", mn)
+	}
+
+	switch op {
+	case HALT:
+		if len(ops) != 0 {
+			return a.errf(n, "HALT takes no operands")
+		}
+		a.emit(Encode(HALT, 0, 0, 0))
+
+	case MOVE, ADD, ADC, SUB, SBB, CMP, MUL, AND, OR, XOR, LSL, LSR, ASR, ROR:
+		if len(ops) != 2 {
+			return a.errf(n, "%s wants Rd, Rs", mn)
+		}
+		rd, ok1 := regByName(ops[0])
+		rs, ok2 := regByName(ops[1])
+		if !ok1 || !ok2 {
+			return a.errf(n, "%s wants two registers, got %q, %q", mn, ops[0], ops[1])
+		}
+		if op == MUL && (rd == R7 || rs == R7) {
+			return a.errf(n, "MUL must not use R7 (it receives the high product word)")
+		}
+		a.emit(Encode(op, rd, rs, 0))
+
+	case LDI:
+		if len(ops) != 2 {
+			return a.errf(n, "LDI wants Rd, #imm")
+		}
+		rd, ok := regByName(ops[0])
+		if !ok {
+			return a.errf(n, "LDI destination %q is not a register", ops[0])
+		}
+		v, err := a.eval(strings.TrimPrefix(ops[1], "#"), n)
+		if err != nil {
+			return err
+		}
+		if v < -0x8000 || v > 0xFFFF {
+			return a.errf(n, "LDI immediate %d out of 16-bit range", v)
+		}
+		a.emit(Encode(LDI, rd, 0, 0), uint16(v))
+
+	case LDM, STM:
+		if len(ops) != 2 {
+			return a.errf(n, "%s wants Rx, [Dy]", mn)
+		}
+		r, ok1 := regByName(ops[0])
+		ptr, ok2 := pointerOperand(ops[1])
+		if !ok1 || !ok2 {
+			return a.errf(n, "%s wants register and [pointer], got %q, %q", mn, ops[0], ops[1])
+		}
+		a.emit(Encode(op, r, ptr, 0))
+
+	case JUMP, JZ, JNZ, JC, JNC:
+		if len(ops) != 1 {
+			return a.errf(n, "%s wants a target", mn)
+		}
+		if r, ok := regByName(ops[0]); ok {
+			a.emit(Encode(op, r, 0, 1))
+			return nil
+		}
+		v, err := a.eval(ops[0], n)
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 0xFFFF {
+			return a.errf(n, "jump target %d out of code range", v)
+		}
+		a.emit(Encode(op, 0, 0, 0), uint16(v))
+
+	default:
+		return a.errf(n, "unhandled opcode %s", mn)
+	}
+	return nil
+}
+
+// eval evaluates a +/- expression over numbers, chars, labels and .equ
+// names. During pass 1 unresolved labels evaluate to 0 (only sizes matter).
+func (a *assembler) eval(expr string, n int) (int64, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, a.errf(n, "empty expression")
+	}
+	total := int64(0)
+	sign := int64(1)
+	i := 0
+	expectTerm := true
+	for i < len(expr) {
+		ch := expr[i]
+		switch {
+		case ch == ' ' || ch == '\t':
+			i++
+		case ch == '+' && !expectTerm:
+			sign = 1
+			expectTerm = true
+			i++
+		case ch == '-':
+			if expectTerm {
+				sign = -sign
+			} else {
+				sign = -1
+				expectTerm = true
+			}
+			i++
+		case expectTerm:
+			j := i
+			for j < len(expr) && expr[j] != '+' && expr[j] != '-' && expr[j] != ' ' && expr[j] != '\t' {
+				j++
+			}
+			tok := expr[i:j]
+			v, err := a.term(tok, n)
+			if err != nil {
+				return 0, err
+			}
+			total += sign * v
+			sign = 1
+			expectTerm = false
+			i = j
+		default:
+			return 0, a.errf(n, "unexpected %q in expression %q", ch, expr)
+		}
+	}
+	if expectTerm {
+		return 0, a.errf(n, "dangling operator in %q", expr)
+	}
+	return total, nil
+}
+
+func (a *assembler) term(tok string, n int) (int64, error) {
+	if tok == "$" {
+		return int64(a.loc), nil
+	}
+	if len(tok) >= 3 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+		s, err := strconv.Unquote(tok)
+		if err != nil || len(s) != 1 {
+			return 0, a.errf(n, "bad character literal %s", tok)
+		}
+		return int64(s[0]), nil
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := a.syms[tok]; ok {
+		return v, nil
+	}
+	if v, ok := a.labels[tok]; ok {
+		return int64(v), nil
+	}
+	if a.pass == 1 && validName(tok) {
+		return 0, nil // forward reference; resolved in pass 2
+	}
+	return 0, a.errf(n, "undefined symbol %q", tok)
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func regByName(s string) (int, bool) {
+	switch strings.ToUpper(s) {
+	case "R0":
+		return R0, true
+	case "R1":
+		return R1, true
+	case "R2":
+		return R2, true
+	case "R3":
+		return R3, true
+	case "R4":
+		return R4, true
+	case "R5":
+		return R5, true
+	case "R6":
+		return R6, true
+	case "R7":
+		return R7, true
+	case "D0":
+		return D0, true
+	case "D1":
+		return D1, true
+	case "D2":
+		return D2, true
+	case "D3":
+		return D3, true
+	}
+	return 0, false
+}
+
+func pointerOperand(s string) (int, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, false
+	}
+	r, ok := regByName(strings.TrimSpace(s[1 : len(s)-1]))
+	if !ok || !IsPointer(r) {
+		return 0, false
+	}
+	return r, true
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, ch := range s {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_', ch == '.':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if _, isReg := regByName(s); isReg {
+		return false
+	}
+	return true
+}

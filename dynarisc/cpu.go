@@ -1,0 +1,337 @@
+package dynarisc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMemWords sizes the reference CPU's memory: 2^22 words holds the
+// largest scan of the evaluation (a 4K cinema frame, one pixel per word)
+// with room for buffers.
+const DefaultMemWords = 1 << 22
+
+// MaxMemWords bounds memory to the 24-bit pointer range.
+const MaxMemWords = 1 << 24
+
+// Execution errors.
+var (
+	ErrStepLimit  = errors.New("dynarisc: step limit exceeded")
+	ErrBadAddress = errors.New("dynarisc: memory access out of range")
+	ErrBadOpcode  = errors.New("dynarisc: undefined opcode")
+)
+
+// CPU is the reference DynaRisc emulator.
+//
+// The zero value is unusable; call NewCPU. The CPU is deterministic: the
+// same memory image and input stream always produce the same output, which
+// the differential tests against the VeRisc-hosted emulator rely on.
+type CPU struct {
+	R  [8]uint16 // data registers
+	D  [4]uint32 // pointer registers (24-bit)
+	PC uint16
+	Z  bool
+	N  bool
+	C  bool
+
+	Mem []uint16
+
+	// In is the input stream read through IOIn; Out collects words
+	// written to IOOut.
+	In    []uint16
+	InPos int
+	Out   []uint16
+
+	Halted bool
+	Steps  uint64
+	// MaxSteps aborts runaway programs; 0 means no limit.
+	MaxSteps uint64
+
+	// Trace, when set, is invoked before each instruction with the
+	// current instruction word (for debugging decoder programs).
+	Trace func(c *CPU, instr uint16)
+}
+
+// NewCPU returns a CPU with the given memory size in words (0 selects
+// DefaultMemWords).
+func NewCPU(memWords int) *CPU {
+	if memWords <= 0 {
+		memWords = DefaultMemWords
+	}
+	if memWords > MaxMemWords {
+		memWords = MaxMemWords
+	}
+	return &CPU{Mem: make([]uint16, memWords)}
+}
+
+// LoadProgram copies words into memory at org and sets PC to org.
+func (c *CPU) LoadProgram(org uint16, words []uint16) error {
+	if int(org)+len(words) > len(c.Mem) {
+		return fmt.Errorf("%w: program of %d words at %#x", ErrBadAddress, len(words), org)
+	}
+	copy(c.Mem[org:], words)
+	c.PC = org
+	return nil
+}
+
+// reg returns the value of register id r (pointer registers full width).
+func (c *CPU) reg(r int) uint32 {
+	if IsPointer(r) {
+		return c.D[r-D0]
+	}
+	return uint32(c.R[r])
+}
+
+// setReg writes v to register id r at the register's width.
+func (c *CPU) setReg(r int, v uint32) {
+	if IsPointer(r) {
+		c.D[r-D0] = v & 0xFFFFFF
+	} else {
+		c.R[r] = uint16(v)
+	}
+}
+
+// width returns the operand width in bits for destination register rd.
+func width(rd int) uint {
+	if IsPointer(rd) {
+		return 24
+	}
+	return 16
+}
+
+func (c *CPU) setZN(v uint32, w uint) {
+	mask := uint32(1)<<w - 1
+	v &= mask
+	c.Z = v == 0
+	c.N = v>>(w-1)&1 == 1
+}
+
+// fetch reads the next code word.
+func (c *CPU) fetch() uint16 {
+	w := c.Mem[c.PC]
+	c.PC++
+	return w
+}
+
+// load reads a data word, honouring the memory-mapped I/O window.
+func (c *CPU) load(addr uint32) (uint16, error) {
+	switch addr {
+	case IOIn:
+		if c.InPos < len(c.In) {
+			v := c.In[c.InPos]
+			c.InPos++
+			return v, nil
+		}
+		return 0, nil
+	case IOAvail:
+		if c.InPos < len(c.In) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if int(addr) >= len(c.Mem) {
+		return 0, fmt.Errorf("%w: load %#x", ErrBadAddress, addr)
+	}
+	return c.Mem[addr], nil
+}
+
+// store writes a data word, honouring the memory-mapped I/O window.
+func (c *CPU) store(addr uint32, v uint16) error {
+	if addr == IOOut {
+		c.Out = append(c.Out, v)
+		return nil
+	}
+	if int(addr) >= len(c.Mem) {
+		return fmt.Errorf("%w: store %#x", ErrBadAddress, addr)
+	}
+	c.Mem[addr] = v
+	return nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.MaxSteps > 0 && c.Steps >= c.MaxSteps {
+		return ErrStepLimit
+	}
+	instr := c.Mem[c.PC]
+	if c.Trace != nil {
+		c.Trace(c, instr)
+	}
+	c.Steps++
+	c.PC++
+	op, rd, rs, mode := Decode(instr)
+
+	switch op {
+	case HALT:
+		c.Halted = true
+
+	case MOVE:
+		if mode&1 == 1 { // MOVH Dd, Rs
+			if !IsPointer(rd) {
+				return fmt.Errorf("dynarisc: MOVH needs pointer destination (pc=%#x)", c.PC-1)
+			}
+			d := rd - D0
+			c.D[d] = c.D[d]&0xFFFF | (c.reg(rs)&0xFF)<<16
+		} else {
+			c.setReg(rd, c.reg(rs))
+		}
+
+	case LDI:
+		c.setReg(rd, uint32(c.fetch()))
+
+	case LDM:
+		if !IsPointer(rs) {
+			return fmt.Errorf("dynarisc: LDM needs pointer source (pc=%#x)", c.PC-1)
+		}
+		v, err := c.load(c.reg(rs))
+		if err != nil {
+			return err
+		}
+		c.setReg(rd, uint32(v))
+
+	case STM:
+		if !IsPointer(rs) {
+			return fmt.Errorf("dynarisc: STM needs pointer destination (pc=%#x)", c.PC-1)
+		}
+		if err := c.store(c.reg(rs), uint16(c.reg(rd))); err != nil {
+			return err
+		}
+
+	case ADD, ADC, SUB, SBB, CMP:
+		w := width(rd)
+		mask := uint32(1)<<w - 1
+		a := c.reg(rd) & mask
+		b := c.reg(rs) & mask
+		var res uint32
+		switch op {
+		case ADD, ADC:
+			res = a + b
+			if op == ADC && c.C {
+				res++
+			}
+			c.C = res > mask
+		default: // SUB, SBB, CMP
+			borrow := uint32(0)
+			if op == SBB && c.C {
+				borrow = 1
+			}
+			res = a - b - borrow
+			c.C = a < b+borrow // borrow out
+		}
+		res &= mask
+		c.setZN(res, w)
+		if op != CMP {
+			c.setReg(rd, res)
+		}
+
+	case MUL:
+		p := (c.reg(rd) & 0xFFFF) * (c.reg(rs) & 0xFFFF)
+		lo, hi := uint16(p), uint16(p>>16)
+		c.setReg(rd, uint32(lo))
+		c.R[7] = hi
+		c.C = hi != 0
+		c.setZN(uint32(lo), 16)
+
+	case AND, OR, XOR:
+		w := width(rd)
+		mask := uint32(1)<<w - 1
+		a := c.reg(rd) & mask
+		b := c.reg(rs) & mask
+		var res uint32
+		switch op {
+		case AND:
+			res = a & b
+		case OR:
+			res = a | b
+		default:
+			res = a ^ b
+		}
+		c.setReg(rd, res)
+		c.setZN(res, w)
+
+	case LSL, LSR, ASR, ROR:
+		w := width(rd)
+		mask := uint32(1)<<w - 1
+		v := c.reg(rd) & mask
+		count := int(c.reg(rs) & 31)
+		for i := 0; i < count; i++ {
+			switch op {
+			case LSL:
+				c.C = v>>(w-1)&1 == 1
+				v = v << 1 & mask
+			case LSR:
+				c.C = v&1 == 1
+				v >>= 1
+			case ASR:
+				c.C = v&1 == 1
+				sign := v >> (w - 1) & 1
+				v = v>>1 | sign<<(w-1)
+			case ROR:
+				bit := v & 1
+				c.C = bit == 1
+				v = v>>1 | bit<<(w-1)
+			}
+		}
+		c.setReg(rd, v)
+		c.setZN(v, w)
+
+	case JUMP, JZ, JNZ, JC, JNC:
+		var target uint16
+		if mode&1 == 1 {
+			target = uint16(c.reg(rd))
+		} else {
+			target = c.fetch()
+		}
+		taken := false
+		switch op {
+		case JUMP:
+			taken = true
+		case JZ:
+			taken = c.Z
+		case JNZ:
+			taken = !c.Z
+		case JC:
+			taken = c.C
+		case JNC:
+			taken = !c.C
+		}
+		if taken {
+			c.PC = target
+		}
+
+	default:
+		return fmt.Errorf("%w: %d at pc=%#x", ErrBadOpcode, op, c.PC-1)
+	}
+	return nil
+}
+
+// Run executes until HALT, an error, or the step limit.
+func (c *CPU) Run() error {
+	for !c.Halted {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutBytes returns the output stream as bytes (low byte of each word) —
+// the convention decoder programs use for byte streams.
+func (c *CPU) OutBytes() []byte {
+	out := make([]byte, len(c.Out))
+	for i, w := range c.Out {
+		out[i] = byte(w)
+	}
+	return out
+}
+
+// SetInBytes loads the input stream from bytes, one per word.
+func (c *CPU) SetInBytes(p []byte) {
+	c.In = make([]uint16, len(p))
+	for i, b := range p {
+		c.In[i] = uint16(b)
+	}
+	c.InPos = 0
+}

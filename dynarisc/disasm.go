@@ -1,0 +1,55 @@
+package dynarisc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a memory image back to readable assembly, one
+// instruction per line, prefixed with the word address. It is the
+// inspection tool for archived instruction streams.
+func Disassemble(org uint16, words []uint16) string {
+	var b strings.Builder
+	i := 0
+	for i < len(words) {
+		addr := int(org) + i
+		w := words[i]
+		op, rd, rs, mode := Decode(w)
+		i++
+		text := ""
+		switch {
+		case op >= OpCount:
+			text = fmt.Sprintf(".word %#04x", w)
+		case op == HALT:
+			text = "HALT"
+		case op == MOVE && mode&1 == 1:
+			text = fmt.Sprintf("MOVH %s, %s", RegName(rd), RegName(rs))
+		case op == MOVE:
+			text = fmt.Sprintf("MOVE %s, %s", RegName(rd), RegName(rs))
+		case op == LDI:
+			if i < len(words) {
+				text = fmt.Sprintf("LDI %s, %#x", RegName(rd), words[i])
+				i++
+			} else {
+				text = fmt.Sprintf("LDI %s, ???", RegName(rd))
+			}
+		case op == LDM:
+			text = fmt.Sprintf("LDM %s, [%s]", RegName(rd), RegName(rs))
+		case op == STM:
+			text = fmt.Sprintf("STM %s, [%s]", RegName(rd), RegName(rs))
+		case op >= JUMP && op <= JNC:
+			if mode&1 == 1 {
+				text = fmt.Sprintf("%s %s", op, RegName(rd))
+			} else if i < len(words) {
+				text = fmt.Sprintf("%s %#x", op, words[i])
+				i++
+			} else {
+				text = fmt.Sprintf("%s ???", op)
+			}
+		default:
+			text = fmt.Sprintf("%s %s, %s", op, RegName(rd), RegName(rs))
+		}
+		fmt.Fprintf(&b, "%04x: %s\n", addr, text)
+	}
+	return b.String()
+}

@@ -1,0 +1,535 @@
+package dynarisc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestISAHas23Instructions(t *testing.T) {
+	if OpCount != 23 {
+		t.Fatalf("ISA has %d instructions, the paper fixes 23", OpCount)
+	}
+	table := ISATable()
+	if len(table) != 23 {
+		t.Fatalf("table rows %d", len(table))
+	}
+	named := 0
+	for _, e := range table {
+		if e.Syntax == "" {
+			t.Fatalf("op %s missing syntax", e.Op)
+		}
+		if e.InTable1 {
+			named++
+		}
+	}
+	// Table 1 of the paper names 17 instructions (counting LSL/LSR/ASR
+	// individually); the other 6 are the conventional complements.
+	if named != 17 {
+		t.Fatalf("%d instructions marked as Table 1 members, want 17", named)
+	}
+}
+
+func TestTable1Classes(t *testing.T) {
+	want := map[Op]ISAClass{
+		ADC: ClassArithmetic, SBB: ClassArithmetic, SUB: ClassArithmetic,
+		CMP: ClassArithmetic, MUL: ClassArithmetic,
+		AND: ClassLogical, OR: ClassLogical, XOR: ClassLogical,
+		LSL: ClassLogical, LSR: ClassLogical, ASR: ClassLogical, ROR: ClassLogical,
+		MOVE: ClassControl, LDI: ClassControl, LDM: ClassControl,
+		STM: ClassControl, JUMP: ClassControl,
+	}
+	for op, class := range want {
+		if ClassOf(op) != class {
+			t.Errorf("%s classified %s, want %s", op, ClassOf(op), class)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw, rdRaw, rsRaw, modeRaw uint8) bool {
+		op := Op(opRaw % OpCount)
+		rd := int(rdRaw % 12)
+		rs := int(rsRaw % 12)
+		mode := int(modeRaw % 8)
+		gotOp, gotRd, gotRs, gotMode := Decode(Encode(op, rd, rs, mode))
+		return gotOp == op && gotRd == rd && gotRs == rs && gotMode == mode
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// run assembles and executes a source, returning the CPU.
+func run(t *testing.T, src string, in []byte) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := NewCPU(1 << 16)
+	c.MaxSteps = 10_000_000
+	if err := c.LoadProgram(p.Org, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	c.SetInBytes(in)
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestArithmeticFlags(t *testing.T) {
+	c := run(t, `
+		LDI R0, 0xFFFF
+		LDI R1, 1
+		ADD R0, R1      ; 0xFFFF+1 = 0 with carry
+		HALT
+	`, nil)
+	if c.R[0] != 0 || !c.Z || !c.C || c.N {
+		t.Fatalf("ADD wrap: R0=%#x Z=%v C=%v N=%v", c.R[0], c.Z, c.C, c.N)
+	}
+
+	c = run(t, `
+		LDI R0, 5
+		LDI R1, 7
+		SUB R0, R1      ; 5-7 borrows
+		HALT
+	`, nil)
+	if c.R[0] != 0xFFFE || !c.C || !c.N || c.Z {
+		t.Fatalf("SUB borrow: R0=%#x C=%v N=%v", c.R[0], c.C, c.N)
+	}
+}
+
+func TestADCSBBChain(t *testing.T) {
+	// 32-bit addition via ADD/ADC register pairs: 0x1FFFF + 0x2FFFF.
+	c := run(t, `
+		LDI R0, 0xFFFF  ; a.lo
+		LDI R1, 1       ; a.hi
+		LDI R2, 0xFFFF  ; b.lo
+		LDI R3, 2       ; b.hi
+		ADD R0, R2
+		ADC R1, R3
+		HALT
+	`, nil)
+	if c.R[0] != 0xFFFE || c.R[1] != 4 {
+		t.Fatalf("32-bit add: hi=%#x lo=%#x, want 4:fffe", c.R[1], c.R[0])
+	}
+
+	// 32-bit subtraction with borrow: 0x40000 - 1.
+	c = run(t, `
+		LDI R0, 0       ; a.lo
+		LDI R1, 4       ; a.hi
+		LDI R2, 1       ; b.lo
+		LDI R3, 0       ; b.hi
+		SUB R0, R2
+		SBB R1, R3
+		HALT
+	`, nil)
+	if c.R[0] != 0xFFFF || c.R[1] != 3 {
+		t.Fatalf("32-bit sub: hi=%#x lo=%#x, want 3:ffff", c.R[1], c.R[0])
+	}
+}
+
+func TestMULHiLo(t *testing.T) {
+	c := run(t, `
+		LDI R0, 0x1234
+		LDI R1, 0x5678
+		MUL R0, R1
+		HALT
+	`, nil)
+	want := uint32(0x1234) * 0x5678
+	if c.R[0] != uint16(want) || c.R[7] != uint16(want>>16) {
+		t.Fatalf("MUL: lo=%#x hi=%#x, want %#x", c.R[0], c.R[7], want)
+	}
+	if !c.C {
+		t.Fatal("MUL overflow must set C")
+	}
+	c = run(t, "LDI R0, 3\nLDI R1, 4\nMUL R0, R1\nHALT", nil)
+	if c.R[0] != 12 || c.R[7] != 0 || c.C {
+		t.Fatalf("small MUL: lo=%d hi=%d C=%v", c.R[0], c.R[7], c.C)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint16
+		c    bool
+	}{
+		{"LDI R0, 0x8001\nLDI R1, 1\nLSL R0, R1\nHALT", 0x0002, true},
+		{"LDI R0, 0x8001\nLDI R1, 1\nLSR R0, R1\nHALT", 0x4000, true},
+		{"LDI R0, 0x8001\nLDI R1, 1\nASR R0, R1\nHALT", 0xC000, true},
+		{"LDI R0, 0x8001\nLDI R1, 1\nROR R0, R1\nHALT", 0xC000, true},
+		{"LDI R0, 0x00F0\nLDI R1, 4\nLSR R0, R1\nHALT", 0x000F, false},
+		{"LDI R0, 1\nLDI R1, 0\nLSL R0, R1\nHALT", 1, false}, // count 0: no-op
+	}
+	for i, tc := range cases {
+		c := run(t, tc.src, nil)
+		if c.R[0] != tc.want {
+			t.Errorf("case %d: R0=%#x want %#x", i, c.R[0], tc.want)
+		}
+		if i < 5 && c.C != tc.c {
+			t.Errorf("case %d: C=%v want %v", i, c.C, tc.c)
+		}
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	c := run(t, `
+		LDI R0, 0xF0F0
+		LDI R1, 0xFF00
+		MOVE R2, R0
+		AND R2, R1      ; F000
+		MOVE R3, R0
+		OR  R3, R1      ; FFF0
+		MOVE R4, R0
+		XOR R4, R1      ; 0FF0
+		HALT
+	`, nil)
+	if c.R[2] != 0xF000 || c.R[3] != 0xFFF0 || c.R[4] != 0x0FF0 {
+		t.Fatalf("logic: %#x %#x %#x", c.R[2], c.R[3], c.R[4])
+	}
+}
+
+func TestPointerArithmetic24Bit(t *testing.T) {
+	c := run(t, `
+		LDI  R0, 0xFFFF
+		MOVE D0, R0      ; D0 = 0x00FFFF
+		LDI  R1, 1
+		ADD  D0, R1      ; 24-bit: 0x010000, no carry
+		HALT
+	`, nil)
+	if c.D[0] != 0x010000 || c.C {
+		t.Fatalf("pointer add: D0=%#x C=%v", c.D[0], c.C)
+	}
+
+	c = run(t, `
+		LDI  R0, 0xFFFF
+		MOVE D0, R0
+		LDI  R1, 0xFF
+		MOVH D0, R1      ; D0 = 0xFFFFFF
+		LDI  R1, 1
+		ADD  D0, R1      ; wraps to 0 with carry
+		HALT
+	`, nil)
+	if c.D[0] != 0 || !c.C || !c.Z {
+		t.Fatalf("pointer wrap: D0=%#x C=%v Z=%v", c.D[0], c.C, c.Z)
+	}
+}
+
+func TestLoadStoreAndIO(t *testing.T) {
+	c := run(t, `
+	.equ BUF, 0x200
+		LDI  R0, BUF
+		MOVE D0, R0
+		LDI  R1, 0xBEEF
+		STM  R1, [D0]
+		LDM  R2, [D0]
+
+		; copy three input bytes to output, doubling them
+	.equ IOIN,  0xFFF0
+	.equ IOOUT, 0xFFF2
+		LDI  R3, 0xFF
+		MOVH D1, R3       ; D1 = 0xFF0000
+		LDI  R3, 0xFFF0
+		MOVE R4, R3
+		; build D1 = 0xFFFFF0 : high byte FF, low word FFF0
+		MOVE D1, R4
+		LDI  R3, 0xFF
+		MOVH D1, R3
+		LDI  R3, 0xFFF2
+		MOVE D2, R3
+		LDI  R4, 0xFF
+		MOVH D2, R4       ; D2 = 0xFFFFF2 (IOOut)
+	loop:
+		LDM  R5, [D1]     ; read input word
+		ADD  R5, R5       ; double
+		STM  R5, [D2]
+		LDI  R6, 0
+		CMP  R6, R5       ; crude: stop after 3 (use counter instead)
+		LDI  R7, 1
+		MOVE R6, R7
+		HALT
+	`, []byte{21})
+	if c.R[2] != 0xBEEF {
+		t.Fatalf("LDM/STM: %#x", c.R[2])
+	}
+	if len(c.Out) != 1 || c.Out[0] != 42 {
+		t.Fatalf("I/O: out=%v", c.Out)
+	}
+}
+
+func TestIOAvailLoop(t *testing.T) {
+	// Canonical echo loop: copy all input to output using IOAvail.
+	c := run(t, `
+		LDI  R0, 0xFFF0
+		MOVE D0, R0
+		LDI  R0, 0xFF
+		MOVH D0, R0      ; D0 = IOIn
+		LDI  R0, 0xFFF1
+		MOVE D1, R0
+		LDI  R0, 0xFF
+		MOVH D1, R0      ; D1 = IOAvail
+		LDI  R0, 0xFFF2
+		MOVE D2, R0
+		LDI  R0, 0xFF
+		MOVH D2, R0      ; D2 = IOOut
+	loop:
+		LDM  R1, [D1]
+		LDI  R2, 0
+		CMP  R1, R2
+		JZ   done
+		LDM  R1, [D0]
+		STM  R1, [D2]
+		JUMP loop
+	done:
+		HALT
+	`, []byte{1, 2, 3, 250})
+	if got := c.OutBytes(); len(got) != 4 || got[0] != 1 || got[3] != 250 {
+		t.Fatalf("echo: %v", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	c := run(t, `
+		LDI  R0, 5
+		CALL double
+		CALL double
+		HALT
+	double:
+		ADD  R0, R0
+		RET
+	`, nil)
+	if c.R[0] != 20 {
+		t.Fatalf("CALL/RET: R0=%d want 20", c.R[0])
+	}
+}
+
+func TestJumpTable(t *testing.T) {
+	// Register-indirect jump through a table in memory.
+	c := run(t, `
+		LDI  R0, table
+		MOVE D0, R0
+		LDI  R1, 1       ; select entry 1
+		ADD  D0, R1
+		LDM  R2, [D0]
+		JUMP R2
+	entry0:
+		LDI  R3, 100
+		HALT
+	entry1:
+		LDI  R3, 200
+		HALT
+	table:
+		.word entry0, entry1
+	`, nil)
+	if c.R[3] != 200 {
+		t.Fatalf("jump table: R3=%d", c.R[3])
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	c := run(t, `
+		LDI R0, 10
+		LDI R1, 10
+		CMP R0, R1
+		JNZ fail
+		JZ  next1
+		JUMP fail
+	next1:
+		LDI R0, 5
+		LDI R1, 9
+		CMP R0, R1     ; borrow set
+		JNC fail
+		JC  next2
+		JUMP fail
+	next2:
+		LDI R2, 1
+		HALT
+	fail:
+		LDI R2, 0
+		HALT
+	`, nil)
+	if c.R[2] != 1 {
+		t.Fatal("conditional jumps took wrong path")
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	c := run(t, `
+		LDI R0, 0       ; a
+		LDI R1, 1       ; b
+		LDI R2, 14      ; count
+		LDI R4, 1
+	loop:
+		MOVE R3, R1
+		ADD  R1, R0
+		MOVE R0, R3
+		SUB  R2, R4
+		JNZ  loop
+		HALT
+	`, nil)
+	if c.R[1] != 610 { // fib(15)
+		t.Fatalf("fib: %d", c.R[1])
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := MustAssemble("loop: JUMP loop")
+	c := NewCPU(1 << 12)
+	c.MaxSteps = 100
+	if err := c.LoadProgram(0, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want step limit, got %v", err)
+	}
+}
+
+func TestBadMemoryAccess(t *testing.T) {
+	c := NewCPU(1 << 8)
+	p := MustAssemble(`
+		LDI  R0, 0x7FFF
+		MOVE D0, R0
+		LDM  R1, [D0]
+		HALT
+	`)
+	c.LoadProgram(0, p.Words)
+	if err := c.Run(); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want bad address, got %v", err)
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	c := NewCPU(1 << 8)
+	c.Mem[0] = Encode(Op(23), 0, 0, 0)
+	if err := c.Run(); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want bad opcode, got %v", err)
+	}
+}
+
+func TestLoadProgramBounds(t *testing.T) {
+	c := NewCPU(16)
+	if err := c.LoadProgram(10, make([]uint16, 10)); !errors.Is(err, ErrBadAddress) {
+		t.Fatal("oversized program accepted")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "FROB R0, R1",
+		"bad register":      "MOVE R9, R0",
+		"missing operand":   "ADD R0",
+		"halt with operand": "HALT R0",
+		"undefined symbol":  "LDI R0, nowhere_at_all!",
+		"dup label":         "a:\na:\nHALT",
+		"ldm not pointer":   "LDM R0, [R1]",
+		"ldm no brackets":   "LDM R0, D1",
+		"mul r7":            "MUL R7, R0",
+		"imm range":         "LDI R0, 0x10000",
+		"bad directive":     ".frobnicate 3",
+		"org backwards":     "HALT\n.org 0",
+		"movh to data reg":  "MOVH R0, R1",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestAssemblerDirectives(t *testing.T) {
+	p := MustAssemble(`
+	.equ X, 10
+	.equ Y, X+5
+		LDI R0, Y        ; 15
+		LDI R1, data
+		HALT
+	data:
+		.word 1, 2, X, 'A'
+		.space 3, 0xFF
+		.ascii "hi"
+	`)
+	// LDI(2) + LDI(2) + HALT(1) = 5 words before data.
+	if p.Labels["data"] != 5 {
+		t.Fatalf("data at %d", p.Labels["data"])
+	}
+	words := p.Words[5:]
+	want := []uint16{1, 2, 10, 'A', 0xFF, 0xFF, 0xFF, 'h', 'i'}
+	for i, w := range want {
+		if words[i] != w {
+			t.Fatalf("data[%d]=%#x want %#x", i, words[i], w)
+		}
+	}
+	if p.Words[1] != 15 {
+		t.Fatalf("Y evaluated to %d", p.Words[1])
+	}
+}
+
+func TestAssemblerForwardReference(t *testing.T) {
+	p := MustAssemble(`
+		JUMP end
+		.word 0xDEAD
+	end:
+		HALT
+	`)
+	if p.Words[1] != 3 {
+		t.Fatalf("forward label resolved to %d", p.Words[1])
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		LDI  R0, 0x1234
+		MOVE D0, R0
+		MOVH D0, R1
+		LDM  R2, [D0]
+		STM  R2, [D1]
+		ADD  R2, R3
+		JZ   0x40
+		JUMP R6
+		HALT
+	`
+	p := MustAssemble(src)
+	text := Disassemble(0, p.Words)
+	for _, want := range []string{"LDI R0, 0x1234", "MOVH D0, R1", "LDM R2, [D0]", "JZ 0x40", "JUMP R6", "HALT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegNameAndPointer(t *testing.T) {
+	if RegName(R3) != "R3" || RegName(D2) != "D2" {
+		t.Fatal("RegName")
+	}
+	if IsPointer(R7) || !IsPointer(D0) {
+		t.Fatal("IsPointer")
+	}
+}
+
+func BenchmarkCPUDispatch(b *testing.B) {
+	// Tight arithmetic loop — measures raw emulation speed, the baseline
+	// for the E8 nested-emulation-overhead experiment.
+	p := MustAssemble(`
+		LDI R0, 0
+		LDI R1, 1
+		LDI R2, 0xFFFF
+	loop:
+		ADD R0, R1
+		CMP R0, R2
+		JNZ loop
+		HALT
+	`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCPU(1 << 12)
+		c.LoadProgram(0, p.Words)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(c.Steps))
+	}
+}

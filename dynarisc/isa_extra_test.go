@@ -1,0 +1,92 @@
+package dynarisc
+
+import "testing"
+
+func TestHasImmediate(t *testing.T) {
+	if !HasImmediate(LDI, 0) {
+		t.Fatal("LDI carries an immediate")
+	}
+	for _, op := range []Op{JUMP, JZ, JNZ, JC, JNC} {
+		if !HasImmediate(op, 0) {
+			t.Fatalf("%v absolute mode carries an immediate", op)
+		}
+		if HasImmediate(op, 1) {
+			t.Fatalf("%v register mode carries no immediate", op)
+		}
+	}
+	for _, op := range []Op{ADD, SUB, MUL, AND, MOVE, LDM, STM, HALT} {
+		if HasImmediate(op, 0) || HasImmediate(op, 1) {
+			t.Fatalf("%v carries no immediate", op)
+		}
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if Op(63).String() == "" {
+		t.Fatal("unknown opcode must still format")
+	}
+	if JUMP.String() != "JUMP" || SBB.String() != "SBB" {
+		t.Fatal("mnemonics")
+	}
+}
+
+func TestNewCPUBounds(t *testing.T) {
+	if len(NewCPU(0).Mem) != DefaultMemWords {
+		t.Fatal("default memory size")
+	}
+	if len(NewCPU(MaxMemWords*2).Mem) != MaxMemWords {
+		t.Fatal("memory must clamp to the 24-bit pointer range")
+	}
+	if len(NewCPU(512).Mem) != 512 {
+		t.Fatal("explicit size")
+	}
+}
+
+func TestISATableCompleteAndClassified(t *testing.T) {
+	table := ISATable()
+	seen := map[Op]bool{}
+	table1 := 0
+	for _, e := range table {
+		if seen[e.Op] {
+			t.Fatalf("duplicate opcode %v", e.Op)
+		}
+		seen[e.Op] = true
+		if e.Syntax == "" {
+			t.Fatalf("%v lacks syntax", e.Op)
+		}
+		switch e.Class {
+		case ClassArithmetic, ClassLogical, ClassControl:
+		default:
+			t.Fatalf("%v has no Table 1 class", e.Op)
+		}
+		if e.InTable1 {
+			table1++
+		}
+	}
+	// Table 1 names 17 instructions explicitly (LSL/LSR/ASR share a row).
+	if table1 != 17 {
+		t.Fatalf("%d instructions flagged as Table 1 rows, want 17", table1)
+	}
+}
+
+func TestAssemblerRejectsBadImmediates(t *testing.T) {
+	for _, src := range []string{
+		"LDI R0, #70000\nHALT",  // immediate exceeds 16 bits
+		"LDI R0\nHALT",          // missing operand
+		"ADD R0, #5\nHALT",      // ALU ops take registers, not immediates
+		"LDM R0, [R1]\nHALT",    // LDM needs a pointer register
+		"JUMP nowhere",          // unresolved label
+		"MOVE R0, R1, R2\nHALT", // too many operands
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Fatalf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestDisassembleUnknownWord(t *testing.T) {
+	// Disassembly of arbitrary words must not panic.
+	for w := 0; w < 1<<16; w += 257 {
+		_ = Disassemble(0, []uint16{uint16(w)})
+	}
+}

@@ -1,0 +1,131 @@
+// Package bitio provides MSB-first bit stream readers and writers.
+//
+// MOCoder's Differential-Manchester modulation and the emblem header both
+// operate on bit granularity; the convention throughout Micr'Olonys is
+// most-significant-bit first within each byte.
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nbit uint // bits currently in cur (0..7)
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (any nonzero b counts as 1).
+func (w *Writer) WriteBit(b int) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n ≤ 64.
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// WriteBytes appends whole bytes (bit-aligned or not).
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Len returns the number of complete bits written.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes (zero-padding the final partial byte) and returns the buffer.
+// The writer remains usable; further writes continue after the padding.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nbit))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// ErrOutOfBits is returned when a read runs past the end of the buffer.
+var ErrOutOfBits = errors.New("bitio: out of bits")
+
+// NewReader returns a reader over p.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// ReadBit returns the next bit (0 or 1).
+func (r *Reader) ReadBit() (int, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, ErrOutOfBits
+	}
+	b := int(r.buf[r.pos>>3] >> uint(7-r.pos&7) & 1)
+	r.pos++
+	return b, nil
+}
+
+// ReadBits returns the next n bits as an unsigned value, MSB first. n ≤ 64.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadBytes reads n whole bytes.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	if r.pos&7 == 0 { // aligned fast path
+		start := r.pos >> 3
+		if start+n > len(r.buf) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		copy(out, r.buf[start:start+n])
+		r.pos += n * 8
+		return out, nil
+	}
+	for i := range out {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, io.ErrUnexpectedEOF
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Align advances to the next byte boundary.
+func (r *Reader) Align() { r.pos = (r.pos + 7) &^ 7 }

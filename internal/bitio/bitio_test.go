@@ -1,0 +1,168 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xFF, 8)
+	w.WriteBit(1)
+	blob := w.Bytes()
+
+	r := NewReader(blob)
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("got %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x", v)
+	}
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit")
+	}
+	// Padding bits are zero.
+	for r.Remaining() > 0 {
+		if b, _ := r.ReadBit(); b != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrOutOfBits) {
+		t.Fatal("no ErrOutOfBits")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(vals []uint32, widthsRaw []uint8) bool {
+		if len(widthsRaw) == 0 {
+			return true
+		}
+		w := NewWriter()
+		widths := make([]int, len(vals))
+		for i := range vals {
+			widths[i] = int(widthsRaw[i%len(widthsRaw)])%32 + 1
+			vals[i] &= 1<<uint(widths[i]) - 1
+			w.WriteBits(uint64(vals[i]), widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != uint64(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBytesAligned(t *testing.T) {
+	w := NewWriter()
+	w.WriteBytes([]byte{1, 2, 3})
+	if !bytes.Equal(w.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("aligned write")
+	}
+}
+
+func TestWriteBytesUnaligned(t *testing.T) {
+	w := NewWriter()
+	w.WriteBit(1)
+	w.WriteBytes([]byte{0xAB})
+	blob := w.Bytes()
+	r := NewReader(blob)
+	r.ReadBit()
+	v, _ := r.ReadBits(8)
+	if v != 0xAB {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestReadBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBytes([]byte{9, 8, 7, 6})
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBytes(4)
+	if err != nil || !bytes.Equal(got, []byte{9, 8, 7, 6}) {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := r.ReadBytes(1); err == nil {
+		t.Fatal("read past end")
+	}
+}
+
+func TestReadBytesUnaligned(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBytes([]byte{0xDE, 0xAD})
+	r := NewReader(w.Bytes())
+	r.ReadBits(3)
+	got, err := r.ReadBytes(2)
+	if err != nil || !bytes.Equal(got, []byte{0xDE, 0xAD}) {
+		t.Fatalf("got %x err %v", got, err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	r := NewReader([]byte{0xF0, 0x0F})
+	r.ReadBits(3)
+	r.Align()
+	if r.Pos() != 8 {
+		t.Fatalf("pos %d", r.Pos())
+	}
+	v, _ := r.ReadBits(8)
+	if v != 0x0F {
+		t.Fatalf("got %x", v)
+	}
+	r.Align() // already aligned: no-op
+	if r.Pos() != 16 {
+		t.Fatal("align moved past end")
+	}
+}
+
+func TestLen(t *testing.T) {
+	w := NewWriter()
+	for i := 0; i < 13; i++ {
+		w.WriteBit(i & 1)
+	}
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	blob := w.Bytes()
+	if len(blob) != 2 {
+		t.Fatalf("bytes = %d", len(blob))
+	}
+}
+
+func TestWriterReusableAfterBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAA, 8)
+	first := len(w.Bytes())
+	w.WriteBits(0xBB, 8)
+	blob := w.Bytes()
+	if len(blob) != first+1 || blob[1] != 0xBB {
+		t.Fatalf("writer not reusable: %x", blob)
+	}
+}
+
+func TestRandomBitStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bits := make([]int, 5000)
+	w := NewWriter()
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		w.WriteBit(bits[i])
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d: got %d want %d err %v", i, got, want, err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package bootstrap
+
+// pseudocode returns Section 1 of the Bootstrap: the complete, self-
+// contained description of the VeRisc machine and the restoration
+// procedure, written for a reader with basic programming skills and no
+// knowledge of this system. It is the paper's "four pages of algorithm
+// pseudocode" (§3.2); examples/futureuser implements an emulator from
+// this text alone.
+func pseudocode() string {
+	return `SECTION 1: HOW TO RECOVER THE DATA ON THIS MEDIUM
+
+This medium holds a database archive. Most frames carry square barcodes
+("emblems"). This document tells you how to turn them back into the
+original text file. You need: (a) a way to scan each frame into a grid
+of pixel brightness values (0 = black, 255 = white), and (b) any
+programmable computer. All software needed for decoding is printed in
+this document as letters, plus barcode frames that decode themselves.
+
+STEP 1 - THE VERISC MACHINE (implement this; about 100-300 lines)
+
+Memory: an array M of unsigned 32-bit integers, at least 18,000,000
+cells, all initially 0. Registers: R (32-bit accumulator) and B (borrow
+flag, 0 or 1). PC is a cell index. Input: a queue of numbers you
+provide. Output: a list of numbers the machine produces.
+
+Run loop: forever, read op=M[PC], addr=M[PC+1], set PC=PC+2, then:
+
+  op 0 (LD):   R = read(addr)
+  op 1 (ST):   write(addr, R)
+  op 2 (SBB):  t = R - read(addr) - B  (as a signed 64-bit value)
+               if t < 0 then B = 1 else B = 0
+               R = t modulo 2^32
+  op 3 (AND):  R = R bitwise-and read(addr)
+  any other op: the image is corrupt.
+
+read(a):  a=0 -> PC;  a=1 -> B;  a=2 -> next input number (0 if no
+          more);  a=3 -> 1 if input remains else 0;  otherwise M[a].
+write(a,v): a=0 -> PC=v (a jump);  a=1 -> B=v mod 2;  a=4 -> append v
+          to output;  a=5 -> stop the machine;  otherwise M[a]=v.
+
+STEP 2 - THE LETTER CODE
+
+Letter sections below encode bytes: each letter A..P is one hexadecimal
+digit, where A=15(F), B=14(E), ... O=1, P=0. Two letters form one byte,
+high digit first. Ignore spaces and line breaks.
+
+STEP 3 - LOAD THE DYNARISC EMULATOR (Section 3 letters)
+
+Decode Section 3 into bytes. Skip 4 bytes ("VR01"). Read org (4 bytes,
+big endian), then count (4 bytes). Then count 32-bit big-endian cells.
+Copy the cells into M starting at index org, set PC=org. The VeRisc
+machine now contains an emulator for a second, richer processor
+(DynaRisc). You never need to understand DynaRisc: the emulator's input
+protocol is all that matters:
+
+  input = [ guest_org, guest_len, guest_code... , guest_input... ]
+
+It first reads a DynaRisc program (org, length, then that many words),
+then runs it; everything after is the program's own input, and the
+program's output words appear on your output list.
+
+STEP 4 - DECODE THE EMBLEMS (Section 4 letters = MODecode)
+
+Decode Section 4 into bytes. Skip 4 bytes ("DR01"). Read org (2 bytes,
+big endian) and count (4 bytes); then count 16-bit big-endian words.
+This is MODecode, a DynaRisc program. For each scanned frame, run the
+emulator (Step 3) with:
+
+  guest_input = [ scan_width, scan_height, dataW, dataH, pixels... ]
+
+where dataW/dataH come from Section 2 and pixels are the frame's
+brightness values row by row, one number each. Preprocess each scan
+first with any image tool: deskew it so the barcode's thick black
+border runs parallel to the image edges, and rescale it so that one
+barcode module is 3 x 3 pixels (the border then spans exactly
+3*(dataW + 6) x 3*(dataH + 6) pixels; use an area-averaging filter,
+not nearest-neighbour). Geometry only - do not threshold or otherwise
+alter brightness. The output is the frame's 22-byte header followed by
+its payload, one byte per output number. A frame that produces no
+output is damaged; set it aside (Step 5 recovers it).
+
+STEP 5 - ASSEMBLE THE ARCHIVE
+
+Each payload begins after a 22-byte header stored inside the emblem
+(MODecode already validated it). Frames are numbered: 'index' (bytes
+3..4 of the header, big endian) orders them; 'kind' (byte 2) is 1 for
+data, 2 for system, 3 for parity. Frames form groups of up to
+groupdata data frames plus groupparity parity frames (Section 2). If
+up to groupparity frames of a group are unreadable, recover them:
+parity frame j holds, at each byte position, the Reed-Solomon parity
+over the group's data frames (field GF(256), polynomial x^8+x^4+x^3+
+x^2+1, generator roots 1, alpha, alpha^2). Erasure decoding at known
+positions restores the missing frames. (With all frames readable you
+can skip this paragraph entirely.)
+
+Concatenate the data-frame payloads in index order and truncate to
+'total length' (header bytes 16..19, big endian). The result is a
+compressed archive beginning with the bytes "DBC1".
+
+STEP 6 - DECOMPRESS (the system frames decode themselves)
+
+The frames whose kind byte is 2 ("system") carry, as their payload,
+another DynaRisc program: DBDecode. Assemble it exactly as in Step 4's
+byte format ("DR01"...). Run it in the emulator with the compressed
+archive bytes (one per input number) as guest_input; the output is the
+original database archive - a plain text file of SQL statements. Load
+it into any database of your era.
+
+Checks: the DBC1 header stores the output length (bytes 4..7, little
+endian) and a CRC-32 of the output (bytes 8..11); verify if you wish.
+`
+}

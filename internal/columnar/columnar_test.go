@@ -1,0 +1,242 @@
+package columnar
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"microlonys/internal/dbcoder"
+	"microlonys/internal/sqldump"
+	"microlonys/tpch"
+)
+
+func testDump(sf float64) []byte {
+	return sqldump.Dump(tpch.Generate(sf, 42))
+}
+
+func TestRoundTripTPCH(t *testing.T) {
+	dump := testDump(0.001)
+	blob, err := Compress(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsColumnar(blob) {
+		t.Fatal("blob lacks magic")
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dump) {
+		t.Fatal("columnar round trip not bit-exact")
+	}
+}
+
+func TestBeatsGenericOnTPCH(t *testing.T) {
+	// The §3.1/§5 claim: the columnar layout reduces storage over the
+	// generic compression path. Require a meaningful margin, not parity.
+	dump := testDump(0.001)
+	generic := dbcoder.Compress(dump)
+	col, err := Compress(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("raw=%d generic=%d columnar=%d (%.2fx over generic)",
+		len(dump), len(generic), len(col), float64(len(generic))/float64(len(col)))
+	if float64(len(col)) > 0.8*float64(len(generic)) {
+		t.Fatalf("columnar %d not < 80%% of generic %d", len(col), len(generic))
+	}
+}
+
+func TestRejectsNonArchive(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte("just some text"),
+		[]byte("COPY t (a) FROM stdin;\n1\n"), // unterminated
+		{0x00, 0x01},                          // NUL bytes
+	} {
+		if _, err := Compress(in); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	dump := testDump(0.0005)
+	blob, err := Compress(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(blob[:8]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := Decompress([]byte("XXXX1234")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[8] ^= 0xFF // break the CRC field
+	if out, err := Decompress(bad); err == nil && bytes.Equal(out, dump) {
+		t.Fatal("CRC damage undetected")
+	}
+}
+
+func TestEmptyCopyBlock(t *testing.T) {
+	dump := []byte("CREATE TABLE t (\n    a text\n);\n\nCOPY t (a) FROM stdin;\n\\.\n\n")
+	blob, err := Compress(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dump) {
+		t.Fatal("empty COPY block round trip failed")
+	}
+}
+
+func TestValuesNeedingFallback(t *testing.T) {
+	// Non-canonical numerics (leading zeros, +, odd decimals) must fall
+	// back to verbatim string coding and still round-trip bit-exact.
+	rows := []string{
+		"007\tx", "+12\ty", "1.5\tz", "-0.250\tw", "1e5\tv",
+		"0001-13-40\tu", // invalid date must not be "normalised"
+	}
+	dump := []byte("COPY t (a, b) FROM stdin;\n" + strings.Join(rows, "\n") + "\n\\.\n")
+	blob, err := Compress(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dump) {
+		t.Fatal("fallback values altered by round trip")
+	}
+}
+
+func TestNegativeDecimals(t *testing.T) {
+	vals := []string{"-0.25", "-5.00", "0.00", "12.34", "-123.99"}
+	got, ok := asDecimals(vals)
+	if !ok {
+		t.Fatal("canonical decimals rejected")
+	}
+	for i, v := range got {
+		if renderDecimal(v) != vals[i] {
+			t.Fatalf("decimal %q -> %d -> %q", vals[i], v, renderDecimal(v))
+		}
+	}
+}
+
+func TestDateRoundTripProperty(t *testing.T) {
+	f := func(y uint16, m, d uint8) bool {
+		yy := int(y) % 10000
+		mm := int(m)%12 + 1
+		dd := int(d)%31 + 1
+		s := fmt.Sprintf("%04d-%02d-%02d", yy, mm, dd)
+		vals, ok := asDates([]string{s})
+		return ok && renderDate(vals[0]) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		var buf bytes.Buffer
+		writeDeltas(&buf, vals)
+		got, err := readDeltas(bytes.NewReader(buf.Bytes()), len(vals))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnEncoderChoices(t *testing.T) {
+	check := func(col []string, wantTag byte) {
+		t.Helper()
+		var buf bytes.Buffer
+		encodeColumn(&buf, col)
+		if buf.Bytes()[0] != wantTag {
+			t.Fatalf("column %v got tag %d, want %d", col[:min(3, len(col))], buf.Bytes()[0], wantTag)
+		}
+		got, err := decodeColumn(bytes.NewReader(buf.Bytes()), len(col))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range col {
+			if got[i] != col[i] {
+				t.Fatalf("value %d: %q != %q", i, got[i], col[i])
+			}
+		}
+	}
+	check([]string{"1", "2", "30", "-7"}, colInt)
+	check([]string{"1.50", "-0.25", "17.00"}, colDec)
+	check([]string{"1996-03-13", "1997-12-01"}, colDate)
+	check([]string{"A", "B", "A", "A", "B", "A", "B", "A"}, colDict)
+	check([]string{"unique string one", "another unique", "third"}, colString)
+}
+
+func TestDictCardinalityLimit(t *testing.T) {
+	// 256 distinct values cannot be dictionary-coded with 1-byte refs.
+	col := make([]string, 600)
+	for i := range col {
+		col[i] = fmt.Sprintf("value-%d-with-enough-length-to-tempt-the-dict", i%256)
+	}
+	if _, _, ok := asDict(col); ok {
+		t.Fatal("dict accepted 256 distinct values")
+	}
+	col2 := make([]string, 600)
+	for i := range col2 {
+		col2[i] = fmt.Sprintf("value-%d-with-enough-length-to-tempt-the-dict", i%255)
+	}
+	if _, _, ok := asDict(col2); !ok {
+		t.Fatal("dict rejected 255 distinct values")
+	}
+}
+
+func TestRandomTableRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rows []string
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			f1 := fmt.Sprintf("%d", rng.Intn(100000))
+			f2 := fmt.Sprintf("%d.%02d", rng.Intn(1000), rng.Intn(100))
+			f3 := fmt.Sprintf("%04d-%02d-%02d", 1990+rng.Intn(20), 1+rng.Intn(12), 1+rng.Intn(28))
+			f4 := []string{"RAIL", "AIR", "TRUCK", "SHIP"}[rng.Intn(4)]
+			rows = append(rows, strings.Join([]string{f1, f2, f3, f4}, "\t"))
+		}
+		dump := []byte("COPY x (a, b, c, d) FROM stdin;\n" + strings.Join(rows, "\n") + "\n\\.\n")
+		blob, err := Compress(dump)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(blob)
+		return err == nil && bytes.Equal(got, dump)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

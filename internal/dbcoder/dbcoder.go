@@ -1,0 +1,382 @@
+// Package dbcoder implements DBCoder, the database layout encoder/decoder of
+// Micr'Olonys (§3.1).
+//
+// DBCoder turns the textual, software-independent database archive (a
+// pg_dump-style SQL file) into a compact binary stream. The scheme is the
+// paper's "generic compression scheme based on LZ77 and arithmetic coding"
+// with performance close to LZMA: a hash-chain LZ77 front end feeding an
+// adaptive binary range coder with LZMA-style literal, length and
+// distance-slot models plus a single rep-distance.
+//
+// # DBC1 container format
+//
+//	offset  size  field
+//	0       4     magic "DBC1"
+//	4       4     raw (uncompressed) length, little endian
+//	8       4     CRC-32 (IEEE) of the raw data, little endian
+//	12      …     range-coded token stream
+//
+// Token stream, decoded with the range coder of internal/rangecoder:
+//
+//	isMatch[prevWasMatch] — 0: literal, 1: match
+//	literal: 8 bits via bit-tree, context = previous byte >> 5
+//	match:   isRep — 1: distance = last distance, 0: new distance
+//	         length: choice/choice2 + 3/3/8-bit trees, len = 2..273
+//	         new distance: 6-bit slot tree; slots 4..13 take reverse
+//	         bit-tree extras, slots ≥14 take direct bits + 4 aligned
+//	         reverse-tree bits (distances are coded 0-based)
+//
+// The decoder half of this format is also implemented in DynaRisc assembly
+// (internal/dynprog, DBDecode) — it is the layout decoder archived with the
+// data. Any format change here must be mirrored there.
+package dbcoder
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"microlonys/internal/lz77"
+	"microlonys/internal/rangecoder"
+)
+
+// Magic identifies a DBC1 archive.
+const Magic = "DBC1"
+
+// HeaderSize is the byte length of the container header.
+const HeaderSize = 12
+
+const (
+	minRepLen   = 2
+	numLitCtx   = 8
+	alignBits   = 4
+	numSlots    = 64
+	endSlotBits = 6
+)
+
+// Errors returned by Decompress.
+var (
+	ErrBadMagic = errors.New("dbcoder: not a DBC1 archive")
+	ErrCorrupt  = errors.New("dbcoder: corrupt archive")
+	ErrCRC      = errors.New("dbcoder: CRC mismatch after decompression")
+)
+
+type lengthCoder struct {
+	choice, choice2 rangecoder.Prob
+	low, mid        *rangecoder.BitTree
+	high            *rangecoder.BitTree
+}
+
+func newLengthCoder() *lengthCoder {
+	return &lengthCoder{
+		choice:  rangecoder.ProbInit,
+		choice2: rangecoder.ProbInit,
+		low:     rangecoder.NewBitTree(3),
+		mid:     rangecoder.NewBitTree(3),
+		high:    rangecoder.NewBitTree(8),
+	}
+}
+
+func (lc *lengthCoder) encode(e *rangecoder.Encoder, length int) {
+	v := uint32(length - minRepLen)
+	switch {
+	case v < 8:
+		e.EncodeBit(&lc.choice, 0)
+		lc.low.Encode(e, v)
+	case v < 16:
+		e.EncodeBit(&lc.choice, 1)
+		e.EncodeBit(&lc.choice2, 0)
+		lc.mid.Encode(e, v-8)
+	default:
+		e.EncodeBit(&lc.choice, 1)
+		e.EncodeBit(&lc.choice2, 1)
+		lc.high.Encode(e, v-16)
+	}
+}
+
+func (lc *lengthCoder) decode(d *rangecoder.Decoder) int {
+	if d.DecodeBit(&lc.choice) == 0 {
+		return minRepLen + int(lc.low.Decode(d))
+	}
+	if d.DecodeBit(&lc.choice2) == 0 {
+		return minRepLen + 8 + int(lc.mid.Decode(d))
+	}
+	return minRepLen + 16 + int(lc.high.Decode(d))
+}
+
+type model struct {
+	isMatch [2]rangecoder.Prob
+	isRep   rangecoder.Prob
+	lit     [numLitCtx]*rangecoder.BitTree
+	lenC    *lengthCoder
+	repLenC *lengthCoder
+	slot    [4]*rangecoder.BitTree  // context: min(length-2, 3)
+	spec    [10]*rangecoder.BitTree // slots 4..13
+	align   *rangecoder.BitTree
+}
+
+func lenToSlotCtx(length int) int {
+	if c := length - minRepLen; c < 3 {
+		return c
+	}
+	return 3
+}
+
+func newModel() *model {
+	m := &model{
+		isMatch: [2]rangecoder.Prob{rangecoder.ProbInit, rangecoder.ProbInit},
+		isRep:   rangecoder.ProbInit,
+		lenC:    newLengthCoder(),
+		repLenC: newLengthCoder(),
+		align:   rangecoder.NewBitTree(alignBits),
+	}
+	for i := range m.slot {
+		m.slot[i] = rangecoder.NewBitTree(endSlotBits)
+	}
+	for i := range m.lit {
+		m.lit[i] = rangecoder.NewBitTree(8)
+	}
+	for s := 0; s < 10; s++ {
+		nd := (s+4)>>1 - 1 // footer bits for slot s+4: 1..5
+		m.spec[s] = rangecoder.NewBitTree(nd)
+	}
+	return m
+}
+
+func distSlot(dist0 uint32) uint32 {
+	if dist0 < 4 {
+		return dist0
+	}
+	msb := 31 - leadingZeros32(dist0)
+	return uint32(msb)<<1 | (dist0>>(uint(msb)-1))&1
+}
+
+func leadingZeros32(v uint32) int {
+	n := 0
+	for v&0x80000000 == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func (m *model) encodeDistance(e *rangecoder.Encoder, dist, length int) {
+	d0 := uint32(dist - 1)
+	slot := distSlot(d0)
+	m.slot[lenToSlotCtx(length)].Encode(e, slot)
+	if slot < 4 {
+		return
+	}
+	nd := int(slot>>1) - 1
+	base := (2 | slot&1) << uint(nd)
+	rest := d0 - base
+	if slot < 14 {
+		m.spec[slot-4].EncodeReverse(e, rest)
+	} else {
+		e.EncodeDirect(rest>>alignBits, nd-alignBits)
+		m.align.EncodeReverse(e, rest&(1<<alignBits-1))
+	}
+}
+
+func (m *model) decodeDistance(d *rangecoder.Decoder, length int) int {
+	slot := m.slot[lenToSlotCtx(length)].Decode(d)
+	if slot < 4 {
+		return int(slot) + 1
+	}
+	nd := int(slot>>1) - 1
+	base := (2 | slot&1) << uint(nd)
+	var rest uint32
+	if slot < 14 {
+		rest = m.spec[slot-4].DecodeReverse(d)
+	} else {
+		rest = d.DecodeDirect(nd-alignBits) << alignBits
+		rest |= m.align.DecodeReverse(d)
+	}
+	return int(base+rest) + 1
+}
+
+// DefaultDepth is the default match-finder chain depth. Archival encoding
+// happens once and is read decades later; the default therefore leans
+// toward ratio over encode speed.
+const DefaultDepth = 256
+
+// Compress returns the DBC1 archive for src.
+func Compress(src []byte) []byte {
+	return CompressDepth(src, DefaultDepth)
+}
+
+// CompressDepth compresses with an explicit match-finder chain depth
+// (higher = better ratio, slower).
+func CompressDepth(src []byte, depth int) []byte {
+	hdr := make([]byte, HeaderSize)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(src)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(src))
+
+	e := rangecoder.NewEncoder()
+	m := newModel()
+	f := lz77.NewFinder(src, depth)
+
+	lastDist := 0
+	prevWasMatch := 0
+	i := 0
+	for i < len(src) {
+		match := f.Find(i)
+		repLen := 0
+		if lastDist > 0 {
+			repLen = f.ExtendAt(i, lastDist)
+		}
+
+		f.Insert(i)
+
+		// Lazy step: if the position after this one holds a strictly longer
+		// match, emit a literal here instead.
+		if match.Length >= lz77.MinMatch && i+1 < len(src) {
+			if next := f.Find(i + 1); next.Length > match.Length {
+				m.emitLiteral(e, src, i, prevWasMatch)
+				prevWasMatch = 0
+				i++
+				continue
+			}
+		}
+
+		if match.Length >= lz77.MinMatch || repLen >= minRepLen {
+			var wasMatch bool
+			i, wasMatch = m.emitToken(e, f, src, i, match, repLen, &lastDist, prevWasMatch)
+			prevWasMatch = 0
+			if wasMatch {
+				prevWasMatch = 1
+			}
+			continue
+		}
+		m.emitLiteral(e, src, i, prevWasMatch)
+		prevWasMatch = 0
+		i++
+	}
+	return append(hdr, e.Finish()...)
+}
+
+func (m *model) emitLiteral(e *rangecoder.Encoder, src []byte, i, prevWasMatch int) {
+	e.EncodeBit(&m.isMatch[prevWasMatch], 0)
+	ctx := 0
+	if i > 0 {
+		ctx = int(src[i-1] >> 5)
+	}
+	m.lit[ctx].Encode(e, uint32(src[i]))
+}
+
+// emitToken writes the better of {rep0 match, normal match} (or a literal if
+// neither is economical), inserting skipped positions. It returns the new
+// position and whether a match token (vs a literal) was emitted. Position i
+// must already be inserted into the chains.
+func (m *model) emitToken(e *rangecoder.Encoder, f *lz77.Finder, src []byte, i int, match lz77.Match, repLen int, lastDist *int, prevCtx int) (int, bool) {
+	useRep := false
+	switch {
+	case repLen >= minRepLen && match.Length < lz77.MinMatch:
+		useRep = true
+	case repLen >= minRepLen && repLen+1 >= match.Length:
+		// The rep costs no distance bits; prefer it unless the normal
+		// match is at least two bytes longer.
+		useRep = true
+	}
+
+	// Economy heuristic: very short matches at long distances cost more
+	// than the literals they replace.
+	if !useRep && (match.Length < lz77.MinMatch ||
+		(match.Length == 3 && match.Distance > 1<<12)) {
+		m.emitLiteral(e, src, i, prevCtx)
+		return i + 1, false
+	}
+
+	var length int
+	e.EncodeBit(&m.isMatch[prevCtx], 1)
+	if useRep {
+		e.EncodeBit(&m.isRep, 1)
+		length = repLen
+		m.repLenC.encode(e, length)
+	} else {
+		e.EncodeBit(&m.isRep, 0)
+		length = match.Length
+		m.lenC.encode(e, length)
+		m.encodeDistance(e, match.Distance, length)
+		*lastDist = match.Distance
+	}
+	for j := 1; j < length; j++ {
+		f.Insert(i + j)
+	}
+	return i + length, true
+}
+
+// Decompress decodes a DBC1 archive produced by Compress.
+func Decompress(blob []byte) ([]byte, error) {
+	if len(blob) < HeaderSize || string(blob[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	rawLen := int(binary.LittleEndian.Uint32(blob[4:]))
+	wantCRC := binary.LittleEndian.Uint32(blob[8:])
+	if rawLen == 0 {
+		if wantCRC != 0 {
+			return nil, ErrCRC
+		}
+		return []byte{}, nil
+	}
+
+	d, err := rangecoder.NewDecoder(blob[HeaderSize:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	m := newModel()
+	out := make([]byte, 0, rawLen)
+	lastDist := 0
+	prevWasMatch := 0
+
+	for len(out) < rawLen {
+		if d.DecodeBit(&m.isMatch[prevWasMatch]) == 0 {
+			ctx := 0
+			if len(out) > 0 {
+				ctx = int(out[len(out)-1] >> 5)
+			}
+			out = append(out, byte(m.lit[ctx].Decode(d)))
+			prevWasMatch = 0
+			continue
+		}
+		prevWasMatch = 1
+		var dist, length int
+		if d.DecodeBit(&m.isRep) == 1 {
+			if lastDist == 0 {
+				return nil, fmt.Errorf("%w: rep before any match", ErrCorrupt)
+			}
+			dist = lastDist
+			length = m.repLenC.decode(d)
+		} else {
+			length = m.lenC.decode(d)
+			dist = m.decodeDistance(d, length)
+			lastDist = dist
+		}
+		if dist > len(out) {
+			return nil, fmt.Errorf("%w: distance %d beyond output %d", ErrCorrupt, dist, len(out))
+		}
+		if len(out)+length > rawLen {
+			return nil, fmt.Errorf("%w: output overrun", ErrCorrupt)
+		}
+		for j := 0; j < length; j++ {
+			out = append(out, out[len(out)-dist])
+		}
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.Err())
+	}
+	if crc32.ChecksumIEEE(out) != wantCRC {
+		return nil, ErrCRC
+	}
+	return out, nil
+}
+
+// RawLen reports the decompressed size recorded in the archive header.
+func RawLen(blob []byte) (int, error) {
+	if len(blob) < HeaderSize || string(blob[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	return int(binary.LittleEndian.Uint32(blob[4:])), nil
+}

@@ -1,0 +1,214 @@
+package dbcoder
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	blob := Compress(src)
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes raw): %v", len(src), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: raw %d bytes", len(src))
+	}
+	return blob
+}
+
+func TestRoundTripEmpty(t *testing.T)  { roundTrip(t, []byte{}) }
+func TestRoundTripSingle(t *testing.T) { roundTrip(t, []byte{42}) }
+
+func TestRoundTripText(t *testing.T) {
+	src := []byte(strings.Repeat("INSERT INTO lineitem VALUES (1, 155190, 7706, 1, 17, 21168.23);\n", 500))
+	blob := roundTrip(t, src)
+	if len(blob) > len(src)/20 {
+		t.Fatalf("repetitive SQL compressed to %d/%d, want ≥20x", len(blob), len(src))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 100000)
+	rng.Read(src)
+	blob := roundTrip(t, src)
+	// Incompressible data must not blow up more than ~1 %.
+	if len(blob) > len(src)+len(src)/64+HeaderSize {
+		t.Fatalf("random data expanded to %d/%d", len(blob), len(src))
+	}
+}
+
+func TestRoundTripStructured(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 2000; i++ {
+		b.WriteString("row ")
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(" | some column text | ")
+		if i%7 == 0 {
+			b.WriteString("a longer varying tail segment with digits 0123456789")
+		}
+		b.WriteByte('\n')
+	}
+	roundTrip(t, b.Bytes())
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	src := make([]byte, 256*4)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripLongRuns(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{0}, 70000))
+	roundTrip(t, bytes.Repeat([]byte("ab"), 35000))
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, runs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src []byte
+		// Mix of random bytes and repeated runs to exercise match paths.
+		for len(src) < int(n) {
+			if rng.Intn(2) == 0 {
+				chunk := make([]byte, rng.Intn(50)+1)
+				rng.Read(chunk)
+				src = append(src, chunk...)
+			} else {
+				b := byte(rng.Intn(4))
+				src = append(src, bytes.Repeat([]byte{b}, rng.Intn(int(runs)+2)+1)...)
+			}
+		}
+		got, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthImprovesOrEqualRatio(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog; ", 400))
+	shallow := CompressDepth(src, 4)
+	deep := CompressDepth(src, 256)
+	if len(deep) > len(shallow)+16 {
+		t.Fatalf("deeper search much worse: %d vs %d", len(deep), len(shallow))
+	}
+	for _, blob := range [][]byte{shallow, deep} {
+		got, err := Decompress(blob)
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatal("depth variant failed round trip")
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Decompress([]byte("NOPE00000000")); !errors.Is(err, ErrBadMagic) {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decompress(nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	src := []byte(strings.Repeat("hello world ", 1000))
+	blob := Compress(src)
+	rng := rand.New(rand.NewSource(3))
+	detected, harmless := 0, 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		bad := append([]byte(nil), blob...)
+		p := HeaderSize + rng.Intn(len(bad)-HeaderSize)
+		bad[p] ^= 1 << uint(rng.Intn(8))
+		got, err := Decompress(bad)
+		switch {
+		case err != nil:
+			detected++
+		case bytes.Equal(got, src):
+			// Flips in the range coder's flush tail can be unreachable by
+			// the decoder; they are harmless, not silent corruption.
+			harmless++
+		default:
+			t.Fatalf("flip at %d produced wrong data without error", p)
+		}
+	}
+	if detected < trials*8/10 {
+		t.Fatalf("only %d/%d corruptions detected (%d harmless)", detected, trials, harmless)
+	}
+}
+
+func TestCorruptLengthDetected(t *testing.T) {
+	blob := Compress([]byte("some data here"))
+	blob[4] = 0xFF // inflate rawLen
+	if _, err := Decompress(blob); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+func TestRawLen(t *testing.T) {
+	src := make([]byte, 12345)
+	n, err := RawLen(Compress(src))
+	if err != nil || n != 12345 {
+		t.Fatalf("RawLen = %d, %v", n, err)
+	}
+	if _, err := RawLen([]byte("xx")); err == nil {
+		t.Fatal("RawLen on junk")
+	}
+}
+
+// TestVsFlate is a smoke check of the paper's "close to LZMA" claim at the
+// unit level: on repetitive SQL-ish text DBC1 should beat stdlib flate-9.
+// The full E6 experiment lives in the root bench harness.
+func TestVsFlate(t *testing.T) {
+	var b bytes.Buffer
+	rng := rand.New(rand.NewSource(9))
+	names := []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA"}
+	for i := 0; i < 5000; i++ {
+		b.WriteString(names[rng.Intn(len(names))])
+		b.WriteString("\t")
+		b.WriteString(names[rng.Intn(len(names))])
+		b.WriteString("\t19940217\t4242.42\n")
+	}
+	src := b.Bytes()
+
+	var fl bytes.Buffer
+	w, _ := flate.NewWriter(&fl, flate.BestCompression)
+	w.Write(src)
+	w.Close()
+
+	ours := Compress(src)
+	if len(ours) > fl.Len()*11/10 {
+		t.Fatalf("DBC1 %d bytes vs flate %d bytes — more than 10%% worse", len(ours), fl.Len())
+	}
+	t.Logf("raw=%d flate9=%d dbc1=%d", len(src), fl.Len(), len(ours))
+}
+
+func BenchmarkCompressText(b *testing.B) {
+	src := []byte(strings.Repeat("INSERT INTO orders VALUES (7, 39136, 'O', 252004.18, '1996-01-10');\n", 2000))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompressText(b *testing.B) {
+	src := []byte(strings.Repeat("INSERT INTO orders VALUES (7, 39136, 'O', 252004.18, '1996-01-10');\n", 2000))
+	blob := Compress(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

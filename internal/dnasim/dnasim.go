@@ -1,0 +1,513 @@
+// Package dnasim is the synthetic-DNA archival substrate of the paper's
+// final future-work item (§5): "extending Micr'Olonys to be used in
+// conjunction with a DNA-based database archive [OligoArchive]".
+//
+// It plays MOCoder's role for a non-visual medium, demonstrating the ULE
+// claim that media-specific layouts are swappable below the DBCoder
+// stream: the same compressed bit stream that becomes emblems on film
+// becomes oligonucleotides here.
+//
+// # Layout
+//
+// The payload is cut into fixed-size oligo payloads. Each oligo carries
+// a 3-byte index, a 1-byte header CRC, and payloadPerOligo data bytes,
+// mapped to bases with a Goldman-style rotating ternary code: every
+// pair of bytes becomes 11 trits, and each trit selects one of the
+// three bases different from the previous base — which structurally
+// forbids homopolymer runs (the synthesis/sequencing error hot spot).
+//
+// Whole-oligo loss (synthesis dropout, sequencing depth variance) is the
+// dominant DNA failure mode, so protection is column-wise Reed-Solomon
+// across oligos: every group of 223 data oligos gains 32 parity oligos,
+// and missing indexes are recovered as erasures — the same inner code
+// family the emblems use, rotated 90 degrees to match the medium's
+// failure geometry.
+//
+// # Channel model
+//
+// Sequencing is simulated as coverage-many noisy reads per oligo
+// (Poisson-distributed), each with independent base substitutions.
+// Reads are decoded individually, grouped by decoded index, and
+// consensus-voted per byte; surviving CRC failures are discarded and
+// the RS layer absorbs what remains. Insertions/deletions are not
+// modelled: indel-tolerant consensus requires sequence alignment, which
+// is out of scope here as large-scale DNA experiments are in the paper.
+package dnasim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"microlonys/internal/rs"
+)
+
+// Bases of the nucleotide alphabet.
+const bases = "ACGT"
+
+// Layout constants.
+const (
+	// PayloadPerOligo is the data bytes carried by one oligo.
+	PayloadPerOligo = 30
+	// headerBytes is the per-oligo header: 24-bit index + CRC-8.
+	headerBytes = 4
+	// oligoBytes is the total coded bytes per oligo.
+	oligoBytes = headerBytes + PayloadPerOligo
+	// GroupData and GroupParity define the column-wise RS code across
+	// oligos (the same inner-code family MOCoder uses).
+	GroupData   = rs.InnerData
+	GroupParity = rs.InnerParity
+)
+
+// tritsPerPair is the rotating-code cost of two bytes (3^11 > 2^16).
+const tritsPerPair = 11
+
+// OligoLen returns the length in nucleotides of every oligo.
+func OligoLen() int {
+	pairs := (oligoBytes + 1) / 2
+	return pairs * tritsPerPair
+}
+
+// Errors.
+var (
+	ErrTooManyDropouts = errors.New("dnasim: more oligo dropouts than parity can restore")
+	ErrNoReads         = errors.New("dnasim: no decodable reads")
+	ErrCorrupt         = errors.New("dnasim: archive corrupt beyond correction")
+)
+
+// Oligo is a synthesised DNA strand.
+type Oligo string
+
+// Encode converts a payload into oligos: data oligos in index order
+// followed by the per-group parity oligos.
+func Encode(payload []byte) []Oligo {
+	// Cut into per-oligo payloads (the last one zero-padded; the true
+	// length travels in the first oligo's prefix).
+	withLen := make([]byte, 4+len(payload))
+	withLen[0] = byte(len(payload) >> 24)
+	withLen[1] = byte(len(payload) >> 16)
+	withLen[2] = byte(len(payload) >> 8)
+	withLen[3] = byte(len(payload))
+	copy(withLen[4:], payload)
+
+	var chunks [][]byte
+	for off := 0; off < len(withLen); off += PayloadPerOligo {
+		end := off + PayloadPerOligo
+		if end > len(withLen) {
+			end = len(withLen)
+		}
+		c := make([]byte, PayloadPerOligo)
+		copy(c, withLen[off:end])
+		chunks = append(chunks, c)
+	}
+
+	// Column-wise RS parity per group of GroupData oligos.
+	code := rs.New(GroupParity)
+	var all [][]byte
+	for g := 0; g < len(chunks); g += GroupData {
+		end := g + GroupData
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		group := chunks[g:end]
+		all = append(all, group...)
+		parity := make([][]byte, GroupParity)
+		for i := range parity {
+			parity[i] = make([]byte, PayloadPerOligo)
+		}
+		col := make([]byte, len(group))
+		for j := 0; j < PayloadPerOligo; j++ {
+			for i, c := range group {
+				col[i] = c[j]
+			}
+			for i, p := range code.Encode(col[:len(group)]) {
+				parity[i][j] = p
+			}
+		}
+		all = append(all, parity...)
+	}
+
+	oligos := make([]Oligo, len(all))
+	for i, c := range all {
+		oligos[i] = encodeOligo(uint32(i), c)
+	}
+	return oligos
+}
+
+// encodeOligo frames and maps one oligo payload to bases.
+func encodeOligo(index uint32, payload []byte) Oligo {
+	buf := make([]byte, 0, oligoBytes)
+	buf = append(buf, byte(index>>16), byte(index>>8), byte(index))
+	buf = append(buf, crc8(buf))
+	buf = append(buf, payload...)
+	return Oligo(bytesToBases(buf))
+}
+
+// bytesToBases maps bytes to a homopolymer-free base sequence.
+func bytesToBases(p []byte) string {
+	out := make([]byte, 0, OligoLen())
+	prev := byte(0) // index into bases of the previous emitted base; start arbitrary
+	first := true
+	for i := 0; i < len(p); i += 2 {
+		v := uint32(p[i]) << 8
+		if i+1 < len(p) {
+			v |= uint32(p[i+1])
+		}
+		// 11 trits, most significant first.
+		var trits [tritsPerPair]byte
+		for t := tritsPerPair - 1; t >= 0; t-- {
+			trits[t] = byte(v % 3)
+			v /= 3
+		}
+		for _, tr := range trits {
+			var b byte
+			if first {
+				b = tr // any of the first three bases
+				first = false
+			} else {
+				// Pick among the three bases ≠ previous.
+				b = nextBase(prev, tr)
+			}
+			out = append(out, bases[b])
+			prev = b
+		}
+	}
+	return string(out)
+}
+
+// nextBase returns the trit-th base of {0..3} \ {prev}.
+func nextBase(prev, trit byte) byte {
+	b := trit
+	if b >= prev {
+		b++
+	}
+	return b
+}
+
+// prevTrit inverts nextBase.
+func prevTrit(prev, b byte) byte {
+	if b > prev {
+		return b - 1
+	}
+	return b
+}
+
+// basesToBytes inverts bytesToBases; n is the byte length to recover.
+func basesToBytes(s string, n int) ([]byte, error) {
+	idx := func(c byte) (byte, bool) {
+		switch c {
+		case 'A':
+			return 0, true
+		case 'C':
+			return 1, true
+		case 'G':
+			return 2, true
+		case 'T':
+			return 3, true
+		}
+		return 0, false
+	}
+	out := make([]byte, 0, n)
+	pos := 0
+	prev := byte(0)
+	first := true
+	for len(out) < n {
+		var v uint32
+		for t := 0; t < tritsPerPair; t++ {
+			if pos >= len(s) {
+				return nil, fmt.Errorf("dnasim: read truncated at base %d", pos)
+			}
+			b, ok := idx(s[pos])
+			if !ok {
+				return nil, fmt.Errorf("dnasim: invalid base %q", s[pos])
+			}
+			var tr byte
+			if first {
+				tr = b
+				first = false
+			} else {
+				if b == prev {
+					return nil, fmt.Errorf("dnasim: homopolymer at base %d", pos)
+				}
+				tr = prevTrit(prev, b)
+			}
+			prev = b
+			pos++
+			v = v*3 + uint32(tr)
+		}
+		out = append(out, byte(v>>8))
+		if len(out) < n {
+			out = append(out, byte(v))
+		}
+	}
+	return out, nil
+}
+
+// crc8 is a CRC-8/ATM checksum for the oligo header.
+func crc8(p []byte) byte {
+	crc := byte(0)
+	for _, b := range p {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Channel models the synthesis/sequencing pipeline.
+type Channel struct {
+	Coverage float64 // mean reads per oligo (Poisson)
+	SubRate  float64 // per-base substitution probability
+	DropRate float64 // whole-oligo synthesis dropout probability
+	Seed     int64
+}
+
+// Sequence produces the noisy read set for a pool of oligos.
+func (c Channel) Sequence(oligos []Oligo) []string {
+	rng := rand.New(rand.NewSource(c.Seed))
+	var reads []string
+	for _, o := range oligos {
+		if c.DropRate > 0 && rng.Float64() < c.DropRate {
+			continue
+		}
+		n := poisson(rng, c.Coverage)
+		for k := 0; k < n; k++ {
+			reads = append(reads, substitute(rng, string(o), c.SubRate))
+		}
+	}
+	// Sequencers return reads in no particular order.
+	rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+	return reads
+}
+
+// poisson draws from Poisson(mean) with Knuth's method; sequencing
+// coverage means are small.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	l := 1.0
+	for k := 0; ; k++ {
+		l *= rng.Float64()
+		if l < limit {
+			return k
+		}
+	}
+}
+
+func substitute(rng *rand.Rand, s string, rate float64) string {
+	if rate <= 0 {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if rng.Float64() < rate {
+			b[i] = bases[rng.Intn(4)]
+		}
+	}
+	return string(b)
+}
+
+// Stats reports decoder effort.
+type Stats struct {
+	Reads          int
+	ReadsBadCRC    int
+	OligosSeen     int
+	OligosDropped  int
+	BytesCorrected int
+}
+
+// Decode reconstructs the payload from a read pool.
+func Decode(reads []string) ([]byte, *Stats, error) {
+	st := &Stats{Reads: len(reads)}
+
+	// Per-read decode, grouped by claimed index.
+	byIndex := map[uint32][][]byte{}
+	for _, r := range reads {
+		buf, err := basesToBytes(r, oligoBytes)
+		if err != nil {
+			st.ReadsBadCRC++
+			continue
+		}
+		if crc8(buf[:3]) != buf[3] {
+			st.ReadsBadCRC++
+			continue
+		}
+		idx := uint32(buf[0])<<16 | uint32(buf[1])<<8 | uint32(buf[2])
+		// A CRC-8 false positive on a mangled header could claim an
+		// absurd index and balloon the oligo table; cap the address
+		// space (2^22 oligos ≈ 120 MB of payload, far above any pool
+		// this simulator produces).
+		if idx >= 1<<22 {
+			st.ReadsBadCRC++
+			continue
+		}
+		byIndex[idx] = append(byIndex[idx], buf[headerBytes:])
+	}
+	if len(byIndex) == 0 {
+		return nil, st, ErrNoReads
+	}
+
+	// Consensus per oligo: byte-wise plurality across copies.
+	maxIdx := uint32(0)
+	for idx := range byIndex {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	oligos := make([][]byte, maxIdx+1)
+	for idx, copies := range byIndex {
+		oligos[idx] = consensus(copies)
+		st.OligosSeen++
+	}
+
+	// Groups are GroupData+GroupParity oligos; erasure-decode columns.
+	code := rs.New(GroupParity)
+	stride := GroupData + GroupParity
+	var data []byte
+	for g := 0; g < len(oligos); g += stride {
+		end := g + stride
+		if end > len(oligos) {
+			end = len(oligos)
+		}
+		group := oligos[g:end]
+		nData := len(group) - GroupParity
+		if nData <= 0 {
+			return nil, st, fmt.Errorf("%w: group %d truncated to %d oligos", ErrCorrupt, g/stride, len(group))
+		}
+		var erasures []int
+		for i, o := range group {
+			if o == nil {
+				erasures = append(erasures, i)
+			}
+		}
+		st.OligosDropped += len(erasures)
+		recovered := make([][]byte, len(group))
+		for i := range recovered {
+			if group[i] != nil {
+				recovered[i] = group[i]
+				continue
+			}
+			recovered[i] = make([]byte, PayloadPerOligo)
+		}
+		// Correction always runs: beyond the erasures, substitutions
+		// that survived read consensus appear as errors in the columns.
+		cw := make([]byte, len(group))
+		for j := 0; j < PayloadPerOligo; j++ {
+			for i := range recovered {
+				cw[i] = recovered[i][j]
+			}
+			n, err := code.Decode(cw, erasures)
+			if err != nil {
+				return nil, st, fmt.Errorf("%w: group %d column %d: %v", ErrCorrupt, g/stride, j, err)
+			}
+			st.BytesCorrected += n
+			for i := range recovered {
+				recovered[i][j] = cw[i]
+			}
+		}
+		for i := 0; i < nData; i++ {
+			data = append(data, recovered[i]...)
+		}
+	}
+
+	if len(data) < 4 {
+		return nil, st, ErrCorrupt
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || n > len(data)-4 {
+		return nil, st, fmt.Errorf("%w: impossible payload length %d", ErrCorrupt, n)
+	}
+	return data[4 : 4+n], st, nil
+}
+
+// consensus votes byte-wise across copies.
+func consensus(copies [][]byte) []byte {
+	if len(copies) == 1 {
+		return copies[0]
+	}
+	out := make([]byte, PayloadPerOligo)
+	counts := map[byte]int{}
+	for j := 0; j < PayloadPerOligo; j++ {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, c := range copies {
+			counts[c[j]]++
+		}
+		best, bestN := byte(0), -1
+		keys := make([]int, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys) // deterministic tie-break
+		for _, k := range keys {
+			if counts[byte(k)] > bestN {
+				best, bestN = byte(k), counts[byte(k)]
+			}
+		}
+		out[j] = best
+	}
+	return out
+}
+
+// Density reports the net information density in bits per nucleotide —
+// the figure of merit behind the paper's "1 EB per mm³".
+func Density(payloadBytes int) float64 {
+	oligos := Encode(make([]byte, payloadBytes))
+	nt := 0
+	for _, o := range oligos {
+		nt += len(o)
+	}
+	return float64(payloadBytes*8) / float64(nt)
+}
+
+// GCContent returns the fraction of G/C bases in an oligo pool —
+// synthesis chemistry wants this near 0.5.
+func GCContent(oligos []Oligo) float64 {
+	gc, total := 0, 0
+	for _, o := range oligos {
+		for i := 0; i < len(o); i++ {
+			if o[i] == 'G' || o[i] == 'C' {
+				gc++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(gc) / float64(total)
+}
+
+// MaxHomopolymerLimit is the structural guarantee of the rotating code.
+const MaxHomopolymerLimit = 1
+
+// MaxHomopolymer returns the longest single-base run in the pool.
+func MaxHomopolymer(oligos []Oligo) int {
+	max := 0
+	for _, o := range oligos {
+		run := 0
+		var prev byte
+		for i := 0; i < len(o); i++ {
+			if i > 0 && o[i] == prev {
+				run++
+			} else {
+				run = 1
+			}
+			if run > max {
+				max = run
+			}
+			prev = o[i]
+		}
+	}
+	return max
+}

@@ -1,0 +1,205 @@
+package dnasim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func payload(n int, seed int64) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestTritMappingRoundTripProperty(t *testing.T) {
+	f := func(p []byte) bool {
+		if len(p) == 0 {
+			return true
+		}
+		s := bytesToBases(p)
+		got, err := basesToBytes(s, len(p))
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoHomopolymers(t *testing.T) {
+	// The rotating code structurally forbids repeated bases — the
+	// synthesis constraint the Goldman encoding exists for.
+	oligos := Encode(payload(4096, 1))
+	if got := MaxHomopolymer(oligos); got > MaxHomopolymerLimit {
+		t.Fatalf("homopolymer run of %d", got)
+	}
+}
+
+func TestGCContentBalanced(t *testing.T) {
+	gc := GCContent(Encode(payload(8192, 2)))
+	if gc < 0.40 || gc > 0.60 {
+		t.Fatalf("GC content %.3f outside [0.40, 0.60]", gc)
+	}
+}
+
+func TestOligoLengthUniform(t *testing.T) {
+	oligos := Encode(payload(1000, 3))
+	want := OligoLen()
+	for i, o := range oligos {
+		if len(o) != want {
+			t.Fatalf("oligo %d has %d nt, want %d", i, len(o), want)
+		}
+	}
+	// 187 nt at these parameters — inside the synthesis sweet spot the
+	// DNA storage literature uses (~150-250 nt).
+	if want < 150 || want > 250 {
+		t.Fatalf("oligo length %d outside the synthesisable band", want)
+	}
+}
+
+func TestRoundTripNoiseless(t *testing.T) {
+	for _, n := range []int{1, 26, 30, 31, 1000, 8192} {
+		data := payload(n, int64(n))
+		reads := Channel{Coverage: 1, SubRate: 0, Seed: 9}.sequenceAll(Encode(data))
+		got, st, err := Decode(reads)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+		if st.OligosDropped != 0 {
+			t.Fatalf("n=%d: phantom dropouts %d", n, st.OligosDropped)
+		}
+	}
+}
+
+// sequenceAll is a deterministic channel with exactly one clean read per
+// oligo (Coverage/SubRate ignored).
+func (c Channel) sequenceAll(oligos []Oligo) []string {
+	reads := make([]string, len(oligos))
+	for i, o := range oligos {
+		reads[i] = string(o)
+	}
+	return reads
+}
+
+func TestRoundTripSubstitutions(t *testing.T) {
+	// 1 % per-base substitutions at 8× coverage: consensus plus the
+	// column code must restore everything.
+	data := payload(6000, 4)
+	ch := Channel{Coverage: 8, SubRate: 0.01, Seed: 5}
+	got, st, err := Decode(ch.Sequence(Encode(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch under substitutions")
+	}
+	t.Logf("reads=%d badCRC=%d corrected=%d", st.Reads, st.ReadsBadCRC, st.BytesCorrected)
+}
+
+func TestRoundTripDropouts(t *testing.T) {
+	// Whole-oligo loss is the dominant DNA failure mode; the column code
+	// restores up to GroupParity erasures per group.
+	data := payload(6000, 6)
+	oligos := Encode(data)
+	rng := rand.New(rand.NewSource(7))
+	var kept []Oligo
+	dropped := 0
+	for _, o := range oligos {
+		if dropped < 20 && rng.Float64() < 0.08 {
+			dropped++
+			continue
+		}
+		kept = append(kept, o)
+	}
+	reads := Channel{}.sequenceAll(kept)
+	got, st, err := Decode(reads)
+	if err != nil {
+		t.Fatalf("dropped=%d: %v", dropped, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch after dropouts")
+	}
+	if st.OligosDropped != dropped {
+		t.Fatalf("stats dropped %d, want %d", st.OligosDropped, dropped)
+	}
+}
+
+func TestFailsBeyondParity(t *testing.T) {
+	// Losing more than GroupParity oligos of one group must fail loudly.
+	data := payload(GroupData*PayloadPerOligo, 8) // one full group
+	oligos := Encode(data)
+	reads := Channel{}.sequenceAll(oligos[GroupParity+1:]) // drop 33 from the front
+	if _, _, err := Decode(reads); err == nil {
+		t.Fatal("decode succeeded beyond parity budget")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty read set accepted")
+	}
+	if _, _, err := Decode([]string{"ACGTACGT", "NNNN", strings.Repeat("A", OligoLen())}); err == nil {
+		t.Fatal("garbage reads accepted")
+	}
+}
+
+func TestChannelDeterministic(t *testing.T) {
+	oligos := Encode(payload(500, 10))
+	ch := Channel{Coverage: 5, SubRate: 0.02, DropRate: 0.05, Seed: 77}
+	a := ch.Sequence(oligos)
+	b := ch.Sequence(oligos)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic read count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic reads")
+		}
+	}
+}
+
+func TestEndToEndChannel(t *testing.T) {
+	// The §5 integration: DBCoder-style bit stream → oligos → noisy
+	// sequencing (substitutions + dropout) → bit-exact payload.
+	data := payload(12000, 11)
+	ch := Channel{Coverage: 10, SubRate: 0.005, DropRate: 0.02, Seed: 13}
+	got, st, err := Decode(ch.Sequence(Encode(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("end-to-end channel mismatch")
+	}
+	t.Logf("oligos seen=%d dropped=%d corrected=%d", st.OligosSeen, st.OligosDropped, st.BytesCorrected)
+}
+
+func TestDensity(t *testing.T) {
+	d := Density(100 * 1024)
+	// Rotating ternary code: log2(3)/2 ≈ 0.79 bits/nt per trit pair
+	// budget; with header, length and parity overhead the net figure
+	// must land near 1.2-1.35 bits/nt.
+	if d < 1.0 || d > 1.6 {
+		t.Fatalf("density %.3f bits/nt outside plausible band", d)
+	}
+}
+
+func TestConsensusMajority(t *testing.T) {
+	a := bytes.Repeat([]byte{1}, PayloadPerOligo)
+	b := bytes.Repeat([]byte{2}, PayloadPerOligo)
+	got := consensus([][]byte{a, b, a})
+	if !bytes.Equal(got, a) {
+		t.Fatal("majority lost")
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8/ATM of "123456789" is 0xF4.
+	if got := crc8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("crc8 check value %#x, want 0xF4", got)
+	}
+}

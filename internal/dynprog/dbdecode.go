@@ -1,0 +1,705 @@
+package dynprog
+
+import (
+	"sync"
+
+	"microlonys/dynarisc"
+)
+
+// Named variable addresses for the DBDecode program (word addresses).
+// The probability arrays below mirror internal/dbcoder's model exactly;
+// any change there is a format change here.
+var dbVars = map[string]int{
+	"RHI": 0x3F00, "RLO": 0x3F01, "CHI": 0x3F02, "CLO": 0x3F03,
+	"RAWLO": 0x3F04, "RAWHI": 0x3F05,
+	"POSLO": 0x3F06, "POSHI": 0x3F07,
+	"PREV": 0x3F08, "PWM": 0x3F09,
+	"LDLO": 0x3F0A, "LDHI": 0x3F0B,
+	"LENV": 0x3F0C, "DSTLO": 0x3F0D, "DSTHI": 0x3F0E,
+	"SV1": 0x3F10, "SV2": 0x3F11, "SV3": 0x3F12, "SV4": 0x3F13, "SV5": 0x3F14,
+	"TMPA": 0x3F15, "TMPB": 0x3F16, "TMPC": 0x3F17, "TMPD": 0x3F18,
+	"TMPE": 0x3F19, "TMPF": 0x3F1A, "TMPG": 0x3F1B, "TMPH": 0x3F1C,
+	"TMPI": 0x3F1D, "TMPJ": 0x3F1E, "TMPK": 0x3F1F,
+	"BTN": 0x3F20, "BTBASE": 0x3F21, "DIRN": 0x3F22, "TMPL": 0x3F23,
+}
+
+// Probability table layout (sizes match internal/dbcoder's model).
+const (
+	dbProbs   = 0x4000
+	dbIsMatch = dbProbs         // 2
+	dbIsRep   = dbProbs + 2     // 1
+	dbLit     = dbProbs + 3     // 8 × 256
+	dbLenC    = dbLit + 8*256   // 274: choice, choice2, low[8], mid[8], high[256]
+	dbRepLenC = dbLenC + 274    // 274
+	dbSlot    = dbRepLenC + 274 // 4 × 64
+	dbSpec    = dbSlot + 4*64   // 124 (slots 4..13)
+	dbAlign   = dbSpec + 124    // 16
+	dbProbEnd = dbAlign + 16
+
+	// DBOutBuf is where the decoded stream accumulates (also the LZ
+	// window). Decoded data is limited by guest memory above this point.
+	DBOutBuf = 0x10000
+)
+
+// specOffsets are the starts of each slot's reverse tree inside dbSpec.
+var specOffsets = [10]int{0, 2, 4, 8, 12, 20, 28, 44, 60, 92}
+
+// buildDBDecodeSource emits the DBDecode assembly.
+func buildDBDecodeSource() string {
+	a := &asm{}
+	a.l("; DBDecode — DBC1 archive decoder (LZ77 + adaptive binary range coder)")
+	a.l("; Input:  DBC1 blob, one byte per input word.")
+	a.l("; Output: decompressed bytes, one per output word.")
+	// Emit .equ in a stable order.
+	for _, kv := range []struct {
+		n string
+		v int
+	}{
+		{"ISMATCH", dbIsMatch}, {"ISREP", dbIsRep}, {"LIT", dbLit},
+		{"LENC", dbLenC}, {"REPLENC", dbRepLenC}, {"SLOTP", dbSlot},
+		{"SPECP", dbSpec}, {"ALIGNP", dbAlign}, {"PROBEND", dbProbEnd},
+	} {
+		a.equ(kv.n, kv.v)
+	}
+	for _, n := range []string{
+		"RHI", "RLO", "CHI", "CLO", "RAWLO", "RAWHI", "POSLO", "POSHI",
+		"PREV", "PWM", "LDLO", "LDHI", "LENV", "DSTLO", "DSTHI",
+		"SV1", "SV2", "SV3", "SV4", "SV5",
+		"TMPA", "TMPB", "TMPC", "TMPD", "TMPE", "TMPF", "TMPG", "TMPH",
+		"TMPI", "TMPJ", "TMPK", "BTN", "BTBASE", "DIRN", "TMPL",
+	} {
+		a.equ(n, dbVars[n])
+	}
+
+	a.label("start")
+	a.l("\tLDI  R5, 1")
+	a.setPtrIO("D1", 0xFFF0) // D1 = IOIn, permanently
+
+	// Initialise every probability to 1024.
+	a.l("\tLDI  R0, %d", dbProbs)
+	a.l("\tMOVE D0, R0")
+	a.l("\tLDI  R1, 1024")
+	a.l("\tLDI  R2, PROBEND")
+	a.label("initp")
+	a.l("\tSTM  R1, [D0]")
+	a.l("\tADD  D0, R5")
+	a.l("\tMOVE R0, D0")
+	a.l("\tCMP  R0, R2")
+	a.l("\tJNZ  initp")
+
+	// Header: skip magic (4), read rawLen LE (4, top byte ignored),
+	// skip CRC (4).
+	for i := 0; i < 4; i++ {
+		a.l("\tLDM  R0, [D1]")
+	}
+	a.l("\tLDM  R0, [D1]") // b4 (lsb)
+	a.l("\tLDM  R1, [D1]") // b5
+	a.shiftImm("LSL", "R1", 8)
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "RAWLO")
+	a.l("\tLDM  R0, [D1]") // b6
+	a.stv("R0", "RAWHI")
+	a.l("\tLDM  R0, [D1]") // b7 (must be 0 for supported sizes)
+	for i := 0; i < 4; i++ {
+		a.l("\tLDM  R0, [D1]") // CRC; the host re-verifies
+	}
+
+	// Range coder init: one pad byte, then 4 code bytes big-endian.
+	a.l("\tLDM  R0, [D1]")
+	a.l("\tLDM  R0, [D1]")
+	a.l("\tLDM  R1, [D1]")
+	a.shiftImm("LSL", "R0", 8)
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "CHI")
+	a.l("\tLDM  R0, [D1]")
+	a.l("\tLDM  R1, [D1]")
+	a.shiftImm("LSL", "R0", 8)
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "CLO")
+	a.l("\tLDI  R0, 0xFFFF")
+	a.stv("R0", "RHI")
+	a.stv("R0", "RLO")
+
+	// pos = prev = pwm = lastDist = 0.
+	a.l("\tLDI  R0, 0")
+	for _, v := range []string{"POSLO", "POSHI", "PREV", "PWM", "LDLO", "LDHI"} {
+		a.stv("R0", v)
+	}
+
+	// D2 = output buffer pointer.
+	a.l("\tLDI  R0, 0")
+	a.l("\tMOVE D2, R0")
+	a.l("\tLDI  R0, %d", DBOutBuf>>16)
+	a.l("\tMOVH D2, R0")
+
+	// ---- main token loop -------------------------------------------
+	a.label("mainloop")
+	a.ldv("R0", "POSLO")
+	a.ldv("R1", "RAWLO")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNZ  cont")
+	a.ldv("R0", "POSHI")
+	a.ldv("R1", "RAWHI")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   alldone")
+	a.label("cont")
+
+	a.ldv("R0", "PWM")
+	a.l("\tLDI  R1, ISMATCH")
+	a.l("\tADD  R0, R1")
+	a.l("\tCALL decbit")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNZ  matchpath")
+
+	// Literal: bit-tree with context prev>>5.
+	a.ldv("R1", "PREV")
+	a.shiftImm("LSR", "R1", 5)
+	a.shiftImm("LSL", "R1", 8)
+	a.l("\tLDI  R0, LIT")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 8")
+	a.stv("R0", "BTN")
+	a.l("\tCALL bittree")
+	a.l("\tSTM  R0, [D2]")
+	a.l("\tADD  D2, R5")
+	a.stv("R0", "PREV")
+	a.ldv("R1", "POSLO")
+	a.l("\tADD  R1, R5")
+	a.stv("R1", "POSLO")
+	a.ldv("R2", "POSHI")
+	a.l("\tLDI  R3, 0")
+	a.l("\tADC  R2, R3")
+	a.stv("R2", "POSHI")
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "PWM")
+	a.l("\tJUMP mainloop")
+
+	// Match: rep or new distance.
+	a.label("matchpath")
+	a.l("\tLDI  R0, ISREP")
+	a.l("\tCALL decbit")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   newdist")
+
+	// rep0: distance = lastDist, length from REPLENC.
+	a.l("\tLDI  R0, REPLENC")
+	a.l("\tCALL declen")
+	a.stv("R0", "LENV")
+	a.ldv("R0", "LDLO")
+	a.stv("R0", "DSTLO")
+	a.ldv("R0", "LDHI")
+	a.stv("R0", "DSTHI")
+	a.l("\tJUMP docopy")
+
+	a.label("newdist")
+	a.l("\tLDI  R0, LENC")
+	a.l("\tCALL declen")
+	a.stv("R0", "LENV")
+	a.l("\tCALL decdist")
+	a.ldv("R0", "DSTLO")
+	a.stv("R0", "LDLO")
+	a.ldv("R0", "DSTHI")
+	a.stv("R0", "LDHI")
+
+	// Copy LENV bytes from (pos - dist) in the output buffer.
+	a.label("docopy")
+	a.ldv("R0", "POSLO")
+	a.ldv("R1", "DSTLO")
+	a.l("\tSUB  R0, R1")
+	a.stv("R0", "TMPJ")
+	a.ldv("R0", "POSHI")
+	a.ldv("R1", "DSTHI")
+	a.l("\tSBB  R0, R1")
+	a.l("\tLDI  R1, %d", DBOutBuf>>16)
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "TMPK")
+	a.ldv("R0", "TMPJ")
+	a.l("\tMOVE D0, R0")
+	a.ldv("R0", "TMPK")
+	a.l("\tMOVH D0, R0")
+	a.ldv("R3", "LENV")
+	a.label("copyloop")
+	a.l("\tLDM  R0, [D0]")
+	a.l("\tSTM  R0, [D2]")
+	a.l("\tADD  D0, R5")
+	a.l("\tADD  D2, R5")
+	a.l("\tSUB  R3, R5")
+	a.l("\tJNZ  copyloop")
+	a.stv("R0", "PREV")
+	a.ldv("R0", "POSLO")
+	a.ldv("R1", "LENV")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "POSLO")
+	a.ldv("R0", "POSHI")
+	a.l("\tLDI  R1, 0")
+	a.l("\tADC  R0, R1")
+	a.stv("R0", "POSHI")
+	a.l("\tLDI  R0, 1")
+	a.stv("R0", "PWM")
+	a.l("\tJUMP mainloop")
+
+	// Stream the buffer to the output port.
+	a.label("alldone")
+	a.ldv("R2", "RAWLO")
+	a.ldv("R3", "RAWHI")
+	a.l("\tLDI  R0, 0")
+	a.l("\tMOVE D0, R0")
+	a.l("\tLDI  R0, %d", DBOutBuf>>16)
+	a.l("\tMOVH D0, R0")
+	a.setPtrIO("D2", 0xFFF2) // D2 = IOOut (buffer pointer no longer needed)
+	a.label("outloop")
+	a.l("\tMOVE R0, R2")
+	a.l("\tOR   R0, R3")
+	a.l("\tJZ   finish")
+	a.l("\tLDM  R0, [D0]")
+	a.l("\tSTM  R0, [D2]")
+	a.l("\tADD  D0, R5")
+	a.l("\tSUB  R2, R5")
+	a.l("\tLDI  R1, 0")
+	a.l("\tSBB  R3, R1")
+	a.l("\tJUMP outloop")
+	a.label("finish")
+	a.l("\tHALT")
+
+	emitRangeDecoder(a)
+	emitTreeDecoders(a)
+	emitLenDist(a)
+	return a.String()
+}
+
+// emitRangeDecoder writes norm, decbit and direct.
+func emitRangeDecoder(a *asm) {
+	// norm: renormalise while range < 2^24 (leaf subroutine).
+	a.label("norm")
+	a.ldv("R0", "RHI")
+	a.l("\tLDI  R1, 0x0100")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNC  normdone")
+	a.ldv("R2", "RLO")
+	a.shiftImm("LSL", "R0", 8)
+	a.l("\tMOVE R3, R2")
+	a.shiftImm("LSR", "R3", 8)
+	a.l("\tOR   R0, R3")
+	a.stv("R0", "RHI")
+	a.shiftImm("LSL", "R2", 8)
+	a.stv("R2", "RLO")
+	a.ldv("R0", "CHI")
+	a.ldv("R2", "CLO")
+	a.shiftImm("LSL", "R0", 8)
+	a.l("\tMOVE R3, R2")
+	a.shiftImm("LSR", "R3", 8)
+	a.l("\tOR   R0, R3")
+	a.stv("R0", "CHI")
+	a.shiftImm("LSL", "R2", 8)
+	a.l("\tLDM  R3, [D1]")
+	a.l("\tOR   R2, R3")
+	a.stv("R2", "CLO")
+	a.l("\tJUMP norm")
+	a.label("normdone")
+	a.l("\tRET")
+
+	// decbit: probability address in R0 → bit in R0.
+	a.label("decbit")
+	a.stv("R6", "SV1")
+	a.l("\tMOVE D0, R0")
+	a.l("\tLDM  R1, [D0]") // p
+	// x = range >> 11 (xlo in R0, xhi in R2).
+	a.ldv("R0", "RLO")
+	a.shiftImm("LSR", "R0", 11)
+	a.ldv("R2", "RHI")
+	a.l("\tMOVE R3, R2")
+	a.shiftImm("LSL", "R3", 5)
+	a.l("\tOR   R0, R3")
+	a.shiftImm("LSR", "R2", 11)
+	// bound = x*p: BLO in R0, BHI in R3.
+	a.l("\tMUL  R0, R1")
+	a.l("\tMOVE R3, R7")
+	a.l("\tMUL  R2, R1")
+	a.l("\tADD  R3, R2")
+	// Compare code with bound.
+	a.ldv("R2", "CHI")
+	a.l("\tCMP  R2, R3")
+	a.l("\tJC   bit0")
+	a.l("\tJNZ  bit1")
+	a.ldv("R2", "CLO")
+	a.l("\tCMP  R2, R0")
+	a.l("\tJC   bit0")
+
+	a.label("bit1")
+	a.ldv("R2", "CLO")
+	a.l("\tSUB  R2, R0")
+	a.stv("R2", "CLO")
+	a.ldv("R2", "CHI")
+	a.l("\tSBB  R2, R3")
+	a.stv("R2", "CHI")
+	a.ldv("R2", "RLO")
+	a.l("\tSUB  R2, R0")
+	a.stv("R2", "RLO")
+	a.ldv("R2", "RHI")
+	a.l("\tSBB  R2, R3")
+	a.stv("R2", "RHI")
+	a.l("\tMOVE R2, R1")
+	a.shiftImm("LSR", "R2", 5)
+	a.l("\tSUB  R1, R2")
+	a.l("\tSTM  R1, [D0]")
+	a.l("\tLDI  R0, 1")
+	a.l("\tJUMP decbitfin")
+
+	a.label("bit0")
+	a.stv("R0", "RLO")
+	a.stv("R3", "RHI")
+	a.l("\tLDI  R2, 2048")
+	a.l("\tSUB  R2, R1")
+	a.shiftImm("LSR", "R2", 5)
+	a.l("\tADD  R1, R2")
+	a.l("\tSTM  R1, [D0]")
+	a.l("\tLDI  R0, 0")
+
+	a.label("decbitfin")
+	a.stv("R0", "TMPE")
+	a.l("\tCALL norm")
+	a.ldv("R0", "TMPE")
+	a.ldv("R6", "SV1")
+	a.l("\tRET")
+
+	// direct: DIRN model-free bits (MSB first) → R0.
+	a.label("direct")
+	a.stv("R6", "SV4")
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "TMPH")
+	a.label("dirloop")
+	a.ldv("R0", "DIRN")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   dirdone")
+	a.l("\tSUB  R0, R5")
+	a.stv("R0", "DIRN")
+	// range >>= 1 across the pair.
+	a.ldv("R0", "RHI")
+	a.l("\tMOVE R1, R0")
+	a.l("\tAND  R1, R5")
+	a.l("\tLSR  R0, R5")
+	a.stv("R0", "RHI")
+	a.ldv("R0", "RLO")
+	a.l("\tLSR  R0, R5")
+	a.shiftImm("LSL", "R1", 15)
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "RLO")
+	// bit = code >= range; if so code -= range.
+	a.ldv("R0", "CHI")
+	a.ldv("R1", "RHI")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJC   dirbit0")
+	a.l("\tJNZ  dirbit1")
+	a.ldv("R0", "CLO")
+	a.ldv("R1", "RLO")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJC   dirbit0")
+	a.label("dirbit1")
+	a.ldv("R0", "CLO")
+	a.ldv("R1", "RLO")
+	a.l("\tSUB  R0, R1")
+	a.stv("R0", "CLO")
+	a.ldv("R0", "CHI")
+	a.ldv("R1", "RHI")
+	a.l("\tSBB  R0, R1")
+	a.stv("R0", "CHI")
+	a.l("\tLDI  R3, 1")
+	a.l("\tJUMP diracc")
+	a.label("dirbit0")
+	a.l("\tLDI  R3, 0")
+	a.label("diracc")
+	a.ldv("R0", "TMPH")
+	a.l("\tADD  R0, R0")
+	a.l("\tOR   R0, R3")
+	a.stv("R0", "TMPH")
+	a.l("\tCALL norm")
+	a.l("\tJUMP dirloop")
+	a.label("dirdone")
+	a.ldv("R0", "TMPH")
+	a.ldv("R6", "SV4")
+	a.l("\tRET")
+}
+
+// emitTreeDecoders writes bittree (MSB-first) and revtree (LSB-first).
+func emitTreeDecoders(a *asm) {
+	// bittree: BTN bits from BTBASE → symbol in R0.
+	a.label("bittree")
+	a.stv("R6", "SV2")
+	a.l("\tLDI  R0, 1")
+	a.stv("R0", "TMPA") // m
+	a.ldv("R0", "BTN")
+	a.stv("R0", "TMPB") // remaining
+	a.label("btloop")
+	a.ldv("R0", "TMPB")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   btdone")
+	a.l("\tSUB  R0, R5")
+	a.stv("R0", "TMPB")
+	a.ldv("R0", "BTBASE")
+	a.ldv("R1", "TMPA")
+	a.l("\tADD  R0, R1")
+	a.l("\tCALL decbit")
+	a.ldv("R1", "TMPA")
+	a.l("\tADD  R1, R1")
+	a.l("\tOR   R1, R0")
+	a.stv("R1", "TMPA")
+	a.l("\tJUMP btloop")
+	a.label("btdone")
+	a.ldv("R2", "BTN")
+	a.l("\tLDI  R1, 1")
+	a.l("\tLSL  R1, R2")
+	a.ldv("R0", "TMPA")
+	a.l("\tSUB  R0, R1")
+	a.ldv("R6", "SV2")
+	a.l("\tRET")
+
+	// revtree: BTN bits LSB-first from BTBASE → value in R0.
+	a.label("revtree")
+	a.stv("R6", "SV3")
+	a.l("\tLDI  R0, 1")
+	a.stv("R0", "TMPC") // m
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "TMPD") // v
+	a.l("\tLDI  R0, 1")
+	a.stv("R0", "TMPF") // current bit weight
+	a.ldv("R0", "BTN")
+	a.stv("R0", "TMPG") // remaining
+	a.label("rtloop")
+	a.ldv("R0", "TMPG")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   rtdone")
+	a.l("\tSUB  R0, R5")
+	a.stv("R0", "TMPG")
+	a.ldv("R0", "BTBASE")
+	a.ldv("R1", "TMPC")
+	a.l("\tADD  R0, R1")
+	a.l("\tCALL decbit")
+	a.ldv("R1", "TMPC")
+	a.l("\tADD  R1, R1")
+	a.l("\tOR   R1, R0")
+	a.stv("R1", "TMPC")
+	// v |= bit * weight.
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJZ   rtskip")
+	a.ldv("R0", "TMPD")
+	a.ldv("R1", "TMPF")
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "TMPD")
+	a.label("rtskip")
+	a.ldv("R0", "TMPF")
+	a.l("\tADD  R0, R0")
+	a.stv("R0", "TMPF")
+	a.l("\tJUMP rtloop")
+	a.label("rtdone")
+	a.ldv("R0", "TMPD")
+	a.ldv("R6", "SV3")
+	a.l("\tRET")
+}
+
+// emitLenDist writes declen and decdist.
+func emitLenDist(a *asm) {
+	// declen: coder base in R0 → length (2..273) in R0.
+	a.label("declen")
+	a.stv("R6", "SV5")
+	a.stv("R0", "TMPI")
+	a.l("\tCALL decbit") // choice at base+0 (R0 already holds base)
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNZ  lenmid")
+	// low: 3-bit tree at base+2 → len = 2+sym.
+	a.ldv("R0", "TMPI")
+	a.l("\tLDI  R1, 2")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 3")
+	a.stv("R0", "BTN")
+	a.l("\tCALL bittree")
+	a.l("\tLDI  R1, 2")
+	a.l("\tADD  R0, R1")
+	a.l("\tJUMP lenret")
+	a.label("lenmid")
+	a.ldv("R0", "TMPI")
+	a.l("\tADD  R0, R5") // choice2 at base+1
+	a.l("\tCALL decbit")
+	a.l("\tLDI  R1, 0")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNZ  lenhigh")
+	a.ldv("R0", "TMPI")
+	a.l("\tLDI  R1, 10")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 3")
+	a.stv("R0", "BTN")
+	a.l("\tCALL bittree")
+	a.l("\tLDI  R1, 10")
+	a.l("\tADD  R0, R1")
+	a.l("\tJUMP lenret")
+	a.label("lenhigh")
+	a.ldv("R0", "TMPI")
+	a.l("\tLDI  R1, 18")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 8")
+	a.stv("R0", "BTN")
+	a.l("\tCALL bittree")
+	a.l("\tLDI  R1, 18")
+	a.l("\tADD  R0, R1")
+	a.label("lenret")
+	a.ldv("R6", "SV5")
+	a.l("\tRET")
+
+	// decdist: LENV set → DSTLO/DSTHI = distance pair.
+	a.label("decdist")
+	a.stv("R6", "TMPK") // TMPK free here; reused later in docopy only
+	// slot context = min(len-2, 3).
+	a.ldv("R0", "LENV")
+	a.l("\tLDI  R1, 2")
+	a.l("\tSUB  R0, R1")
+	a.l("\tLDI  R1, 3")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJC   ctxok")
+	a.l("\tLDI  R0, 3")
+	a.label("ctxok")
+	a.shiftImm("LSL", "R0", 6)
+	a.l("\tLDI  R1, SLOTP")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 6")
+	a.stv("R0", "BTN")
+	a.l("\tCALL bittree") // R0 = slot
+	a.stv("R0", "TMPI")   // slot
+	a.l("\tLDI  R1, 4")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNC  bigslot")
+	// slot < 4: dist = slot + 1.
+	a.l("\tADD  R0, R5")
+	a.stv("R0", "DSTLO")
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "DSTHI")
+	a.l("\tJUMP distret")
+
+	a.label("bigslot")
+	// nd = slot/2 - 1; base pair = (2 | slot&1) << nd.
+	a.ldv("R0", "TMPI")
+	a.l("\tLSR  R0, R5")
+	a.l("\tSUB  R0, R5")
+	a.stv("R0", "TMPJ") // nd
+	a.ldv("R0", "TMPI")
+	a.l("\tAND  R0, R5")
+	a.l("\tLDI  R1, 2")
+	a.l("\tOR   R0, R1")
+	a.stv("R0", "DSTLO") // base lo (will shift)
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "DSTHI")
+	a.ldv("R3", "TMPJ")
+	a.label("bshift")
+	a.ldv("R0", "DSTLO")
+	a.l("\tADD  R0, R0")
+	a.stv("R0", "DSTLO")
+	a.ldv("R0", "DSTHI")
+	a.l("\tADC  R0, R0")
+	a.stv("R0", "DSTHI")
+	a.l("\tSUB  R3, R5")
+	a.l("\tJNZ  bshift")
+
+	a.ldv("R0", "TMPI")
+	a.l("\tLDI  R1, 14")
+	a.l("\tCMP  R0, R1")
+	a.l("\tJNC  directslot")
+	// slots 4..13: reverse tree of nd bits at SPECP + offset[slot-4].
+	a.l("\tLDI  R1, 4")
+	a.l("\tSUB  R0, R1")
+	a.l("\tLDI  R1, specoff")
+	a.l("\tADD  R1, R0")
+	a.l("\tMOVE D0, R1")
+	a.l("\tLDM  R0, [D0]")
+	a.stv("R0", "BTBASE")
+	a.ldv("R0", "TMPJ")
+	a.stv("R0", "BTN")
+	a.l("\tCALL revtree")
+	// dist pair += rest (16-bit).
+	a.ldv("R1", "DSTLO")
+	a.l("\tADD  R1, R0")
+	a.stv("R1", "DSTLO")
+	a.ldv("R1", "DSTHI")
+	a.l("\tLDI  R2, 0")
+	a.l("\tADC  R1, R2")
+	a.stv("R1", "DSTHI")
+	a.l("\tJUMP distplus1")
+
+	a.label("directslot")
+	// rest = direct(nd-4) << 4 | align(4 reverse bits).
+	a.ldv("R0", "TMPJ")
+	a.l("\tLDI  R1, 4")
+	a.l("\tSUB  R0, R1")
+	a.stv("R0", "DIRN")
+	a.l("\tCALL direct") // R0 = high part (≤ 15 bits for our window)
+	a.stv("R0", "TMPL")
+	// Shift the pair (TMPL:0) left 4 — TMPL lo, TMPK... use TMPJ's slot?
+	// nd is no longer needed; TMPJ is free. (revtree below uses
+	// TMPC/D/F/G internally, so the pair must avoid those.)
+	a.l("\tLDI  R0, 0")
+	a.stv("R0", "TMPJ") // pair hi
+	for i := 0; i < 4; i++ {
+		a.ldv("R0", "TMPL")
+		a.l("\tADD  R0, R0")
+		a.stv("R0", "TMPL")
+		a.ldv("R0", "TMPJ")
+		a.l("\tADC  R0, R0")
+		a.stv("R0", "TMPJ")
+	}
+	a.l("\tLDI  R0, ALIGNP")
+	a.stv("R0", "BTBASE")
+	a.l("\tLDI  R0, 4")
+	a.stv("R0", "BTN")
+	a.l("\tCALL revtree")
+	a.ldv("R1", "TMPL")
+	a.l("\tOR   R1, R0")
+	// dist pair += (TMPJ:R1).
+	a.ldv("R0", "DSTLO")
+	a.l("\tADD  R0, R1")
+	a.stv("R0", "DSTLO")
+	a.ldv("R0", "DSTHI")
+	a.ldv("R1", "TMPJ")
+	a.l("\tADC  R0, R1")
+	a.stv("R0", "DSTHI")
+
+	a.label("distplus1")
+	a.ldv("R0", "DSTLO")
+	a.l("\tADD  R0, R5")
+	a.stv("R0", "DSTLO")
+	a.ldv("R0", "DSTHI")
+	a.l("\tLDI  R1, 0")
+	a.l("\tADC  R0, R1")
+	a.stv("R0", "DSTHI")
+	a.label("distret")
+	a.ldv("R6", "TMPK")
+	a.l("\tRET")
+
+	// spec tree base addresses, indexed by slot-4.
+	a.label("specoff")
+	for _, off := range specOffsets {
+		a.l("\t.word %d", dbSpec+off)
+	}
+}
+
+var (
+	dbOnce sync.Once
+	dbProg *dynarisc.Program
+	dbErr  error
+)
+
+// DBDecode returns the assembled DBDecode program (built once).
+func DBDecode() (*dynarisc.Program, error) {
+	dbOnce.Do(func() {
+		dbProg, dbErr = dynarisc.Assemble(buildDBDecodeSource())
+	})
+	return dbProg, dbErr
+}

@@ -1,0 +1,189 @@
+package dynprog
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"microlonys/dynarisc"
+	"microlonys/internal/dbcoder"
+	"microlonys/internal/nested"
+)
+
+// runDBDecode executes the assembly decoder on the reference CPU.
+func runDBDecode(t *testing.T, blob []byte, memWords int) []byte {
+	t.Helper()
+	p, err := DBDecode()
+	if err != nil {
+		t.Fatalf("assemble DBDecode: %v", err)
+	}
+	c := dynarisc.NewCPU(memWords)
+	c.MaxSteps = 2_000_000_000
+	if err := c.LoadProgram(p.Org, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	c.SetInBytes(blob)
+	if err := c.Run(); err != nil {
+		t.Fatalf("DBDecode run: %v (steps=%d)", err, c.Steps)
+	}
+	return c.OutBytes()
+}
+
+func TestDBDecodeAssembles(t *testing.T) {
+	p, err := DBDecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) == 0 {
+		t.Fatal("empty program")
+	}
+	if int(p.Org)+len(p.Words) >= 0x3F00 {
+		t.Fatalf("program (%d words) collides with variable space", len(p.Words))
+	}
+	t.Logf("DBDecode: %d DynaRisc words", len(p.Words))
+}
+
+func TestDBDecodeSimple(t *testing.T) {
+	src := []byte("hello hello hello hello world world world")
+	blob := dbcoder.Compress(src)
+	got := runDBDecode(t, blob, 1<<18)
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %q want %q", got, src)
+	}
+}
+
+func TestDBDecodeEmpty(t *testing.T) {
+	blob := dbcoder.Compress(nil)
+	got := runDBDecode(t, blob, 1<<18)
+	if len(got) != 0 {
+		t.Fatalf("empty archive decoded to %d bytes", len(got))
+	}
+}
+
+func TestDBDecodeAllTokenPaths(t *testing.T) {
+	// Construct data that exercises literals, short/mid/long lengths,
+	// rep matches and all distance slot classes.
+	var b bytes.Buffer
+	rng := rand.New(rand.NewSource(7))
+	b.WriteString(strings.Repeat("abcdefgh", 4)) // short distances
+	b.Write(bytes.Repeat([]byte{0x55}, 300))     // long lengths + rep
+	for i := 0; i < 2000; i++ {                  // noise: literals
+		b.WriteByte(byte(rng.Intn(256)))
+	}
+	b.WriteString(strings.Repeat("abcdefgh", 4)) // distance ≈ 2300 (big slot)
+	tail := b.Bytes()[:64]
+	b.Write(tail) // medium distance
+	src := b.Bytes()
+
+	blob := dbcoder.Compress(src)
+	got := runDBDecode(t, blob, 1<<18)
+	if !bytes.Equal(got, src) {
+		n := len(got)
+		if n > len(src) {
+			n = len(src)
+		}
+		diff := -1
+		for i := 0; i < n; i++ {
+			if got[i] != src[i] {
+				diff = i
+				break
+			}
+		}
+		t.Fatalf("mismatch: len got=%d want=%d, first diff at %d", len(got), len(src), diff)
+	}
+}
+
+func TestDBDecodeRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		var src []byte
+		for len(src) < 3000+rng.Intn(5000) {
+			if rng.Intn(2) == 0 {
+				chunk := make([]byte, rng.Intn(80)+1)
+				rng.Read(chunk)
+				src = append(src, chunk...)
+			} else if len(src) > 4 {
+				// Reuse an earlier span to force matches.
+				start := rng.Intn(len(src) - 2)
+				end := start + rng.Intn(len(src)-start)
+				src = append(src, src[start:end]...)
+			} else {
+				src = append(src, 'x')
+			}
+		}
+		blob := dbcoder.Compress(src)
+		want, err := dbcoder.Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runDBDecode(t, blob, 1<<18)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: assembly decoder diverged from Go decoder", trial)
+		}
+	}
+}
+
+func TestDBDecodeSQLDump(t *testing.T) {
+	// The real workload shape: SQL text.
+	var b bytes.Buffer
+	for i := 0; i < 800; i++ {
+		b.WriteString("INSERT INTO lineitem VALUES (")
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(", 155190, 7706, 17, 21168.23, '1996-03-13');\n")
+	}
+	src := b.Bytes()
+	blob := dbcoder.Compress(src)
+	got := runDBDecode(t, blob, 1<<18)
+	if !bytes.Equal(got, src) {
+		t.Fatal("SQL dump mismatch")
+	}
+	t.Logf("raw=%d compressed=%d", len(src), len(blob))
+}
+
+func TestDBDecodeNested(t *testing.T) {
+	// The full archival restoration path: DBDecode (DynaRisc) running on
+	// the DynaRisc emulator written in VeRisc. Small payload — nested
+	// emulation trades speed for portability.
+	src := []byte(strings.Repeat("ULE! ", 40))
+	blob := dbcoder.Compress(src)
+
+	p, err := DBDecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint16, len(blob))
+	for i, bb := range blob {
+		in[i] = uint16(bb)
+	}
+	out, err := nested.Run(p, in, 1<<17, 3_000_000_000)
+	if err != nil {
+		t.Fatalf("nested DBDecode: %v", err)
+	}
+	got := make([]byte, len(out))
+	for i, w := range out {
+		got[i] = byte(w)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("nested decode mismatch: got %d bytes", len(got))
+	}
+}
+
+func BenchmarkDBDecodeOnDynaRisc(b *testing.B) {
+	src := []byte(strings.Repeat("INSERT INTO orders VALUES (7, 'O', 252004.18);\n", 400))
+	blob := dbcoder.Compress(src)
+	p, err := DBDecode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := dynarisc.NewCPU(1 << 18)
+		c.LoadProgram(p.Org, p.Words)
+		c.SetInBytes(blob)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dynprog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/dynarisc"
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/raster"
+)
+
+func moLayout() emblem.Layout {
+	return emblem.Layout{DataW: 80, DataH: 64, PxPerModule: 4}
+}
+
+func moEncode(t *testing.T, l emblem.Layout, frac float64, seed int64) (*raster.Gray, []byte) {
+	t.Helper()
+	payload := make([]byte, int(float64(mocoder.Capacity(l))*frac))
+	rand.New(rand.NewSource(seed)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+	img, err := mocoder.Encode(payload, hdr, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, payload
+}
+
+// runMODecode executes the assembly decoder and returns the payload,
+// validating the 22-byte header prefix the decoder emits first.
+func runMODecode(t *testing.T, img *raster.Gray, l emblem.Layout) []byte {
+	t.Helper()
+	p, err := MODecode()
+	if err != nil {
+		t.Fatalf("assemble MODecode: %v", err)
+	}
+	c := dynarisc.NewCPU(MOMemWords(img))
+	c.MaxSteps = 4_000_000_000
+	if err := c.LoadProgram(p.Org, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	c.In = MOInput(img, l)
+	if err := c.Run(); err != nil {
+		t.Fatalf("MODecode run: %v (steps=%d)", err, c.Steps)
+	}
+	out := c.OutBytes()
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) < emblem.HeaderSize {
+		t.Fatalf("output shorter than header: %d bytes", len(out))
+	}
+	if _, err := emblem.ParseHeader(out[:emblem.HeaderSize]); err != nil {
+		t.Fatalf("emitted header invalid: %v", err)
+	}
+	return out[emblem.HeaderSize:]
+}
+
+func TestMODecodeAssembles(t *testing.T) {
+	p, err := MODecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(p.Org)+len(p.Words) >= moVarBase {
+		t.Fatalf("program (%d words) collides with variable space at %#x", len(p.Words), moVarBase)
+	}
+	t.Logf("MODecode: %d DynaRisc words", len(p.Words))
+}
+
+func TestMODecodeClean(t *testing.T) {
+	l := moLayout()
+	img, payload := moEncode(t, l, 0.9, 1)
+	got := runMODecode(t, img, l)
+	if got == nil {
+		t.Fatal("decoder produced no output (failure path)")
+	}
+	if !bytes.Equal(got, payload) {
+		n := len(got)
+		if n > len(payload) {
+			n = len(payload)
+		}
+		d := -1
+		for i := 0; i < n; i++ {
+			if got[i] != payload[i] {
+				d = i
+				break
+			}
+		}
+		t.Fatalf("payload mismatch: got %d want %d bytes, first diff %d", len(got), len(payload), d)
+	}
+}
+
+func TestMODecodeMatchesGoDecoder(t *testing.T) {
+	l := moLayout()
+	img, _ := moEncode(t, l, 0.7, 2)
+	want, _, _, err := mocoder.Decode(img, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMODecode(t, img, l)
+	if !bytes.Equal(got, want) {
+		t.Fatal("assembly decoder diverged from Go decoder on a clean emblem")
+	}
+}
+
+func TestMODecodeWithDamage(t *testing.T) {
+	// Dust specks on the data field: the in-assembly Reed-Solomon
+	// decoder (BM + Chien + Forney) must correct them.
+	l := moLayout()
+	img, payload := moEncode(t, l, 1.0, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 6; i++ {
+		x := 60 + rng.Intn(img.W-120)
+		y := 60 + rng.Intn(img.H-120)
+		img.FillRect(x, y, x+3, y+3, byte(rng.Intn(2)*255))
+	}
+	// Verify the Go decoder needed corrections so the test is meaningful.
+	_, _, st, err := mocoder.Decode(img, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMODecode(t, img, l)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("assembly RS correction failed (Go path corrected %d bytes)", st.BytesCorrected)
+	}
+	t.Logf("corrected bytes (Go decoder's count): %d", st.BytesCorrected)
+}
+
+func TestMODecodeBitonalRescan(t *testing.T) {
+	// Microfilm-style: bitonal scan at a higher resolution.
+	l := moLayout()
+	img, payload := moEncode(t, l, 0.8, 5)
+	scan := img.Resize(img.W*5/4, img.H*5/4)
+	scan = scan.Threshold(scan.OtsuThreshold())
+	got := runMODecode(t, scan, l)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bitonal rescan mismatch")
+	}
+}
+
+func TestMODecodeGarbageFailsClosed(t *testing.T) {
+	l := moLayout()
+	img := raster.New(l.ImageW(), l.ImageH())
+	rng := rand.New(rand.NewSource(6))
+	for i := range img.Pix {
+		img.Pix[i] = byte(rng.Intn(256))
+	}
+	p, err := MODecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dynarisc.NewCPU(MOMemWords(img))
+	c.MaxSteps = 4_000_000_000
+	c.LoadProgram(p.Org, p.Words)
+	c.In = MOInput(img, l)
+	// Garbage may halt via the failure path or hit an execution fault;
+	// either way it must not emit a payload.
+	_ = c.Run()
+	if len(c.Out) != 0 {
+		t.Fatalf("garbage scan produced %d output words", len(c.Out))
+	}
+}
+
+// TestMODecodeSizeAndLayoutSweep differentially tests the archived
+// decoder against the Go decoder across payload sizes (empty, single
+// byte, block boundaries, full) and several emblem geometries, with
+// exact stream-level damage injected at the inner code's correction
+// bound.
+func TestMODecodeSizeAndLayoutSweep(t *testing.T) {
+	layouts := []emblem.Layout{
+		{DataW: 80, DataH: 64, PxPerModule: 4},
+		{DataW: 64, DataH: 64, PxPerModule: 2},
+		{DataW: 120, DataH: 48, PxPerModule: 3},
+	}
+	for li, l := range layouts {
+		capacity := mocoder.Capacity(l)
+		for _, n := range []int{0, 1, 17, capacity / 2, capacity - 1, capacity} {
+			payload := make([]byte, n)
+			rand.New(rand.NewSource(int64(li*1000 + n))).Read(payload)
+			hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+			img, err := mocoder.Encode(payload, hdr, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, _, err := mocoder.Decode(img, l)
+			if err != nil {
+				t.Fatalf("layout %d n=%d: Go decode: %v", li, n, err)
+			}
+			got := runMODecode(t, img, l)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("layout %d n=%d: assembly decoder diverged", li, n)
+			}
+		}
+	}
+}
+
+// TestMODecodeAtCorrectionBound injects exactly 16 byte errors per
+// inner block at the stream level; the in-assembly Berlekamp-Massey
+// correction must restore the payload just like the Go path.
+func TestMODecodeAtCorrectionBound(t *testing.T) {
+	l := moLayout()
+	spec := mocoder.Spec(l)
+	payload := make([]byte, spec.Capacity)
+	rand.New(rand.NewSource(9)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+	rng := rand.New(rand.NewSource(10))
+	img, err := mocoder.EncodeDamaged(payload, hdr, l, func(stream []byte) {
+		for blk, dataLen := range spec.BlockDataLens {
+			nErr := 16
+			if nErr > dataLen {
+				nErr = dataLen
+			}
+			for _, j := range rng.Perm(dataLen)[:nErr] {
+				stream[spec.StreamPos(blk, j)] ^= 0x3C
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMODecode(t, img, l)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("assembly decoder failed at the 16-errors/block bound")
+	}
+}

@@ -1,0 +1,59 @@
+package dynprog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/media"
+	"microlonys/raster"
+)
+
+// TestMicrofilmProfileEmulated drives the archived decoder on a frame
+// written and rescanned through the real microfilm profile — full
+// distortions (rotation, barrel, jitter, fade, dust, scratches) — after
+// the Bootstrap's host-side rectification to 3 px/module. This is the
+// §4 microfilm experiment on the emulated path.
+func TestMicrofilmProfileEmulated(t *testing.T) {
+	p := media.Microfilm()
+	l := p.Layout
+	payload := make([]byte, 1000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw, GroupData: 1}
+	img, err := mocoder.Encode(payload, hdr, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := media.New(p)
+	if err := m.Write([]*raster.Gray{img}); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := m.ScanFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := l
+	rl.PxPerModule = 3
+	rect, err := mocoder.Rectify(scan, rl)
+	if err != nil {
+		t.Fatalf("rectify: %v", err)
+	}
+	// Go decoder on the rectified image as ground truth feasibility.
+	want, _, st, err := mocoder.Decode(rect, rl)
+	if err != nil {
+		t.Fatalf("Go decode of rectified scan: %v", err)
+	}
+	t.Logf("Go decode of rectified: corrected=%d clockviol=%d", st.BytesCorrected, st.ClockViolations)
+	if !bytes.Equal(want, payload) {
+		t.Fatal("Go decode wrong payload")
+	}
+	got := runMODecode(t, rect, rl)
+	if got == nil {
+		t.Fatal("asm decoder produced no output")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("asm decoder wrong payload (%d bytes)", len(got))
+	}
+}

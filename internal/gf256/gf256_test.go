@@ -1,0 +1,206 @@
+package gf256
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	for i := 1; i < 256; i++ {
+		a := byte(i)
+		if Exp(Log(a)) != a {
+			t.Fatalf("exp(log(%#x)) = %#x", a, Exp(Log(a)))
+		}
+	}
+	if expTable[0] != 1 {
+		t.Fatalf("α^0 = %d, want 1", expTable[0])
+	}
+	if expTable[1] != 2 {
+		t.Fatalf("α^1 = %d, want 2 (α = x)", expTable[1])
+	}
+}
+
+func TestMulByRepeatedAdd(t *testing.T) {
+	// Cross-check table multiplication against shift-and-xor (carry-less)
+	// multiplication reduced mod Poly.
+	slow := func(a, b byte) byte {
+		var p uint16
+		x, y := uint16(a), uint16(b)
+		for y != 0 {
+			if y&1 != 0 {
+				p ^= x
+			}
+			x <<= 1
+			if x&0x100 != 0 {
+				x ^= Poly
+			}
+			y >>= 1
+		}
+		return byte(p)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b += 7 {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x,%#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	commut := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	distrib := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	identity := func(a byte) bool { return Mul(a, 1) == a && Add(a, 0) == a }
+	for name, f := range map[string]any{
+		"commutativity":  commut,
+		"associativity":  assoc,
+		"distributivity": distrib,
+		"identity":       identity,
+	} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for i := 1; i < 256; i++ {
+		a := byte(i)
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%#x", a)
+		}
+		if Div(1, a) != Inv(a) {
+			t.Fatalf("Div(1,a) ≠ Inv(a) for a=%#x", a)
+		}
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"div-by-zero": func() { Div(1, 0) },
+		"inv-of-zero": func() { Inv(0) },
+		"log-of-zero": func() { Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExpNegative(t *testing.T) {
+	for n := -600; n <= 600; n++ {
+		want := Exp(((n % 255) + 255) % 255)
+		if Exp(n) != want {
+			t.Fatalf("Exp(%d) = %#x, want %#x", n, Exp(n), want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 || Pow(0, 5) != 0 || Pow(7, 0) != 1 {
+		t.Fatal("Pow edge cases wrong")
+	}
+	f := func(a byte, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		want := byte(1)
+		for i := 0; i < n; i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyMulEval(t *testing.T) {
+	// (x+1)(x+2) evaluated must equal pointwise product of factors.
+	f := func(a, b, x byte) bool {
+		pa := []byte{1, a}
+		pb := []byte{1, b}
+		prod := PolyMul(pa, pb)
+		return PolyEval(prod, x) == Mul(PolyEval(pa, x), PolyEval(pb, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyAdd(t *testing.T) {
+	got := PolyAdd([]byte{1, 2, 3}, []byte{5, 5})
+	want := []byte{1, 7, 6}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolyAdd = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTableImage(t *testing.T) {
+	exp, log := TableImage()
+	if len(exp) != 256 || len(log) != 256 {
+		t.Fatal("table sizes")
+	}
+	if exp[255] != exp[0] {
+		t.Fatal("exp wrap")
+	}
+	for i := 1; i < 255; i++ {
+		if log[exp[i]] != byte(i) {
+			t.Fatalf("log(exp(%d)) mismatch", i)
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	p := []byte{0, 1, 2, 3, 255}
+	want := make([]byte, len(p))
+	for i, v := range p {
+		want[i] = Mul(v, 0x1d)
+	}
+	MulSlice(p, 0x1d)
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	MulSlice(p, 0)
+	for _, v := range p {
+		if v != 0 {
+			t.Fatal("MulSlice by zero must zero")
+		}
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	if s := PolyString([]byte{1, 0, 0x1d}); !strings.Contains(s, "x^2") {
+		t.Fatalf("PolyString = %q", s)
+	}
+	if PolyString(nil) != "0" {
+		t.Fatal("empty poly should print 0")
+	}
+	if PolyString([]byte{0}) != "0" {
+		t.Fatalf("zero poly prints %q", PolyString([]byte{0}))
+	}
+}

@@ -1,0 +1,119 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFindBasic(t *testing.T) {
+	src := []byte("abcabcabc")
+	f := NewFinder(src, 64)
+	for i := 0; i < 3; i++ {
+		f.Insert(i)
+	}
+	m := f.Find(3)
+	if m.Distance != 3 || m.Length != 6 {
+		t.Fatalf("Find(3) = %+v, want dist=3 len=6", m)
+	}
+}
+
+func TestFindNone(t *testing.T) {
+	src := []byte("abcdefgh")
+	f := NewFinder(src, 64)
+	for i := 0; i < 4; i++ {
+		f.Insert(i)
+	}
+	if m := f.Find(4); m.Length != 0 {
+		t.Fatalf("unexpected match %+v", m)
+	}
+}
+
+func TestFindNearEnd(t *testing.T) {
+	src := []byte("xyxy")
+	f := NewFinder(src, 64)
+	f.Insert(0)
+	f.Insert(1)
+	if m := f.Find(3); m.Length != 0 {
+		t.Fatalf("match shorter than MinMatch reported: %+v", m)
+	}
+	// Find and Insert past the end must be safe no-ops.
+	f.Insert(3)
+	if m := f.Find(4); m.Length != 0 {
+		t.Fatal("out of range find")
+	}
+}
+
+func TestMatchesAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 20000)
+	for i := range src {
+		src[i] = byte(rng.Intn(8)) // low entropy: many matches
+	}
+	f := NewFinder(src, 64)
+	for i := 0; i < len(src); i++ {
+		m := f.Find(i)
+		if m.Length > 0 {
+			if m.Distance <= 0 || m.Distance > i {
+				t.Fatalf("pos %d: bad distance %+v", i, m)
+			}
+			if m.Length > MaxMatch {
+				t.Fatalf("pos %d: overlong %+v", i, m)
+			}
+			if !bytes.Equal(src[i:i+m.Length], src[i-m.Distance:i-m.Distance+m.Length]) {
+				t.Fatalf("pos %d: match content mismatch %+v", i, m)
+			}
+		}
+		f.Insert(i)
+	}
+}
+
+func TestExtendAt(t *testing.T) {
+	src := []byte("abcdabcd")
+	f := NewFinder(src, 64)
+	if n := f.ExtendAt(4, 4); n != 4 {
+		t.Fatalf("ExtendAt(4,4) = %d, want 4", n)
+	}
+	if n := f.ExtendAt(4, 5); n != 0 {
+		t.Fatalf("ExtendAt with dist>i = %d, want 0", n)
+	}
+	if n := f.ExtendAt(4, 0); n != 0 {
+		t.Fatal("dist 0 must be invalid")
+	}
+}
+
+func TestMaxMatchCap(t *testing.T) {
+	src := bytes.Repeat([]byte{7}, 1000)
+	f := NewFinder(src, 64)
+	for i := 0; i < 500; i++ {
+		f.Insert(i)
+	}
+	m := f.Find(500)
+	if m.Length != MaxMatch {
+		t.Fatalf("length %d, want capped at %d", m.Length, MaxMatch)
+	}
+}
+
+func TestDepthDefault(t *testing.T) {
+	f := NewFinder([]byte("abc"), 0)
+	if f.depth != 64 {
+		t.Fatalf("default depth = %d", f.depth)
+	}
+}
+
+func BenchmarkFindInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(rng.Intn(32))
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		f := NewFinder(src, 32)
+		for i := 0; i < len(src); i++ {
+			f.Find(i)
+			f.Insert(i)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package mocoder
+
+import (
+	"fmt"
+	"math"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/rs"
+	"microlonys/raster"
+)
+
+// Stats reports how hard the decoder had to work on a scan — the
+// experiment harness uses it to locate correction cliffs.
+type Stats struct {
+	Threshold       byte // binarisation threshold used
+	Rotation        int  // detected orientation (0, 90, 180, 270 degrees CW)
+	ClockViolations int  // Differential-Manchester boundary violations
+	BytesCorrected  int  // inner-code errata corrected
+	BlocksDecoded   int
+}
+
+type point struct{ x, y float64 }
+
+// Decode locates the emblem in a scanned image, demodulates the data
+// stream and runs the inner Reed-Solomon correction. The caller supplies
+// the layout the emblem was produced with (recorded in the Bootstrap
+// document); the scan may be at any resolution or mild distortion.
+func Decode(img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, emblem.Header{}, nil, err
+	}
+	st := &Stats{}
+	st.Threshold = img.OtsuThreshold()
+
+	corners, err := findFrame(img, st.Threshold, l)
+	if err != nil {
+		return nil, emblem.Header{}, st, err
+	}
+
+	rot, mapper, err := orient(img, st.Threshold, corners, l)
+	if err != nil {
+		return nil, emblem.Header{}, st, err
+	}
+	st.Rotation = rot * 90
+
+	// Local clock recovery (§3.1): Differential Manchester guarantees a
+	// transition at every bit boundary, so each data row's sampling phase
+	// can be re-locked against scanner transport jitter before the row is
+	// demodulated — the self-clocking advantage over absolute grids.
+	offs := clockOffsets(img, mapper, l)
+
+	// Sample the data path and demodulate.
+	path := l.DataPath()
+	nbits := l.StreamBits()
+	levels := make([]bool, 2*nbits)
+	for i := 0; i < 2*nbits; i++ {
+		p := path[i]
+		levels[i] = sampleModuleOff(img, mapper, p.X, p.Y, l, offs[p.Y]) < float64(st.Threshold)
+	}
+
+	stream := make([]byte, (nbits+7)/8)
+	suspect := make([]bool, len(stream))
+	prev := false
+	for i := 0; i < nbits; i++ {
+		h1, h2 := levels[2*i], levels[2*i+1]
+		if h1 == prev { // missing boundary transition: clock violation
+			st.ClockViolations++
+			suspect[i/8] = true
+		}
+		if h1 != h2 {
+			stream[i/8] |= 1 << uint(7-i%8)
+		}
+		prev = h2
+	}
+
+	hdr, err := emblem.RecoverHeader(stream)
+	if err != nil {
+		return nil, emblem.Header{}, st, err
+	}
+
+	// Strip the header block, correct the interleaved inner code.
+	hb := emblem.HeaderCopies * emblem.HeaderSize
+	cb := codedBytes(l)
+	coded := stream[hb:]
+	codedSuspect := suspect[hb:]
+	if len(coded) > cb {
+		coded = coded[:cb]
+	}
+	lens := blockLens(cb)
+	blocks, erasures := deinterleave(coded, codedSuspect, lens)
+
+	payload := make([]byte, 0, Capacity(l))
+	for i, cw := range blocks {
+		eras := erasures[i]
+		if len(eras) > rs.InnerParity {
+			eras = nil // too many hints to be useful; rely on error decoding
+		}
+		n, err := inner.Decode(cw, eras)
+		if err != nil && len(eras) > 0 {
+			// Erasure hints can be wrong (clock violations from damage
+			// that did not corrupt the byte); retry errors-only.
+			n, err = inner.Decode(cw, nil)
+		}
+		if err != nil {
+			return nil, hdr, st, fmt.Errorf("%w: block %d/%d: %v", ErrUncorrectable, i+1, len(blocks), err)
+		}
+		st.BytesCorrected += n
+		st.BlocksDecoded++
+		payload = append(payload, cw[:lens[i]]...)
+	}
+
+	if int(hdr.PayloadLen) > len(payload) {
+		return nil, hdr, st, fmt.Errorf("%w: header claims %d payload bytes, capacity %d", emblem.ErrHeader, hdr.PayloadLen, len(payload))
+	}
+	return payload[:hdr.PayloadLen], hdr, st, nil
+}
+
+// sampleModule returns the mean intensity of a data module, supersampled
+// at five points to ride out noise and sub-pixel grid error.
+func sampleModule(img *raster.Gray, mapper func(u, v float64) point, mx, my int, l emblem.Layout) float64 {
+	return sampleModuleOff(img, mapper, mx, my, l, 0)
+}
+
+// sampleModuleOff samples a module with an additional image-horizontal
+// offset (pixels) — the per-row correction recovered from the clock
+// signal.
+func sampleModuleOff(img *raster.Gray, mapper func(u, v float64) point, mx, my int, l emblem.Layout, off float64) float64 {
+	bm := float64(emblem.BorderModules + emblem.SeparatorModules)
+	gw, gh := float64(l.GridW()), float64(l.GridH())
+	var sum float64
+	offs := [5][2]float64{{0, 0}, {-0.22, -0.22}, {0.22, -0.22}, {-0.22, 0.22}, {0.22, 0.22}}
+	for _, o := range offs {
+		u := (bm + float64(mx) + 0.5 + o[0]) / gw
+		v := (bm + float64(my) + 0.5 + o[1]) / gh
+		p := mapper(u, v)
+		sum += img.SampleBilinear(p.x+off, p.y)
+	}
+	return sum / float64(len(offs))
+}
+
+// clockOffsets estimates, for every data row, the image-horizontal
+// sampling offset that re-locks the grid on that row's clock signal.
+//
+// Differential Manchester places a level transition between the second
+// half-module of each bit and the first half-module of the next, i.e.
+// between consecutive even/odd positions of the serpentine path. The
+// offset that maximises the summed contrast across those guaranteed
+// boundaries is the row's local clock phase. Scanner transport jitter is
+// smooth, so each row's search window is centred on the previous row's
+// estimate (a first-order tracking loop, as in floppy-disk data
+// separators).
+func clockOffsets(img *raster.Gray, mapper func(u, v float64) point, l emblem.Layout) []float64 {
+	type pair struct{ a, b emblem.Point }
+	path := l.DataPath()
+	pairsByRow := make([][]pair, l.DataH)
+	for i := 1; i+1 < len(path); i += 2 {
+		a, b := path[i], path[i+1] // boundary: second half of bit ↔ first half of next
+		if a.Y == b.Y {            // skip serpentine turns
+			pairsByRow[a.Y] = append(pairsByRow[a.Y], pair{a, b})
+		}
+	}
+
+	// Image pixels per module, for scaling the search window.
+	bm := float64(emblem.BorderModules + emblem.SeparatorModules)
+	gw := float64(l.GridW())
+	p0 := mapper(bm/gw, 0.5)
+	p1 := mapper((bm+1)/gw, 0.5)
+	pxPerModule := math.Hypot(p1.x-p0.x, p1.y-p0.y)
+	if pxPerModule <= 0 {
+		pxPerModule = float64(l.PxPerModule)
+	}
+	maxStep := 0.45 * pxPerModule // per-row drift bound (half a module)
+
+	sampleAt := func(p emblem.Point, off float64) float64 {
+		u := (bm + float64(p.X) + 0.5) / gw
+		v := (bm + float64(p.Y) + 0.5) / float64(l.GridH())
+		q := mapper(u, v)
+		return img.SampleBilinear(q.x+off, q.y)
+	}
+	contrast := func(pairs []pair, off float64) float64 {
+		// A few dozen boundaries fix the phase; subsample wide rows so the
+		// tracking cost stays proportional to row count, not area.
+		stride := 1 + len(pairs)/48
+		var s float64
+		for i := 0; i < len(pairs); i += stride {
+			pr := pairs[i]
+			s += math.Abs(sampleAt(pr.a, off) - sampleAt(pr.b, off))
+		}
+		return s
+	}
+
+	offs := make([]float64, l.DataH)
+	prev := 0.0
+	for y := 0; y < l.DataH; y++ {
+		pairs := pairsByRow[y]
+		if len(pairs) < 2 {
+			offs[y] = prev
+			continue
+		}
+		// Coarse search around the previous row's phase, then refine.
+		best, bestScore := prev, contrast(pairs, prev)
+		step := maxStep / 3
+		for d := -maxStep; d <= maxStep; d += step {
+			if s := contrast(pairs, prev+d); s > bestScore {
+				best, bestScore = prev+d, s
+			}
+		}
+		for _, d := range []float64{-step / 2, -step / 4, step / 4, step / 2} {
+			if s := contrast(pairs, best+d); s > bestScore {
+				best, bestScore = best+d, s
+			}
+		}
+		offs[y] = best
+		prev = best
+	}
+	return offs
+}
+
+// findFrame locates the outer corners of the black border by fitting lines
+// to its four edges.
+func findFrame(img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
+	var corners [4]point
+	dark := func(x, y int) bool { return img.At(x, y) < thr }
+
+	// Expected border thickness in pixels, scale-free.
+	approxPxX := float64(img.W) / float64(l.FullModulesW())
+	approxPxY := float64(img.H) / float64(l.FullModulesH())
+	runX := maxInt(2, int(approxPxX*float64(emblem.BorderModules)/2))
+	runY := maxInt(2, int(approxPxY*float64(emblem.BorderModules)/2))
+
+	scan := func(n int, intensity func(i, j int) byte, limit int, run int) []point {
+		var pts []point
+		lo, hi := n*15/100, n*85/100
+		step := maxInt(1, (hi-lo)/160)
+		for i := lo; i < hi; i += step {
+			streak := 0
+			for j := 0; j < limit; j++ {
+				if intensity(i, j) < thr {
+					streak++
+					if streak >= run {
+						j0 := j - streak + 1
+						// Subpixel refinement: interpolate where the
+						// intensity profile crosses the threshold.
+						edge := float64(j0) - 0.5
+						if j0 > 0 {
+							a := float64(intensity(i, j0-1))
+							b := float64(intensity(i, j0))
+							if a > b {
+								edge = float64(j0) - 1 + (a-float64(thr))/(a-b)
+							}
+						}
+						pts = append(pts, point{float64(i), edge})
+						break
+					}
+				} else {
+					streak = 0
+				}
+			}
+		}
+		return pts
+	}
+	_ = dark
+
+	// Each scan returns points as (lineCoord, edgeCoord).
+	left := scan(img.H, func(y, x int) byte { return img.At(x, y) }, img.W/2, runX)
+	right := scan(img.H, func(y, x int) byte { return img.At(img.W-1-x, y) }, img.W/2, runX)
+	top := scan(img.W, func(x, y int) byte { return img.At(x, y) }, img.H/2, runY)
+	bottom := scan(img.W, func(x, y int) byte { return img.At(x, img.H-1-y) }, img.H/2, runY)
+
+	minPts := 8
+	if len(left) < minPts || len(right) < minPts || len(top) < minPts || len(bottom) < minPts {
+		return corners, ErrNoEmblem
+	}
+
+	// Robust fits: edge = a·line + b.
+	la, lb, ok1 := fitLine(left)
+	ra, rbI, ok2 := fitLine(right)
+	ta, tb, ok3 := fitLine(top)
+	ba, bb, ok4 := fitLine(bottom)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return corners, ErrNoEmblem
+	}
+	// Convert mirrored scans back to absolute coordinates.
+	rb := float64(img.W-1) - rbI
+	ra = -ra
+	bbAbs := float64(img.H-1) - bb
+	baAbs := -ba
+
+	// Intersections: left edge is x = la·y + lb; top edge is y = ta·x + tb.
+	intersect := func(ea, eb, fa, fb float64) (point, bool) {
+		// x = ea·y + eb ; y = fa·x + fb  ⇒  x = ea·(fa·x+fb) + eb
+		den := 1 - ea*fa
+		if math.Abs(den) < 1e-9 {
+			return point{}, false
+		}
+		x := (ea*fb + eb) / den
+		y := fa*x + fb
+		return point{x, y}, true
+	}
+	tl, k1 := intersect(la, lb, ta, tb)
+	tr, k2 := intersect(ra, rb, ta, tb)
+	br, k3 := intersect(ra, rb, baAbs, bbAbs)
+	bl, k4 := intersect(la, lb, baAbs, bbAbs)
+	if !k1 || !k2 || !k3 || !k4 {
+		return corners, ErrNoEmblem
+	}
+
+	// Sanity: the rectangle must occupy a plausible area.
+	w := math.Hypot(tr.x-tl.x, tr.y-tl.y)
+	h := math.Hypot(bl.x-tl.x, bl.y-tl.y)
+	if w < 8 || h < 8 || w > float64(img.W)*1.2 || h > float64(img.H)*1.2 {
+		return corners, ErrNoEmblem
+	}
+	corners = [4]point{tl, tr, br, bl}
+	return corners, nil
+}
+
+// fitLine least-squares fits edge = a·line + b with one outlier-rejection
+// pass (dust in the quiet zone produces spurious early edges).
+func fitLine(pts []point) (a, b float64, ok bool) {
+	fit := func(ps []point) (float64, float64, bool) {
+		n := float64(len(ps))
+		if n < 4 {
+			return 0, 0, false
+		}
+		var sx, sy, sxx, sxy float64
+		for _, p := range ps {
+			sx += p.x
+			sy += p.y
+			sxx += p.x * p.x
+			sxy += p.x * p.y
+		}
+		den := n*sxx - sx*sx
+		if math.Abs(den) < 1e-9 {
+			return 0, 0, false
+		}
+		a := (n*sxy - sx*sy) / den
+		return a, (sy - a*sx) / n, true
+	}
+	a, b, ok = fit(pts)
+	if !ok {
+		return
+	}
+	// Reject points deviating by more than max(2px, 3·MAD) and refit.
+	resid := make([]float64, len(pts))
+	for i, p := range pts {
+		resid[i] = math.Abs(p.y - (a*p.x + b))
+	}
+	mad := median(resid)
+	tol := math.Max(2, 3*mad)
+	var kept []point
+	for i, p := range pts {
+		if resid[i] <= tol {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) >= 4 && len(kept) < len(pts) {
+		if a2, b2, ok2 := fit(kept); ok2 {
+			return a2, b2, true
+		}
+	}
+	return a, b, true
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ { // insertion sort; n is small
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// orient determines the emblem rotation by matching the four corner marks
+// under each of the four possible rotations, returning the rotation index
+// (multiples of 90° clockwise) and the grid→image mapper.
+func orient(img *raster.Gray, thr byte, corners [4]point, l emblem.Layout) (int, func(u, v float64) point, error) {
+	mapperFor := func(rot int) func(u, v float64) point {
+		// corner order: detected [TL, TR, BR, BL] in image space; the
+		// emblem's own TL sits at detected index rot.
+		c := corners
+		p00 := c[rot%4]
+		p10 := c[(rot+1)%4]
+		p11 := c[(rot+2)%4]
+		p01 := c[(rot+3)%4]
+		return func(u, v float64) point {
+			x := (1-u)*(1-v)*p00.x + u*(1-v)*p10.x + (1-u)*v*p01.x + u*v*p11.x
+			y := (1-u)*(1-v)*p00.y + u*(1-v)*p10.y + (1-u)*v*p01.y + u*v*p11.y
+			return point{x, y}
+		}
+	}
+
+	boxOrigins := [4][2]int{
+		{0, 0},
+		{l.DataW - emblem.CornerBox, 0},
+		{l.DataW - emblem.CornerBox, l.DataH - emblem.CornerBox},
+		{0, l.DataH - emblem.CornerBox},
+	}
+
+	bestRot, bestScore := -1, 1<<30
+	for rot := 0; rot < 4; rot++ {
+		m := mapperFor(rot)
+		score := 0
+		for c := 0; c < 4; c++ {
+			pat := emblem.CornerPattern(c)
+			for y := 0; y < emblem.CornerBox; y++ {
+				for x := 0; x < emblem.CornerBox; x++ {
+					v := sampleModule(img, m, boxOrigins[c][0]+x, boxOrigins[c][1]+y, l)
+					got := v < float64(thr)
+					if got != pat[y][x] {
+						score++
+					}
+				}
+			}
+		}
+		if score < bestScore {
+			bestScore, bestRot = score, rot
+		}
+	}
+	totalModules := 4 * emblem.CornerBox * emblem.CornerBox
+	if bestScore > totalModules/4 {
+		return 0, nil, fmt.Errorf("%w: corner marks unreadable (best score %d/%d)", ErrNoEmblem, bestScore, totalModules)
+	}
+	return bestRot, mapperFor(bestRot), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

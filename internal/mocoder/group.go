@@ -1,0 +1,114 @@
+package mocoder
+
+import (
+	"errors"
+	"fmt"
+
+	"microlonys/internal/rs"
+)
+
+// Outer (inter-emblem) code parameters from §3.1 of the paper: "three
+// parity emblems with each set of 17 data emblems", giving full bit-for-bit
+// restoration of a series of 20 emblems in which any three are missing.
+const (
+	GroupData   = rs.OuterData   // 17
+	GroupParity = rs.OuterParity // 3
+	GroupTotal  = rs.OuterTotal  // 20
+)
+
+var outer = rs.New(GroupParity)
+
+// ErrGroupSize reports an invalid group shape.
+var ErrGroupSize = errors.New("mocoder: invalid emblem group")
+
+// ErrGroupUnrecoverable reports more lost emblems than parity can restore.
+var ErrGroupUnrecoverable = errors.New("mocoder: too many emblems missing from group")
+
+// GroupParityPayloads computes the parity emblem payloads for a group of
+// 1..17 data emblem payloads. Payloads may have different lengths; the
+// code works column-wise over zero-padded columns, so every parity payload
+// has the length of the longest data payload.
+func GroupParityPayloads(data [][]byte) ([][]byte, error) {
+	if len(data) == 0 || len(data) > GroupData {
+		return nil, fmt.Errorf("%w: %d data payloads (want 1..%d)", ErrGroupSize, len(data), GroupData)
+	}
+	maxLen := 0
+	for _, d := range data {
+		if len(d) > maxLen {
+			maxLen = len(d)
+		}
+	}
+	if maxLen == 0 {
+		return nil, fmt.Errorf("%w: empty payloads", ErrGroupSize)
+	}
+	parity := make([][]byte, GroupParity)
+	for i := range parity {
+		parity[i] = make([]byte, maxLen)
+	}
+	col := make([]byte, len(data))
+	for j := 0; j < maxLen; j++ {
+		for i, d := range data {
+			if j < len(d) {
+				col[i] = d[j]
+			} else {
+				col[i] = 0
+			}
+		}
+		par := outer.Encode(col)
+		for i := range parity {
+			parity[i][j] = par[i]
+		}
+	}
+	return parity, nil
+}
+
+// RecoverGroup reconstructs missing emblem payloads in place. payloads
+// holds the group's emblems in group order (data emblems first, then
+// parity); missing entries are nil. At most GroupParity emblems may be
+// missing. All present payloads must have equal length (the emblem layer
+// pads to emblem capacity, so this holds for intact groups).
+func RecoverGroup(payloads [][]byte) error {
+	n := len(payloads)
+	nd := n - GroupParity
+	if n < GroupParity+1 || nd > GroupData {
+		return fmt.Errorf("%w: group of %d", ErrGroupSize, n)
+	}
+	var missing []int
+	length := -1
+	for i, p := range payloads {
+		if p == nil {
+			missing = append(missing, i)
+			continue
+		}
+		if length == -1 {
+			length = len(p)
+		} else if len(p) != length {
+			return fmt.Errorf("%w: payload length mismatch (%d vs %d)", ErrGroupSize, len(p), length)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > GroupParity {
+		return fmt.Errorf("%w: %d missing, parity covers %d", ErrGroupUnrecoverable, len(missing), GroupParity)
+	}
+	if length <= 0 {
+		return fmt.Errorf("%w: no intact payloads", ErrGroupUnrecoverable)
+	}
+	for _, i := range missing {
+		payloads[i] = make([]byte, length)
+	}
+	cw := make([]byte, n)
+	for j := 0; j < length; j++ {
+		for i, p := range payloads {
+			cw[i] = p[j]
+		}
+		if _, err := outer.Decode(cw, missing); err != nil {
+			return fmt.Errorf("recovering column %d: %w", j, err)
+		}
+		for _, i := range missing {
+			payloads[i][j] = cw[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package mocoder
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func makeGroup(t *testing.T, nData, payloadLen int, seed int64) ([][]byte, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]byte, nData)
+	for i := range data {
+		data[i] = make([]byte, payloadLen)
+		rng.Read(data[i])
+	}
+	parity, err := GroupParityPayloads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, parity
+}
+
+func TestGroupParityShape(t *testing.T) {
+	data, parity := makeGroup(t, GroupData, 500, 1)
+	if len(parity) != GroupParity {
+		t.Fatalf("%d parity payloads", len(parity))
+	}
+	for _, p := range parity {
+		if len(p) != len(data[0]) {
+			t.Fatalf("parity length %d", len(p))
+		}
+	}
+}
+
+func TestGroupRecoverAnyThreeOfTwenty(t *testing.T) {
+	// §3.1: "full bit-for-bit restoration of data contained within a
+	// series of 20 emblems in which any three are missing altogether."
+	data, parity := makeGroup(t, GroupData, 300, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		group := make([][]byte, 0, GroupTotal)
+		for _, d := range data {
+			group = append(group, append([]byte(nil), d...))
+		}
+		for _, p := range parity {
+			group = append(group, append([]byte(nil), p...))
+		}
+		killed := rng.Perm(GroupTotal)[:3]
+		for _, k := range killed {
+			group[k] = nil
+		}
+		if err := RecoverGroup(group); err != nil {
+			t.Fatalf("trial %d (killed %v): %v", trial, killed, err)
+		}
+		for i := 0; i < GroupData; i++ {
+			if !bytes.Equal(group[i], data[i]) {
+				t.Fatalf("trial %d: data emblem %d wrong after recovery", trial, i)
+			}
+		}
+	}
+}
+
+func TestGroupRecoverZeroOneTwoMissing(t *testing.T) {
+	data, parity := makeGroup(t, 5, 100, 4)
+	for nMissing := 0; nMissing <= 3; nMissing++ {
+		group := make([][]byte, 0)
+		for _, d := range data {
+			group = append(group, append([]byte(nil), d...))
+		}
+		for _, p := range parity {
+			group = append(group, append([]byte(nil), p...))
+		}
+		for k := 0; k < nMissing; k++ {
+			group[k] = nil
+		}
+		if err := RecoverGroup(group); err != nil {
+			t.Fatalf("%d missing: %v", nMissing, err)
+		}
+		for i := range data {
+			if !bytes.Equal(group[i], data[i]) {
+				t.Fatalf("%d missing: emblem %d wrong", nMissing, i)
+			}
+		}
+	}
+}
+
+func TestGroupFourMissingFails(t *testing.T) {
+	data, parity := makeGroup(t, GroupData, 100, 5)
+	group := make([][]byte, 0)
+	for _, d := range data {
+		group = append(group, append([]byte(nil), d...))
+	}
+	for _, p := range parity {
+		group = append(group, append([]byte(nil), p...))
+	}
+	for k := 0; k < 4; k++ {
+		group[k] = nil
+	}
+	if err := RecoverGroup(group); !errors.Is(err, ErrGroupUnrecoverable) {
+		t.Fatalf("4 missing: %v", err)
+	}
+}
+
+func TestGroupShortGroups(t *testing.T) {
+	// Fewer than 17 data emblems form a shortened group (the paper's
+	// microfilm experiment archived just 3 emblems).
+	for _, nd := range []int{1, 2, 3, 7} {
+		data, parity := makeGroup(t, nd, 64, int64(nd))
+		group := make([][]byte, 0)
+		for _, d := range data {
+			group = append(group, append([]byte(nil), d...))
+		}
+		for _, p := range parity {
+			group = append(group, append([]byte(nil), p...))
+		}
+		kill := nd / 2
+		group[kill] = nil
+		if err := RecoverGroup(group); err != nil {
+			t.Fatalf("nd=%d: %v", nd, err)
+		}
+		if !bytes.Equal(group[kill], data[kill]) {
+			t.Fatalf("nd=%d: recovery wrong", nd)
+		}
+	}
+}
+
+func TestGroupParityErrors(t *testing.T) {
+	if _, err := GroupParityPayloads(nil); !errors.Is(err, ErrGroupSize) {
+		t.Fatal("empty group accepted")
+	}
+	big := make([][]byte, GroupData+1)
+	for i := range big {
+		big[i] = []byte{1}
+	}
+	if _, err := GroupParityPayloads(big); !errors.Is(err, ErrGroupSize) {
+		t.Fatal("oversized group accepted")
+	}
+	if _, err := GroupParityPayloads([][]byte{{}}); !errors.Is(err, ErrGroupSize) {
+		t.Fatal("all-empty payloads accepted")
+	}
+}
+
+func TestGroupRecoverErrors(t *testing.T) {
+	if err := RecoverGroup([][]byte{{1}}); !errors.Is(err, ErrGroupSize) {
+		t.Fatal("tiny group accepted")
+	}
+	// Length mismatch.
+	group := [][]byte{{1, 2}, {1}, {1, 2}, {1, 2}}
+	if err := RecoverGroup(group); !errors.Is(err, ErrGroupSize) {
+		t.Fatal("mismatched lengths accepted")
+	}
+	// All missing.
+	group2 := [][]byte{nil, nil, nil, nil}
+	if err := RecoverGroup(group2); err == nil {
+		t.Fatal("all-missing group accepted")
+	}
+}
+
+func TestGroupUnevenPayloadsPadded(t *testing.T) {
+	data := [][]byte{
+		[]byte("short"),
+		[]byte("a considerably longer payload"),
+	}
+	parity, err := GroupParityPayloads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parity {
+		if len(p) != len(data[1]) {
+			t.Fatalf("parity len %d", len(p))
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package mocoder implements MOCoder, the media layout encoder/decoder of
+// Micr'Olonys (§3.1).
+//
+// MOCoder performs the "physical" layout of bits across emblems on visual
+// analog media. Unlike QR-style barcodes it carries no separate clocking
+// system: the bit signal and clock signal are paired as in Differential
+// Manchester encoding (each bit occupies two modules with a guaranteed
+// transition at every bit boundary; a mid-cell transition encodes 1), giving
+// robust local clock recovery. A thick black border and four large-scale
+// corner marks allow fast, robust detection of emblem geometry and
+// orientation in a scanned image.
+//
+// On top of the visual layer sits a bidimensional error-correction scheme
+// with nested Reed-Solomon codes: the inner code RS(255,223) is interleaved
+// across the emblem and corrects ≈7.2 % damaged user data per emblem; the
+// outer code adds parity emblems (by default 3 per 17) so that any three
+// emblems of a group of twenty can be lost altogether (see group.go).
+package mocoder
+
+import (
+	"errors"
+	"fmt"
+
+	"microlonys/internal/bitio"
+	"microlonys/internal/emblem"
+	"microlonys/internal/rs"
+	"microlonys/raster"
+)
+
+// minRemainderBlock is the smallest shortened trailing RS block worth
+// emitting (parity plus a useful amount of data).
+const minRemainderBlock = 48
+
+// inner is the shared inner-code instance (RS with 32 parity bytes).
+var inner = rs.New(rs.InnerParity)
+
+// blockLens returns the data lengths of the inner RS blocks that fill the
+// coded-byte budget of the layout.
+func blockLens(codedBytes int) []int {
+	full := codedBytes / rs.InnerTotal
+	rem := codedBytes % rs.InnerTotal
+	lens := make([]int, 0, full+1)
+	for i := 0; i < full; i++ {
+		lens = append(lens, rs.InnerData)
+	}
+	if rem >= minRemainderBlock {
+		lens = append(lens, rem-rs.InnerParity)
+	}
+	return lens
+}
+
+// codedBytes returns the number of whole bytes available to the RS stream.
+func codedBytes(l emblem.Layout) int {
+	bits := l.StreamBits() - emblem.HeaderCopies*emblem.HeaderSize*8
+	if bits < 0 {
+		return 0
+	}
+	return bits / 8
+}
+
+// Capacity returns the payload bytes one emblem of this layout carries.
+func Capacity(l emblem.Layout) int {
+	total := 0
+	for _, n := range blockLens(codedBytes(l)) {
+		total += n
+	}
+	return total
+}
+
+// Encode renders payload into a fresh emblem image. The payload must fit
+// Capacity(l); the header's PayloadLen field is set from len(payload).
+func Encode(payload []byte, hdr emblem.Header, l emblem.Layout) (*raster.Gray, error) {
+	return EncodeDamaged(payload, hdr, l, nil)
+}
+
+// EncodeDamaged renders payload like Encode, but first passes the coded
+// stream (header block followed by the interleaved inner-code codewords)
+// through corrupt — the failure-injection hook behind the §3.1 damage
+// experiments (E5). A nil corrupt is a plain Encode.
+func EncodeDamaged(payload []byte, hdr emblem.Header, l emblem.Layout, corrupt func(stream []byte)) (*raster.Gray, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	capBytes := Capacity(l)
+	if capBytes == 0 {
+		return nil, fmt.Errorf("mocoder: layout %dx%d too small for any payload", l.DataW, l.DataH)
+	}
+	if len(payload) > capBytes {
+		return nil, fmt.Errorf("mocoder: payload %d bytes exceeds capacity %d", len(payload), capBytes)
+	}
+	hdr.Version = emblem.Version
+	hdr.PayloadLen = uint32(len(payload))
+
+	// Pad payload to capacity and split into inner-code blocks.
+	lens := blockLens(codedBytes(l))
+	padded := make([]byte, capBytes)
+	copy(padded, payload)
+	blocks := make([][]byte, len(lens))
+	off := 0
+	for i, n := range lens {
+		blocks[i] = inner.EncodeFull(padded[off : off+n])
+		off += n
+	}
+
+	// Byte-interleave the codewords so that contiguous damage on the
+	// medium spreads across blocks.
+	stream := hdr.Marshal()
+	for c := 1; c < emblem.HeaderCopies; c++ {
+		stream = append(stream, hdr.Marshal()...)
+	}
+	stream = append(stream, interleave(blocks)...)
+
+	if corrupt != nil {
+		corrupt(stream)
+	}
+
+	// Serialize to bits, pad with alternating filler to the full path.
+	w := bitio.NewWriter()
+	w.WriteBytes(stream)
+	for b := 0; w.Len() < l.StreamBits(); b ^= 1 {
+		w.WriteBit(b)
+	}
+	bits := w.Bytes()
+
+	return render(bits, l), nil
+}
+
+// interleave merges codewords round-robin by byte index; shorter blocks
+// simply drop out of later rounds.
+func interleave(blocks [][]byte) []byte {
+	maxLen, total := 0, 0
+	for _, b := range blocks {
+		total += len(b)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	out := make([]byte, 0, total)
+	for i := 0; i < maxLen; i++ {
+		for _, b := range blocks {
+			if i < len(b) {
+				out = append(out, b[i])
+			}
+		}
+	}
+	return out
+}
+
+// deinterleave reverses interleave given the codeword lengths. It also
+// maps stream-level suspicion flags onto per-block erasure positions.
+func deinterleave(stream []byte, suspect []bool, lens []int) (blocks [][]byte, erasures [][]int) {
+	blocks = make([][]byte, len(lens))
+	erasures = make([][]int, len(lens))
+	idx := make([]int, len(lens))
+	cwLens := make([]int, len(lens))
+	maxLen := 0
+	for i, n := range lens {
+		cwLens[i] = n + rs.InnerParity
+		blocks[i] = make([]byte, cwLens[i])
+		if cwLens[i] > maxLen {
+			maxLen = cwLens[i]
+		}
+	}
+	pos := 0
+	for i := 0; i < maxLen; i++ {
+		for b := range blocks {
+			if i < cwLens[b] {
+				if pos < len(stream) {
+					blocks[b][idx[b]] = stream[pos]
+					if pos < len(suspect) && suspect[pos] {
+						erasures[b] = append(erasures[b], idx[b])
+					}
+				} else {
+					// Stream shorter than expected: mark as erasure.
+					erasures[b] = append(erasures[b], idx[b])
+				}
+				idx[b]++
+				pos++
+			}
+		}
+	}
+	return blocks, erasures
+}
+
+// render paints the emblem: quiet zone, border ring, separator, corner
+// marks and the Differential-Manchester data modules.
+func render(bits []byte, l emblem.Layout) *raster.Gray {
+	px := l.PxPerModule
+	img := raster.New(l.ImageW(), l.ImageH())
+
+	mod := func(mx0, my0, mx1, my1 int, v byte) {
+		img.FillRect(mx0*px, my0*px, mx1*px, my1*px, v)
+	}
+
+	// Border ring (between quiet zone and separator).
+	q, b := emblem.QuietModules, emblem.BorderModules
+	fw, fh := l.FullModulesW(), l.FullModulesH()
+	mod(q, q, fw-q, fh-q, 0)           // outer black rect
+	mod(q+b, q+b, fw-q-b, fh-q-b, 255) // punch out interior
+	m := emblem.MarginModules
+
+	// Corner marks.
+	corners := [4][2]int{
+		{0, 0},
+		{l.DataW - emblem.CornerBox, 0},
+		{l.DataW - emblem.CornerBox, l.DataH - emblem.CornerBox},
+		{0, l.DataH - emblem.CornerBox},
+	}
+	for c, origin := range corners {
+		pat := emblem.CornerPattern(c)
+		for y := 0; y < emblem.CornerBox; y++ {
+			for x := 0; x < emblem.CornerBox; x++ {
+				if pat[y][x] {
+					gx, gy := m+origin[0]+x, m+origin[1]+y
+					mod(gx, gy, gx+1, gy+1, 0)
+				}
+			}
+		}
+	}
+
+	// Data stream: differential Manchester along the serpentine path.
+	path := l.DataPath()
+	r := bitio.NewReader(bits)
+	level := 0
+	nbits := l.StreamBits()
+	for i := 0; i < nbits; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			bit = i & 1 // defensive filler; Encode always writes enough
+		}
+		half1 := 1 - level
+		half2 := half1
+		if bit == 1 {
+			half2 = 1 - half1
+		}
+		level = half2
+		for h, v := range [2]int{half1, half2} {
+			p := path[2*i+h]
+			if v == 1 {
+				gx, gy := m+p.X, m+p.Y
+				mod(gx, gy, gx+1, gy+1, 0)
+			}
+		}
+	}
+	return img
+}
+
+// ErrNoEmblem reports that no emblem geometry could be located in a scan.
+var ErrNoEmblem = errors.New("mocoder: no emblem found in image")
+
+// ErrUncorrectable reports damage beyond the inner code's capability.
+var ErrUncorrectable = errors.New("mocoder: emblem damaged beyond inner-code correction")

@@ -1,0 +1,297 @@
+package mocoder
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/emblem"
+	"microlonys/raster"
+)
+
+func testLayout() emblem.Layout {
+	return emblem.Layout{DataW: 120, DataH: 90, PxPerModule: 4}
+}
+
+func testHeader(payloadLen int) emblem.Header {
+	return emblem.Header{
+		Kind: emblem.KindData, Index: 0, Total: 1,
+		GroupID: 0, GroupPos: 0, GroupData: 1, GroupParity: 0,
+		TotalLen: uint32(payloadLen),
+	}
+}
+
+func randPayload(t *testing.T, l emblem.Layout, frac float64) []byte {
+	t.Helper()
+	n := int(float64(Capacity(l)) * frac)
+	p := make([]byte, n)
+	rand.New(rand.NewSource(42)).Read(p)
+	return p
+}
+
+func TestCapacityPositive(t *testing.T) {
+	l := testLayout()
+	c := Capacity(l)
+	if c <= 0 {
+		t.Fatalf("capacity %d", c)
+	}
+	// 120×90 data modules − 4 corner boxes = 10656 modules → 5328 bits;
+	// minus 528 header bits → 4800 bits = 600 coded bytes → blocks.
+	if c > 600 {
+		t.Fatalf("capacity %d exceeds coded budget", c)
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	l := testLayout()
+	if _, err := Encode(make([]byte, Capacity(l)+1), testHeader(0), l); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestEncodeRejectsBadLayout(t *testing.T) {
+	if _, err := Encode([]byte{1}, testHeader(1), emblem.Layout{DataW: 4, DataH: 4, PxPerModule: 1}); err == nil {
+		t.Fatal("bad layout accepted")
+	}
+}
+
+func TestRoundTripClean(t *testing.T) {
+	l := testLayout()
+	payload := randPayload(t, l, 1.0)
+	img, err := Encode(payload, testHeader(len(payload)), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != l.ImageW() || img.H != l.ImageH() {
+		t.Fatalf("image size %dx%d", img.W, img.H)
+	}
+	got, hdr, st, err := Decode(img, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if hdr.Kind != emblem.KindData || int(hdr.PayloadLen) != len(payload) {
+		t.Fatalf("header wrong: %+v", hdr)
+	}
+	if st.BytesCorrected != 0 || st.ClockViolations != 0 {
+		t.Fatalf("clean image needed correction: %+v", st)
+	}
+}
+
+func TestRoundTripPartialPayload(t *testing.T) {
+	l := testLayout()
+	payload := []byte("short payload, rest of the emblem is padding")
+	img, err := Encode(payload, testHeader(len(payload)), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Decode(img, l)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("partial payload round trip: %v", err)
+	}
+}
+
+func TestRoundTripAllRotations(t *testing.T) {
+	l := testLayout()
+	payload := randPayload(t, l, 0.8)
+	img, err := Encode(payload, testHeader(len(payload)), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rot := 0; rot < 4; rot++ {
+		rotated := img.Rotate90(rot)
+		got, _, st, err := Decode(rotated, l)
+		if err != nil {
+			t.Fatalf("rotation %d: %v", rot*90, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("rotation %d: payload mismatch", rot*90)
+		}
+		if st.Rotation != rot*90 {
+			t.Fatalf("rotation %d detected as %d", rot*90, st.Rotation)
+		}
+	}
+}
+
+func TestRoundTripRescaled(t *testing.T) {
+	// Scanners capture at higher resolution than the print grid (the
+	// cinema experiment scans 2K frames at 4K).
+	l := testLayout()
+	payload := randPayload(t, l, 0.9)
+	img, err := Encode(payload, testHeader(len(payload)), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := img.Resize(img.W*2, img.H*2)
+	got, _, _, err := Decode(scan, l)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("2x rescan: %v", err)
+	}
+	// And a mild downscale.
+	scan = img.Resize(img.W*3/4, img.H*3/4)
+	got, _, _, err = Decode(scan, l)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("0.75x rescan: %v", err)
+	}
+}
+
+func TestRoundTripBlur(t *testing.T) {
+	l := testLayout()
+	payload := randPayload(t, l, 0.9)
+	img, _ := Encode(payload, testHeader(len(payload)), l)
+	blurred := img.BoxBlur(1)
+	got, _, _, err := Decode(blurred, l)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("blurred decode: %v", err)
+	}
+}
+
+func TestRoundTripSmallRotationWarp(t *testing.T) {
+	// Sub-degree rotation, as from a slightly skewed page on a scanner.
+	l := testLayout()
+	payload := randPayload(t, l, 0.8)
+	img, _ := Encode(payload, testHeader(len(payload)), l)
+	theta := 0.6 * math.Pi / 180
+	cx, cy := float64(img.W)/2, float64(img.H)/2
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	rot := img.Warp(func(x, y float64) (float64, float64) {
+		dx, dy := x-cx, y-cy
+		return cx + cos*dx - sin*dy, cy + sin*dx + cos*dy
+	})
+	got, _, _, err := Decode(rot, l)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("0.6 degree rotation: %v", err)
+	}
+}
+
+func TestDustDamageCorrected(t *testing.T) {
+	l := testLayout()
+	payload := randPayload(t, l, 1.0)
+	img, _ := Encode(payload, testHeader(len(payload)), l)
+	// Sprinkle dust specks over the data region (away from the border).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		x := 40 + rng.Intn(img.W-80)
+		y := 40 + rng.Intn(img.H-80)
+		r := 2 + rng.Intn(3)
+		img.FillRect(x-r, y-r, x+r, y+r, byte(rng.Intn(2)*255))
+	}
+	got, _, st, err := Decode(img, l)
+	if err != nil {
+		t.Fatalf("dusty decode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("dusty payload mismatch")
+	}
+	if st.BytesCorrected == 0 {
+		t.Log("note: dust fell on padding only (no corrections needed)")
+	}
+}
+
+func TestHeavyDamageFailsLoudly(t *testing.T) {
+	l := testLayout()
+	payload := randPayload(t, l, 1.0)
+	img, _ := Encode(payload, testHeader(len(payload)), l)
+	// Obliterate a third of the data region.
+	img.FillRect(img.W/4, img.H/4, img.W*3/4, img.H*3/4, 0)
+	_, _, _, err := Decode(img, l)
+	if err == nil {
+		t.Fatal("heavily damaged emblem decoded without error")
+	}
+}
+
+func TestNoEmblemInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := raster.New(400, 300)
+	for i := range img.Pix {
+		img.Pix[i] = byte(rng.Intn(256))
+	}
+	if _, _, _, err := Decode(img, testLayout()); err == nil {
+		t.Fatal("decoded an emblem from pure noise")
+	}
+}
+
+func TestBlankImageRejected(t *testing.T) {
+	img := raster.New(400, 300)
+	if _, _, _, err := Decode(img, testLayout()); !errors.Is(err, ErrNoEmblem) {
+		t.Fatalf("blank image: %v", err)
+	}
+}
+
+func TestInterleaveOrder(t *testing.T) {
+	blocks := [][]byte{
+		{1, 2, 3, 4, 5},
+		{10, 20, 30},
+		{100, 101, 102, 103},
+	}
+	flat := interleave(blocks)
+	if len(flat) != 12 {
+		t.Fatalf("interleaved length %d", len(flat))
+	}
+	want := []byte{1, 10, 100, 2, 20, 101, 3, 30, 102, 4, 103, 5}
+	if !bytes.Equal(flat, want) {
+		t.Fatalf("interleave order %v, want %v", flat, want)
+	}
+}
+
+func TestDeinterleaveMatchesInterleave(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lens := []int{223, 223, 150}
+	var blocks [][]byte
+	for _, n := range lens {
+		b := make([]byte, n+32)
+		rng.Read(b)
+		blocks = append(blocks, b)
+	}
+	flat := interleave(blocks)
+	got, eras := deinterleave(flat, make([]bool, len(flat)), lens)
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+		if len(eras[i]) != 0 {
+			t.Fatalf("spurious erasures in block %d", i)
+		}
+	}
+}
+
+func TestDeinterleaveSuspects(t *testing.T) {
+	lens := []int{100}
+	block := make([]byte, 132)
+	flat := interleave([][]byte{block})
+	suspect := make([]bool, len(flat))
+	suspect[5] = true
+	suspect[100] = true
+	_, eras := deinterleave(flat, suspect, lens)
+	if len(eras[0]) != 2 || eras[0][0] != 5 || eras[0][1] != 100 {
+		t.Fatalf("erasures %v", eras[0])
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	// Figure 1 of the paper: a sample emblem. Must render with border,
+	// corner marks and a roughly half-dark data field.
+	l := emblem.Layout{DataW: 64, DataH: 64, PxPerModule: 3}
+	payload := make([]byte, Capacity(l))
+	rand.New(rand.NewSource(1)).Read(payload)
+	img, err := Encode(payload, testHeader(len(payload)), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := img.Mean()
+	if mean < 80 || mean > 220 {
+		t.Fatalf("emblem mean intensity %f implausible", mean)
+	}
+	// Quiet zone white, border black.
+	if img.At(0, 0) != 255 {
+		t.Fatal("quiet zone not white")
+	}
+	bx := (emblem.QuietModules + 1) * l.PxPerModule
+	if img.At(bx, bx) != 0 {
+		t.Fatal("border not black")
+	}
+}

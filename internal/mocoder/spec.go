@@ -1,0 +1,57 @@
+package mocoder
+
+import (
+	"microlonys/internal/emblem"
+	"microlonys/internal/rs"
+)
+
+// LayoutSpec describes how one emblem layout is filled: the stream
+// budget, header block size and the inner-code block structure. The
+// experiment harness uses it to aim failure injection at exact codeword
+// positions; capacity reporting uses it for density arithmetic.
+type LayoutSpec struct {
+	StreamBits    int   // modulated bits along the data path
+	HeaderBytes   int   // replicated header block at the stream start
+	CodedBytes    int   // bytes available to the inner-code stream
+	BlockDataLens []int // data bytes per inner RS block
+	Capacity      int   // payload bytes (sum of BlockDataLens)
+}
+
+// Spec computes the layout's fill plan.
+func Spec(l emblem.Layout) LayoutSpec {
+	s := LayoutSpec{
+		StreamBits:    l.StreamBits(),
+		HeaderBytes:   emblem.HeaderCopies * emblem.HeaderSize,
+		CodedBytes:    codedBytes(l),
+		BlockDataLens: blockLens(codedBytes(l)),
+	}
+	for _, n := range s.BlockDataLens {
+		s.Capacity += n
+	}
+	return s
+}
+
+// StreamPos returns the stream byte offset (including the header block)
+// of codeword byte byteIdx of inner-code block b under the round-robin
+// interleave. byteIdx counts within the codeword: 0..dataLen+parity-1.
+func (s LayoutSpec) StreamPos(b, byteIdx int) int {
+	cw := make([]int, len(s.BlockDataLens))
+	for i, n := range s.BlockDataLens {
+		cw[i] = n + rs.InnerParity
+	}
+	// Round r of the interleave emits one byte from every block still
+	// longer than r, in block order.
+	pos := 0
+	for r := 0; r <= byteIdx; r++ {
+		for i, n := range cw {
+			if r >= n {
+				continue
+			}
+			if i == b && r == byteIdx {
+				return s.HeaderBytes + pos
+			}
+			pos++
+		}
+	}
+	return -1
+}

@@ -1,0 +1,265 @@
+package mocoder
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/rs"
+	"microlonys/raster"
+)
+
+func specLayout() emblem.Layout {
+	return emblem.Layout{DataW: 120, DataH: 90, PxPerModule: 3}
+}
+
+func TestSpecConsistentWithCapacity(t *testing.T) {
+	for _, l := range []emblem.Layout{
+		specLayout(),
+		{DataW: 64, DataH: 64, PxPerModule: 2},
+		{DataW: 790, DataH: 1123, PxPerModule: 6}, // paper profile
+		{DataW: 767, DataH: 1089, PxPerModule: 5}, // microfilm profile
+		{DataW: 1014, DataH: 768, PxPerModule: 2}, // cinema profile
+	} {
+		s := Spec(l)
+		if s.Capacity != Capacity(l) {
+			t.Fatalf("%dx%d: spec capacity %d != Capacity %d", l.DataW, l.DataH, s.Capacity, Capacity(l))
+		}
+		if s.HeaderBytes != emblem.HeaderCopies*emblem.HeaderSize {
+			t.Fatalf("header bytes %d", s.HeaderBytes)
+		}
+		sum := 0
+		for _, n := range s.BlockDataLens {
+			if n <= 0 || n > rs.InnerData {
+				t.Fatalf("block data len %d out of range", n)
+			}
+			sum += n
+		}
+		if sum != s.Capacity {
+			t.Fatalf("blocks sum %d != capacity %d", sum, s.Capacity)
+		}
+	}
+}
+
+func TestStreamPosBijective(t *testing.T) {
+	s := Spec(specLayout())
+	seen := map[int]bool{}
+	total := 0
+	for b, n := range s.BlockDataLens {
+		cw := n + rs.InnerParity
+		for j := 0; j < cw; j++ {
+			pos := s.StreamPos(b, j)
+			if pos < s.HeaderBytes {
+				t.Fatalf("pos %d inside header block", pos)
+			}
+			if seen[pos] {
+				t.Fatalf("stream position %d assigned twice", pos)
+			}
+			seen[pos] = true
+			total++
+		}
+	}
+	// Positions must tile a prefix of the coded region contiguously.
+	for i := 0; i < total; i++ {
+		if !seen[s.HeaderBytes+i] {
+			t.Fatalf("stream position %d unassigned", s.HeaderBytes+i)
+		}
+	}
+}
+
+func TestStreamPosOutOfRange(t *testing.T) {
+	s := Spec(specLayout())
+	if got := s.StreamPos(0, s.BlockDataLens[0]+rs.InnerParity); got != -1 {
+		t.Fatalf("out-of-range byteIdx gave %d", got)
+	}
+}
+
+// TestStreamPosTargetsBlockByte proves StreamPos points at the byte it
+// claims: corrupting exactly that stream byte must surface as a
+// correction in that block alone.
+func TestStreamPosTargetsBlockByte(t *testing.T) {
+	l := specLayout()
+	s := Spec(l)
+	if len(s.BlockDataLens) < 2 {
+		t.Skip("layout has a single block")
+	}
+	payload := make([]byte, s.Capacity)
+	rand.New(rand.NewSource(1)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+
+	img, err := EncodeDamaged(payload, hdr, l, func(stream []byte) {
+		stream[s.StreamPos(1, 5)] ^= 0xFF
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, st, err := Decode(img, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not recovered")
+	}
+	if st.BytesCorrected != 1 {
+		t.Fatalf("corrected %d bytes, want exactly 1", st.BytesCorrected)
+	}
+}
+
+// TestInnerCodeThreshold pins the §3.1 claim exactly: RS(255,223)
+// corrects 16 damaged bytes per block (16/223 ≈ 7.2 % of user data) and
+// fails loudly at 17.
+func TestInnerCodeThreshold(t *testing.T) {
+	l := specLayout()
+	s := Spec(l)
+	payload := make([]byte, s.Capacity)
+	rand.New(rand.NewSource(2)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+
+	damageN := func(n int) (*Stats, []byte, error) {
+		rng := rand.New(rand.NewSource(42))
+		img, err := EncodeDamaged(payload, hdr, l, func(stream []byte) {
+			for blk, dataLen := range s.BlockDataLens {
+				k := n
+				if k > dataLen {
+					k = dataLen
+				}
+				for _, j := range rng.Perm(dataLen)[:k] {
+					stream[s.StreamPos(blk, j)] ^= 0x5A
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, st, err := Decode(img, l)
+		return st, got, err
+	}
+
+	st, got, err := damageN(rs.InnerParity / 2) // 16: at the bound
+	if err != nil {
+		t.Fatalf("16 errors/block must decode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("16 errors/block: wrong payload")
+	}
+	if st.BytesCorrected < rs.InnerParity/2 {
+		t.Fatalf("corrected %d, expected ≥16", st.BytesCorrected)
+	}
+
+	if _, _, err := damageN(rs.InnerParity/2 + 1); err == nil { // 17: beyond
+		t.Fatal("17 errors/block decoded; must fail loudly")
+	}
+}
+
+// TestJitterCrossover reproduces the E9 design argument as a unit test:
+// at a jitter amplitude chosen from the benchmark sweep, the
+// self-clocking emblem still decodes while the absolute-grid emblem
+// (same geometry, no clock pairing) has already failed.
+func TestJitterCrossover(t *testing.T) {
+	l := emblem.Layout{DataW: 120, DataH: 90, PxPerModule: 2}
+	payload := make([]byte, Capacity(l))
+	rand.New(rand.NewSource(4)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+
+	dm, err := Encode(payload, hdr, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := EncodeAbsolute(payload, hdr, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sweep seeds at a fixed amplitude; count successes of both arms.
+	// The jitter warp is implemented locally (a bounded random walk per
+	// scan line, like media.Distortions) so this test stays independent
+	// of the media package.
+	const amplitude = 4.0
+	dmOK, absOK := 0, 0
+	const seeds = 12
+	for seed := int64(1); seed <= seeds; seed++ {
+		warp := rowJitterWarp(amplitude, seed)
+		if got, _, _, err := Decode(warp(dm), l); err == nil && bytes.Equal(got, payload) {
+			dmOK++
+		}
+		if got, _, _, err := DecodeAbsolute(warp(abs), l); err == nil && bytes.Equal(got, payload) {
+			absOK++
+		}
+	}
+	if dmOK <= absOK {
+		t.Fatalf("self-clocking advantage not visible: dm %d/%d vs absolute %d/%d",
+			dmOK, seeds, absOK, seeds)
+	}
+	if dmOK < seeds*2/3 {
+		t.Fatalf("dm arm too fragile at %gpx: %d/%d", amplitude, dmOK, seeds)
+	}
+}
+
+// rowJitterWarp returns a warp applying a bounded random-walk horizontal
+// drift per scan line — the unsteady-transport model of §3.1.
+func rowJitterWarp(amplitude float64, seed int64) func(*raster.Gray) *raster.Gray {
+	return func(img *raster.Gray) *raster.Gray {
+		rng := rand.New(rand.NewSource(seed))
+		drift := make([]float64, img.H)
+		cur := 0.0
+		for y := range drift {
+			cur += rng.NormFloat64() * amplitude / 18
+			if cur > amplitude {
+				cur = amplitude
+			}
+			if cur < -amplitude {
+				cur = -amplitude
+			}
+			drift[y] = cur
+		}
+		return img.Warp(func(x, y float64) (float64, float64) {
+			yi := int(y)
+			if yi >= 0 && yi < len(drift) {
+				return x + drift[yi], y
+			}
+			return x, y
+		})
+	}
+}
+
+// TestBurstSpreadByInterleave verifies the reason the inner codewords
+// are byte-interleaved across the emblem: contiguous damage (a dust
+// blob, a scratch) divides evenly among blocks instead of overwhelming
+// one. With three blocks, a 48-byte burst is 16 errors per block —
+// exactly correctable — while 54 contiguous bytes (18 per block) must
+// fail loudly.
+func TestBurstSpreadByInterleave(t *testing.T) {
+	l := specLayout()
+	s := Spec(l)
+	if len(s.BlockDataLens) != 3 {
+		t.Fatalf("layout has %d blocks; the arithmetic below assumes 3", len(s.BlockDataLens))
+	}
+	payload := make([]byte, s.Capacity)
+	rand.New(rand.NewSource(6)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+
+	burst := func(k int) ([]byte, error) {
+		img, err := EncodeDamaged(payload, hdr, l, func(stream []byte) {
+			for i := 0; i < k; i++ {
+				stream[s.HeaderBytes+i] ^= 0x77
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := Decode(img, l)
+		return got, err
+	}
+
+	got, err := burst(3 * rs.InnerParity / 2) // 48 bytes: 16 per block
+	if err != nil {
+		t.Fatalf("48-byte burst must decode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("48-byte burst: wrong payload")
+	}
+	if _, err := burst(3*rs.InnerParity/2 + 6); err == nil { // 54 bytes: 18 per block
+		t.Fatal("54-byte burst decoded; interleave cannot stretch that far")
+	}
+}

@@ -1,0 +1,345 @@
+package qrbase
+
+import (
+	"fmt"
+	"math"
+
+	"microlonys/internal/rs"
+	"microlonys/raster"
+)
+
+// Stats reports decoder effort, mirroring mocoder.Stats for the E9
+// comparison harness.
+type Stats struct {
+	Threshold      byte
+	Version        int
+	ModulePitch    float64 // estimated pixels per module
+	BytesCorrected int
+	BlocksDecoded  int
+}
+
+type point struct{ x, y float64 }
+
+// Decode locates the barcode in a scan and returns the payload. The
+// parity strength must match the encoder's (it is a property of the
+// archive format, not of a single symbol).
+func Decode(img *raster.Gray, parity int) ([]byte, *Stats, error) {
+	st := &Stats{Threshold: img.OtsuThreshold()}
+
+	finders, pitch, err := findFinders(img, st.Threshold)
+	if err != nil {
+		return nil, st, err
+	}
+	st.ModulePitch = pitch
+
+	tl, tr, bl, err := orientFinders(finders)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Estimate grid size from finder spacing: centres are (size-7)
+	// modules apart.
+	d1 := math.Hypot(tr.x-tl.x, tr.y-tl.y)
+	d2 := math.Hypot(bl.x-tl.x, bl.y-tl.y)
+	span := (d1 + d2) / 2 / pitch
+	version := int(math.Round((span + 7 - 17) / 4))
+	if version < MinVersion {
+		version = MinVersion
+	}
+	if version > MaxVersion {
+		version = MaxVersion
+	}
+	// sample reads every data module of a candidate version on a rigid
+	// affine grid anchored at the three finder centres — the QR-style
+	// absolute sampling the paper contrasts with self-clocking emblems.
+	sample := func(c *Code) []byte {
+		n := c.size()
+		sp := float64(n - 7)
+		ex := point{(tr.x - tl.x) / sp, (tr.y - tl.y) / sp}
+		ey := point{(bl.x - tl.x) / sp, (bl.y - tl.y) / sp}
+		var bits []byte
+		var acc byte
+		nacc := 0
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if c.isFunction(x, y) {
+					continue
+				}
+				// Module x's centre sits at module coordinate x+0.5; the
+				// finder centres anchor coordinate 3.5.
+				u, v := float64(x)+0.5-3.5, float64(y)+0.5-3.5
+				p := point{tl.x + ex.x*u + ey.x*v, tl.y + ex.y*u + ey.y*v}
+				b := 0
+				if img.SampleBilinear(p.x, p.y) < float64(st.Threshold) {
+					b = 1
+				}
+				if mask(x, y) {
+					b ^= 1
+				}
+				acc = acc<<1 | byte(b)
+				nacc++
+				if nacc == 8 {
+					bits = append(bits, acc)
+					acc, nacc = 0, 0
+				}
+			}
+		}
+		if nacc > 0 {
+			bits = append(bits, acc<<(8-nacc))
+		}
+		return bits
+	}
+
+	c := &Code{Version: version, Parity: parity}
+	bits := sample(c)
+
+	// Header: majority of three copies, falling back to each copy.
+	parseVoted := func(bits []byte) (int, int, error) {
+		if len(bits) < headerCopies*headerSize {
+			return 0, 0, fmt.Errorf("%w: stream too short", ErrBadHeader)
+		}
+		voted := make([]byte, headerSize)
+		for i := range voted {
+			a, b2, c2 := bits[i], bits[headerSize+i], bits[2*headerSize+i]
+			voted[i] = a&b2 | a&c2 | b2&c2
+		}
+		hv, pl, err := parseHeader(voted)
+		if err == nil {
+			return hv, pl, nil
+		}
+		for k := 0; k < headerCopies; k++ {
+			if hv, pl, err2 := parseHeader(bits[k*headerSize:]); err2 == nil {
+				return hv, pl, nil
+			}
+		}
+		return 0, 0, err
+	}
+	hv, payloadLen, err := parseVoted(bits)
+	if err != nil {
+		return nil, st, err
+	}
+	if hv != version && hv >= MinVersion && hv <= MaxVersion {
+		// Header knows best: the finder-derived size estimate can be off
+		// by one version under heavy distortion. Resample once.
+		c = &Code{Version: hv, Parity: parity}
+		bits = sample(c)
+		if _, pl, err2 := parseVoted(bits); err2 == nil {
+			payloadLen = pl
+		}
+		version = hv
+	}
+	st.Version = version
+
+	lens := c.blockLens()
+	coded := bits[headerCopies*headerSize:]
+	blocks := deinterleave(coded, lens, parity)
+	code := rs.New(parity)
+	payload := make([]byte, 0, c.Capacity())
+	for i, cw := range blocks {
+		nFix, err := code.Decode(cw, nil)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: block %d/%d: %v", ErrDamaged, i+1, len(blocks), err)
+		}
+		st.BytesCorrected += nFix
+		st.BlocksDecoded++
+		payload = append(payload, cw[:lens[i]]...)
+	}
+	if payloadLen > len(payload) {
+		return nil, st, fmt.Errorf("%w: header claims %d bytes, capacity %d", ErrBadHeader, payloadLen, len(payload))
+	}
+	return payload[:payloadLen], st, nil
+}
+
+// findFinders locates the three position patterns by scanning rows for
+// the characteristic 1:1:3:1:1 black/white run ratio, verifying each
+// candidate vertically, then clustering the hits.
+func findFinders(img *raster.Gray, thr byte) ([]point, float64, error) {
+	type hit struct {
+		p     point
+		width float64 // finder width in pixels (7 modules)
+	}
+	var hits []hit
+
+	checkRatio := func(runs [5]int) bool {
+		unit := float64(runs[0]+runs[1]+runs[2]+runs[3]+runs[4]) / 7
+		if unit < 1 {
+			return false
+		}
+		want := [5]float64{1, 1, 3, 1, 1}
+		for i, r := range runs {
+			if math.Abs(float64(r)-want[i]*unit) > unit*0.75 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// verifyVertical runs the same ratio test along the column through x.
+	verifyVertical := func(x, y int) (cy float64, h float64, ok bool) {
+		dark := func(yy int) bool { return img.At(x, yy) < thr }
+		if !dark(y) {
+			return 0, 0, false
+		}
+		up, down := y, y
+		for up > 0 && dark(up-1) {
+			up--
+		}
+		for down < img.H-1 && dark(down+1) {
+			down++
+		}
+		core := down - up + 1
+		// Walk outwards: white, black rings.
+		w1top, b1top := 0, 0
+		yy := up - 1
+		for yy >= 0 && !dark(yy) {
+			w1top++
+			yy--
+		}
+		for yy >= 0 && dark(yy) {
+			b1top++
+			yy--
+		}
+		topEnd := yy + 1
+		w1bot, b1bot := 0, 0
+		yy = down + 1
+		for yy < img.H && !dark(yy) {
+			w1bot++
+			yy++
+		}
+		for yy < img.H && dark(yy) {
+			b1bot++
+			yy++
+		}
+		botEnd := yy - 1
+		runs := [5]int{b1top, w1top, core, w1bot, b1bot}
+		if !checkRatio(runs) {
+			return 0, 0, false
+		}
+		return (float64(topEnd) + float64(botEnd)) / 2, float64(botEnd - topEnd + 1), true
+	}
+
+	for y := 0; y < img.H; y++ {
+		// Run-length encode the row.
+		var runs []int
+		var starts []int
+		cur := img.At(0, y) < thr
+		runStart, runLen := 0, 0
+		for x := 0; x <= img.W; x++ {
+			var d bool
+			if x < img.W {
+				d = img.At(x, y) < thr
+			}
+			if x < img.W && d == cur {
+				runLen++
+				continue
+			}
+			runs = append(runs, runLen)
+			starts = append(starts, runStart)
+			runStart, runLen = x, 1
+			cur = d
+		}
+		// First run colour: a run at index i is dark iff the row starts
+		// dark and i is even, or starts light and i is odd.
+		startsDark := img.At(0, y) < thr
+		for i := 0; i+4 < len(runs); i++ {
+			isDark := (i%2 == 0) == startsDark
+			if !isDark {
+				continue
+			}
+			var five [5]int
+			copy(five[:], runs[i:i+5])
+			if !checkRatio(five) {
+				continue
+			}
+			cx := float64(starts[i+2]) + (float64(runs[i+2])-1)/2
+			cy, vh, ok := verifyVertical(int(cx), y)
+			if !ok {
+				continue
+			}
+			hw := float64(five[0] + five[1] + five[2] + five[3] + five[4])
+			if math.Abs(hw-vh) > math.Max(hw, vh)*0.4 {
+				continue // not square enough
+			}
+			hits = append(hits, hit{point{cx, cy}, (hw + vh) / 2})
+		}
+	}
+	if len(hits) < 3 {
+		return nil, 0, ErrNotFound
+	}
+
+	// Cluster hits by proximity (within half a finder width).
+	type cluster struct {
+		sx, sy, sw float64
+		n          int
+	}
+	var clusters []*cluster
+	for _, h := range hits {
+		placed := false
+		for _, c := range clusters {
+			cx, cy := c.sx/float64(c.n), c.sy/float64(c.n)
+			if math.Hypot(h.p.x-cx, h.p.y-cy) < h.width/2 {
+				c.sx += h.p.x
+				c.sy += h.p.y
+				c.sw += h.width
+				c.n++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{h.p.x, h.p.y, h.width, 1})
+		}
+	}
+	if len(clusters) < 3 {
+		return nil, 0, ErrNotFound
+	}
+	// Keep the three clusters with the most supporting hits.
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			if clusters[j].n > clusters[i].n {
+				clusters[i], clusters[j] = clusters[j], clusters[i]
+			}
+		}
+	}
+	clusters = clusters[:3]
+	pts := make([]point, 3)
+	pitch := 0.0
+	for i, c := range clusters {
+		pts[i] = point{c.sx / float64(c.n), c.sy / float64(c.n)}
+		pitch += c.sw / float64(c.n) / finderBox
+	}
+	return pts, pitch / 3, nil
+}
+
+// orientFinders identifies which finder is top-left (the corner where the
+// two edge vectors are closest to perpendicular) and orders the other two
+// so the grid has positive orientation.
+func orientFinders(p []point) (tl, tr, bl point, err error) {
+	if len(p) != 3 {
+		return tl, tr, bl, ErrNotFound
+	}
+	best, bestDot := -1, math.MaxFloat64
+	for i := 0; i < 3; i++ {
+		a, b := p[(i+1)%3], p[(i+2)%3]
+		vx1, vy1 := a.x-p[i].x, a.y-p[i].y
+		vx2, vy2 := b.x-p[i].x, b.y-p[i].y
+		dot := math.Abs(vx1*vx2+vy1*vy2) / (math.Hypot(vx1, vy1) * math.Hypot(vx2, vy2))
+		if dot < bestDot {
+			bestDot, best = dot, i
+		}
+	}
+	if bestDot > 0.35 { // ~70° tolerance window around perpendicular
+		return tl, tr, bl, fmt.Errorf("%w: finder geometry not square", ErrNotFound)
+	}
+	tl = p[best]
+	a, b := p[(best+1)%3], p[(best+2)%3]
+	// Cross product sign picks the right-handed assignment (x right,
+	// y down in image space).
+	cross := (a.x-tl.x)*(b.y-tl.y) - (a.y-tl.y)*(b.x-tl.x)
+	if cross > 0 {
+		tr, bl = a, b
+	} else {
+		tr, bl = b, a
+	}
+	return tl, tr, bl, nil
+}

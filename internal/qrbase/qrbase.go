@@ -1,0 +1,367 @@
+// Package qrbase implements a QR-style two-dimensional barcode — the
+// baseline §3.1 of the paper argues against for archival use.
+//
+// The code reproduces the structural elements the paper describes for QR
+// codes: three 7×7 position (finder) patterns in three corners, two
+// timing patterns (one per dimension), an alignment pattern, and a fixed
+// square module grid in which each data bit is a single black or white
+// module. Decoding anchors a rigid affine grid on the three finder
+// centres and samples every module at its nominal position — there is no
+// self-clocking layer, so low-scale distortions (scanner jitter, lens
+// curvature, scale drift) accumulate across the grid instead of being
+// absorbed locally as Differential-Manchester emblems absorb them.
+//
+// The package exists to regenerate the paper's two comparative claims:
+//
+//   - capacity: "QR codes and other 2D barcodes typically store a few
+//     kilobytes of information at best" — see MaxCapacity and the version
+//     table, which top out near 3 KB even at the largest grid;
+//   - robustness: QR-style absolute grids tolerate large-scale distortion
+//     (rotation, affine viewing) but not the low-scale unsteady-motion
+//     errors of archival scanners — benchmarked against mocoder in E9.
+//
+// Error correction reuses the same inner Reed-Solomon code family as
+// MOCoder so that the comparison isolates the layout/clocking design.
+package qrbase
+
+import (
+	"errors"
+	"fmt"
+
+	"microlonys/internal/bitio"
+	"microlonys/internal/emblem"
+	"microlonys/internal/rs"
+	"microlonys/raster"
+)
+
+// Version bounds follow the QR standard: version v is a square of
+// 17+4v modules per side.
+const (
+	MinVersion = 1
+	MaxVersion = 40
+)
+
+// QuietModules is the white margin around the symbol, per the QR spec.
+const QuietModules = 4
+
+// finderBox is the side of a finder pattern; with its separator it
+// occupies an 8×8 corner region.
+const finderBox = 7
+
+// headerSize is the in-stream header: magic, version, payload length
+// (big endian), CRC-16. Stored headerCopies times for majority voting.
+const (
+	headerSize   = 6
+	headerCopies = 3
+	headerMagic  = 0xB7
+)
+
+// DefaultParity is the Reed-Solomon parity bytes per block — the same
+// strength as MOCoder's inner code, for a like-for-like comparison.
+const DefaultParity = rs.InnerParity
+
+// Errors.
+var (
+	ErrTooLarge  = errors.New("qrbase: payload exceeds the largest version")
+	ErrNotFound  = errors.New("qrbase: finder patterns not located")
+	ErrDamaged   = errors.New("qrbase: damage beyond error correction")
+	ErrBadHeader = errors.New("qrbase: header unreadable")
+)
+
+// Size returns the side of version v in modules.
+func Size(v int) int { return 17 + 4*v }
+
+// Code describes one barcode geometry.
+type Code struct {
+	Version int
+	Parity  int // RS parity bytes per block
+}
+
+// New returns a Code for the given version, validating bounds.
+func New(version, parity int) (*Code, error) {
+	if version < MinVersion || version > MaxVersion {
+		return nil, fmt.Errorf("qrbase: version %d out of range [%d,%d]", version, MinVersion, MaxVersion)
+	}
+	if parity < 2 || parity > 128 || parity%2 != 0 {
+		return nil, fmt.Errorf("qrbase: parity %d not an even value in [2,128]", parity)
+	}
+	return &Code{Version: version, Parity: parity}, nil
+}
+
+// size is the module side length.
+func (c *Code) size() int { return Size(c.Version) }
+
+// isFunction reports whether module (x, y) belongs to a function pattern
+// (finder+separator corners, timing row/column, alignment pattern).
+func (c *Code) isFunction(x, y int) bool {
+	n := c.size()
+	// Finder + separator regions: 8×8 at TL, TR, BL.
+	if x < finderBox+1 && y < finderBox+1 {
+		return true
+	}
+	if x >= n-finderBox-1 && y < finderBox+1 {
+		return true
+	}
+	if x < finderBox+1 && y >= n-finderBox-1 {
+		return true
+	}
+	// Timing patterns.
+	if x == 6 || y == 6 {
+		return true
+	}
+	// Alignment pattern (5×5 centred at (n-7, n-7)) for versions ≥ 2.
+	if c.Version >= 2 {
+		if x >= n-9 && x <= n-5 && y >= n-9 && y <= n-5 {
+			return true
+		}
+	}
+	return false
+}
+
+// DataModules returns the number of modules available for data bits.
+func (c *Code) DataModules() int {
+	n := c.size()
+	count := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if !c.isFunction(x, y) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// blockLens splits the coded-byte budget into RS block data lengths.
+func (c *Code) blockLens() []int {
+	coded := c.DataModules()/8 - headerCopies*headerSize
+	if coded <= c.Parity {
+		return nil
+	}
+	blockTotal := 255
+	var lens []int
+	for coded > 0 {
+		t := blockTotal
+		if t > coded {
+			t = coded
+		}
+		d := t - c.Parity
+		if d <= 0 {
+			break
+		}
+		lens = append(lens, d)
+		coded -= t
+	}
+	return lens
+}
+
+// Capacity returns the payload bytes version v with the given parity can
+// carry.
+func (c *Code) Capacity() int {
+	total := 0
+	for _, n := range c.blockLens() {
+		total += n
+	}
+	return total
+}
+
+// MaxCapacity returns the largest payload any version carries at the
+// given parity strength — the paper's "a few kilobytes at best".
+func MaxCapacity(parity int) int {
+	c := &Code{Version: MaxVersion, Parity: parity}
+	return c.Capacity()
+}
+
+// FitVersion returns the smallest version whose capacity holds n bytes.
+func FitVersion(n, parity int) (int, error) {
+	for v := MinVersion; v <= MaxVersion; v++ {
+		c := &Code{Version: v, Parity: parity}
+		if c.Capacity() >= n {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, MaxCapacity(parity))
+}
+
+// mask is the checkerboard mask applied to data modules so that long runs
+// of identical bits do not produce large uniform areas (QR mask 0).
+func mask(x, y int) bool { return (x+y)%2 == 0 }
+
+// Encode renders the payload as a barcode image at px pixels per module,
+// picking the smallest version that fits.
+func Encode(payload []byte, parity, px int) (*raster.Gray, *Code, error) {
+	v, err := FitVersion(len(payload), parity)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := New(v, parity)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := c.Encode(payload, px)
+	return img, c, err
+}
+
+// Encode renders the payload at px pixels per module.
+func (c *Code) Encode(payload []byte, px int) (*raster.Gray, error) {
+	if px < 1 {
+		return nil, fmt.Errorf("qrbase: pixels per module %d < 1", px)
+	}
+	capBytes := c.Capacity()
+	if len(payload) > capBytes {
+		return nil, fmt.Errorf("qrbase: payload %d bytes exceeds version %d capacity %d", len(payload), c.Version, capBytes)
+	}
+
+	// Header ×3 plus interleaved RS blocks.
+	hdr := c.marshalHeader(len(payload))
+	stream := make([]byte, 0, headerCopies*headerSize+capBytes+c.Parity)
+	for i := 0; i < headerCopies; i++ {
+		stream = append(stream, hdr...)
+	}
+	padded := make([]byte, capBytes)
+	copy(padded, payload)
+	code := rs.New(c.Parity)
+	var blocks [][]byte
+	off := 0
+	for _, n := range c.blockLens() {
+		blocks = append(blocks, code.EncodeFull(padded[off:off+n]))
+		off += n
+	}
+	stream = append(stream, interleave(blocks)...)
+
+	w := bitio.NewWriter()
+	w.WriteBytes(stream)
+	bits := w.Bytes()
+
+	// Paint.
+	n := c.size()
+	full := n + 2*QuietModules
+	img := raster.New(full*px, full*px)
+	setModule := func(x, y int, black bool) {
+		if black {
+			img.FillRect((QuietModules+x)*px, (QuietModules+y)*px,
+				(QuietModules+x+1)*px, (QuietModules+y+1)*px, 0)
+		}
+	}
+	c.paintFunction(setModule)
+
+	bitIdx := 0
+	nbits := len(bits) * 8
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if c.isFunction(x, y) {
+				continue
+			}
+			b := 0
+			if bitIdx < nbits {
+				b = int(bits[bitIdx/8]>>(7-bitIdx%8)) & 1
+			} else {
+				b = bitIdx & 1 // filler
+			}
+			if mask(x, y) {
+				b ^= 1
+			}
+			setModule(x, y, b == 1)
+			bitIdx++
+		}
+	}
+	return img, nil
+}
+
+// paintFunction draws finders, separators (implicitly white), timing and
+// alignment patterns.
+func (c *Code) paintFunction(set func(x, y int, black bool)) {
+	n := c.size()
+	finder := func(ox, oy int) {
+		for y := 0; y < finderBox; y++ {
+			for x := 0; x < finderBox; x++ {
+				ring := x == 0 || y == 0 || x == finderBox-1 || y == finderBox-1
+				core := x >= 2 && x <= 4 && y >= 2 && y <= 4
+				set(ox+x, oy+y, ring || core)
+			}
+		}
+	}
+	finder(0, 0)
+	finder(n-finderBox, 0)
+	finder(0, n-finderBox)
+
+	// Timing patterns: alternating, black on even module index.
+	for i := finderBox + 1; i < n-finderBox-1; i++ {
+		set(i, 6, i%2 == 0)
+		set(6, i, i%2 == 0)
+	}
+
+	// Alignment pattern: 5×5 black ring, white ring, black centre.
+	if c.Version >= 2 {
+		cx, cy := n-7, n-7
+		for dy := -2; dy <= 2; dy++ {
+			for dx := -2; dx <= 2; dx++ {
+				ring := dx == -2 || dx == 2 || dy == -2 || dy == 2
+				set(cx+dx, cy+dy, ring || (dx == 0 && dy == 0))
+			}
+		}
+	}
+}
+
+func (c *Code) marshalHeader(payloadLen int) []byte {
+	b := []byte{headerMagic, byte(c.Version), byte(payloadLen >> 8), byte(payloadLen)}
+	crc := emblem.CRC16(b)
+	return append(b, byte(crc>>8), byte(crc))
+}
+
+func parseHeader(b []byte) (version, payloadLen int, err error) {
+	if len(b) < headerSize {
+		return 0, 0, fmt.Errorf("%w: short", ErrBadHeader)
+	}
+	if b[0] != headerMagic {
+		return 0, 0, fmt.Errorf("%w: magic %#x", ErrBadHeader, b[0])
+	}
+	if emblem.CRC16(b[:4]) != uint16(b[4])<<8|uint16(b[5]) {
+		return 0, 0, fmt.Errorf("%w: CRC mismatch", ErrBadHeader)
+	}
+	return int(b[1]), int(b[2])<<8 | int(b[3]), nil
+}
+
+func interleave(blocks [][]byte) []byte {
+	maxLen, total := 0, 0
+	for _, b := range blocks {
+		total += len(b)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	out := make([]byte, 0, total)
+	for i := 0; i < maxLen; i++ {
+		for _, b := range blocks {
+			if i < len(b) {
+				out = append(out, b[i])
+			}
+		}
+	}
+	return out
+}
+
+func deinterleave(stream []byte, lens []int, parity int) [][]byte {
+	blocks := make([][]byte, len(lens))
+	idx := make([]int, len(lens))
+	maxLen := 0
+	for i, n := range lens {
+		blocks[i] = make([]byte, n+parity)
+		if n+parity > maxLen {
+			maxLen = n + parity
+		}
+	}
+	pos := 0
+	for i := 0; i < maxLen; i++ {
+		for b := range blocks {
+			if i < len(blocks[b]) {
+				if pos < len(stream) {
+					blocks[b][idx[b]] = stream[pos]
+				}
+				idx[b]++
+				pos++
+			}
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,241 @@
+// Package rangecoder implements the adaptive binary range coder used by
+// DBCoder (§3.1: "a generic compression scheme based on LZ77 and arithmetic
+// coding that can achieve compression performance close to 7-Zip's LZMA").
+//
+// The coder is the classic LZMA-style carry-less range coder: 32-bit range,
+// 11-bit adaptive probabilities with shift-5 updates, and byte-wise
+// renormalisation. The exact bit-stream layout matters beyond this process:
+// the archived DBDecode program (DynaRisc assembly, internal/dynprog)
+// implements the same decoder instruction for instruction, so any change
+// here is a format change and must be mirrored there.
+package rangecoder
+
+import "errors"
+
+const (
+	// ProbBits is the probability precision; probabilities live in
+	// [0, 1<<ProbBits) and represent P(bit==0).
+	ProbBits = 11
+	// ProbInit is the initial (uniform) probability.
+	ProbInit = 1 << (ProbBits - 1)
+	// MoveBits is the adaptation shift.
+	MoveBits = 5
+
+	topValue = 1 << 24
+)
+
+// Prob is one adaptive binary probability.
+type Prob uint16
+
+// NewProbs returns n probabilities initialised to ProbInit.
+func NewProbs(n int) []Prob {
+	p := make([]Prob, n)
+	for i := range p {
+		p[i] = ProbInit
+	}
+	return p
+}
+
+// Encoder writes a range-coded bit stream.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+// NewEncoder returns a ready encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+// EncodeBit encodes bit with the adaptive probability *p (updated in place).
+func (e *Encoder) EncodeBit(p *Prob, bit int) {
+	bound := (e.rng >> ProbBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<ProbBits - *p) >> MoveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> MoveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// EncodeDirect encodes n bits of v (MSB first) at probability ½ without a
+// model.
+func (e *Encoder) EncodeDirect(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if v>>uint(i)&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.shiftLow()
+			e.rng <<= 8
+		}
+	}
+}
+
+func (e *Encoder) shiftLow() {
+	if e.low < 0xFF000000 || e.low >= 1<<32 {
+		carry := byte(e.low >> 32)
+		for ; e.cacheSize > 0; e.cacheSize-- {
+			e.out = append(e.out, e.cache+carry)
+			e.cache = 0xFF
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// Finish flushes the coder and returns the stream. The encoder must not be
+// reused afterwards.
+func (e *Encoder) Finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Decoder reads a range-coded bit stream produced by Encoder.
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	err  error
+}
+
+// ErrTruncated reports that the decoder ran past the end of the stream.
+var ErrTruncated = errors.New("rangecoder: truncated stream")
+
+// NewDecoder initialises a decoder over the stream p.
+func NewDecoder(p []byte) (*Decoder, error) {
+	if len(p) < 5 {
+		return nil, ErrTruncated
+	}
+	if p[0] != 0 {
+		return nil, errors.New("rangecoder: corrupt stream header")
+	}
+	d := &Decoder{rng: 0xFFFFFFFF, in: p, pos: 1}
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.in[d.pos])
+		d.pos++
+	}
+	return d, nil
+}
+
+func (d *Decoder) nextByte() uint32 {
+	if d.pos >= len(d.in) {
+		// Tolerate the standard up-to-5-byte flush tail reading past end;
+		// record the overrun and let the caller's length check decide.
+		d.err = ErrTruncated
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return uint32(b)
+}
+
+// DecodeBit decodes one bit with adaptive probability *p.
+func (d *Decoder) DecodeBit(p *Prob) int {
+	bound := (d.rng >> ProbBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<ProbBits - *p) >> MoveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> MoveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | d.nextByte()
+		d.rng <<= 8
+	}
+	return bit
+}
+
+// DecodeDirect decodes n model-free bits, MSB first.
+func (d *Decoder) DecodeDirect(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		d.rng >>= 1
+		bit := uint32(0)
+		if d.code >= d.rng {
+			d.code -= d.rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		for d.rng < topValue {
+			d.code = d.code<<8 | d.nextByte()
+			d.rng <<= 8
+		}
+	}
+	return v
+}
+
+// Err reports whether the decoder consumed bytes past the end of the input.
+func (d *Decoder) Err() error { return d.err }
+
+// BitTree codes an n-bit symbol MSB-first through 2^n-1 adaptive
+// probabilities (index 1..2^n-1, heap layout).
+type BitTree struct {
+	probs []Prob
+	bits  int
+}
+
+// NewBitTree returns a tree coder for n-bit symbols.
+func NewBitTree(n int) *BitTree {
+	return &BitTree{probs: NewProbs(1 << n), bits: n}
+}
+
+// Encode writes symbol v (< 2^n).
+func (t *BitTree) Encode(e *Encoder, v uint32) {
+	m := uint32(1)
+	for i := t.bits - 1; i >= 0; i-- {
+		b := int(v >> uint(i) & 1)
+		e.EncodeBit(&t.probs[m], b)
+		m = m<<1 | uint32(b)
+	}
+}
+
+// Decode reads a symbol.
+func (t *BitTree) Decode(d *Decoder) uint32 {
+	m := uint32(1)
+	for i := 0; i < t.bits; i++ {
+		m = m<<1 | uint32(d.DecodeBit(&t.probs[m]))
+	}
+	return m - 1<<t.bits
+}
+
+// EncodeReverse writes symbol v LSB-first (used for distance low bits).
+func (t *BitTree) EncodeReverse(e *Encoder, v uint32) {
+	m := uint32(1)
+	for i := 0; i < t.bits; i++ {
+		b := int(v & 1)
+		v >>= 1
+		e.EncodeBit(&t.probs[m], b)
+		m = m<<1 | uint32(b)
+	}
+}
+
+// DecodeReverse reads an LSB-first symbol.
+func (t *BitTree) DecodeReverse(d *Decoder) uint32 {
+	m := uint32(1)
+	var v uint32
+	for i := 0; i < t.bits; i++ {
+		b := uint32(d.DecodeBit(&t.probs[m]))
+		m = m<<1 | b
+		v |= b << uint(i)
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package rangecoder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 10000)
+	for i := range bits {
+		// Biased stream exercises adaptation.
+		if rng.Intn(10) < 3 {
+			bits[i] = 1
+		}
+	}
+	e := NewEncoder()
+	pe := Prob(ProbInit)
+	for _, b := range bits {
+		e.EncodeBit(&pe, b)
+	}
+	blob := e.Finish()
+
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := Prob(ProbInit)
+	for i, want := range bits {
+		if got := d.DecodeBit(&pd); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+	if pe != pd {
+		t.Fatalf("probability state diverged: enc=%d dec=%d", pe, pd)
+	}
+}
+
+func TestBiasedStreamCompresses(t *testing.T) {
+	// 95 % zeros should code well below 1 bit/symbol.
+	e := NewEncoder()
+	p := Prob(ProbInit)
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Intn(100) < 5 {
+			b = 1
+		}
+		e.EncodeBit(&p, b)
+	}
+	blob := e.Finish()
+	if len(blob) > n/8/2 {
+		t.Fatalf("biased stream coded to %d bytes, want < %d", len(blob), n/8/2)
+	}
+}
+
+func TestDirectBits(t *testing.T) {
+	vals := []uint32{0, 1, 0xFFFF, 12345, 1 << 20, 0x7FFFFFFF}
+	widths := []int{1, 4, 16, 14, 21, 31}
+	e := NewEncoder()
+	for i, v := range vals {
+		e.EncodeDirect(v, widths[i])
+	}
+	d, err := NewDecoder(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if got := d.DecodeDirect(widths[i]); got != want {
+			t.Fatalf("direct %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestBitTreeRoundTrip(t *testing.T) {
+	f := func(vals []uint16) bool {
+		e := NewEncoder()
+		te := NewBitTree(8)
+		for _, v := range vals {
+			te.Encode(e, uint32(v&0xFF))
+		}
+		d, err := NewDecoder(e.Finish())
+		if err != nil {
+			return false
+		}
+		td := NewBitTree(8)
+		for _, v := range vals {
+			if td.Decode(d) != uint32(v&0xFF) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitTreeReverseRoundTrip(t *testing.T) {
+	f := func(vals []uint16) bool {
+		e := NewEncoder()
+		te := NewBitTree(5)
+		for _, v := range vals {
+			te.EncodeReverse(e, uint32(v&31))
+		}
+		d, err := NewDecoder(e.Finish())
+		if err != nil {
+			return false
+		}
+		td := NewBitTree(5)
+		for _, v := range vals {
+			if td.DecodeReverse(d) != uint32(v&31) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	// Interleave modelled bits, direct bits and trees — the layout the
+	// DBC1 token stream uses.
+	rng := rand.New(rand.NewSource(99))
+	type op struct {
+		kind int
+		val  uint32
+	}
+	ops := make([]op, 2000)
+	for i := range ops {
+		ops[i] = op{kind: rng.Intn(3), val: uint32(rng.Intn(256))}
+	}
+	e := NewEncoder()
+	pe := NewProbs(4)
+	tre := NewBitTree(8)
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			e.EncodeBit(&pe[o.val%4], int(o.val&1))
+		case 1:
+			e.EncodeDirect(o.val, 9)
+		case 2:
+			tre.Encode(e, o.val)
+		}
+	}
+	d, err := NewDecoder(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewProbs(4)
+	trd := NewBitTree(8)
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			if d.DecodeBit(&pd[o.val%4]) != int(o.val&1) {
+				t.Fatalf("op %d: bit mismatch", i)
+			}
+		case 1:
+			if d.DecodeDirect(9) != o.val {
+				t.Fatalf("op %d: direct mismatch", i)
+			}
+		case 2:
+			if trd.Decode(d) != o.val {
+				t.Fatalf("op %d: tree mismatch", i)
+			}
+		}
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	if _, err := NewDecoder([]byte{0, 1}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	if _, err := NewDecoder([]byte{1, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad leading byte accepted")
+	}
+}
+
+func TestProbBounds(t *testing.T) {
+	// Adaptation must never push a probability to 0 or the max.
+	e := NewEncoder()
+	p := Prob(ProbInit)
+	for i := 0; i < 100000; i++ {
+		e.EncodeBit(&p, 1)
+		if p == 0 {
+			t.Fatal("probability collapsed to 0")
+		}
+	}
+	p = ProbInit
+	for i := 0; i < 100000; i++ {
+		e.EncodeBit(&p, 0)
+		if p >= 1<<ProbBits {
+			t.Fatal("probability reached max")
+		}
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	e := NewEncoder()
+	p := Prob(ProbInit)
+	for i := 0; i < b.N; i++ {
+		e.EncodeBit(&p, i&1)
+	}
+}

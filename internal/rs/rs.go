@@ -1,0 +1,294 @@
+// Package rs implements Reed-Solomon coding over GF(2^8) with full
+// errors-and-erasures decoding.
+//
+// MOCoder uses two instances of this code (§3.1 of the paper):
+//
+//   - the inner, intra-emblem code RS(255,223): blocks of 223 user bytes
+//     carry 32 redundancy bytes and correct up to 16 in-block byte errors
+//     (≈7.2 % of the user data), or up to 32 erasures;
+//   - the outer, inter-emblem code RS(20,17): byte i of three parity
+//     emblems protects byte i of seventeen data emblems, restoring a group
+//     of 20 emblems in which any three are missing altogether.
+//
+// The decoder uses the Forney-syndrome formulation: erasures are folded
+// into modified syndromes, Berlekamp-Massey finds the remaining error
+// locator, Chien search locates errata and Forney's formula computes the
+// magnitudes. Codes may be shortened (codeword length below 255).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"microlonys/internal/gf256"
+)
+
+// Code is a Reed-Solomon code with a fixed number of parity symbols.
+// A Code is immutable after New and safe for concurrent use.
+type Code struct {
+	parity int
+	gen    []byte // generator polynomial, highest-degree first, monic
+}
+
+// Standard code parameters used by MOCoder.
+const (
+	InnerData   = 223 // user bytes per inner block
+	InnerParity = 32  // redundancy bytes per inner block
+	InnerTotal  = InnerData + InnerParity
+
+	OuterData   = 17 // data emblems per group
+	OuterParity = 3  // parity emblems per group
+	OuterTotal  = OuterData + OuterParity
+)
+
+// ErrTooManyErrata is returned when the received word is beyond the code's
+// correction capability (detected during decoding).
+var ErrTooManyErrata = errors.New("rs: too many errors/erasures to correct")
+
+// New returns a code with the given number of parity symbols (1..254).
+func New(parity int) *Code {
+	if parity < 1 || parity > 254 {
+		panic(fmt.Sprintf("rs: invalid parity count %d", parity))
+	}
+	// g(x) = Π_{j=0}^{parity-1} (x - α^j), built highest-degree first.
+	gen := []byte{1}
+	for j := 0; j < parity; j++ {
+		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(j)})
+	}
+	return &Code{parity: parity, gen: gen}
+}
+
+// Parity returns the number of parity symbols.
+func (c *Code) Parity() int { return c.parity }
+
+// MaxData returns the maximum number of data symbols per codeword.
+func (c *Code) MaxData() int { return 255 - c.parity }
+
+// Generator returns a copy of the generator polynomial (highest-degree
+// coefficient first, always monic).
+func (c *Code) Generator() []byte { return append([]byte(nil), c.gen...) }
+
+// Encode returns the parity symbols for data. len(data) must be in
+// [1, MaxData]. The systematic codeword is data || parity.
+func (c *Code) Encode(data []byte) []byte {
+	if len(data) == 0 || len(data) > c.MaxData() {
+		panic(fmt.Sprintf("rs: data length %d out of range [1,%d]", len(data), c.MaxData()))
+	}
+	// Polynomial long division of data·x^parity by gen using an LFSR.
+	par := make([]byte, c.parity)
+	for _, d := range data {
+		factor := d ^ par[0]
+		copy(par, par[1:])
+		par[c.parity-1] = 0
+		if factor != 0 {
+			for i := 1; i < len(c.gen); i++ {
+				par[i-1] ^= gf256.Mul(c.gen[i], factor)
+			}
+		}
+	}
+	return par
+}
+
+// EncodeFull returns data || parity as a fresh slice.
+func (c *Code) EncodeFull(data []byte) []byte {
+	out := make([]byte, 0, len(data)+c.parity)
+	out = append(out, data...)
+	return append(out, c.Encode(data)...)
+}
+
+// Decode corrects codeword (data || parity) in place. erasures lists known-bad
+// byte positions (indices into codeword). It returns the number of errata
+// corrected. If the word is uncorrectable the codeword is left unspecified and
+// ErrTooManyErrata (possibly wrapped) is returned.
+func (c *Code) Decode(codeword []byte, erasures []int) (int, error) {
+	n := len(codeword)
+	if n <= c.parity || n > 255 {
+		return 0, fmt.Errorf("rs: codeword length %d out of range (%d,255]", n, c.parity)
+	}
+	if len(erasures) > c.parity {
+		return 0, fmt.Errorf("%w: %d erasures > %d parity", ErrTooManyErrata, len(erasures), c.parity)
+	}
+	for _, p := range erasures {
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, n)
+		}
+	}
+
+	synd := c.syndromes(codeword)
+	if allZero(synd) {
+		return 0, nil // clean word; erasure hints were spurious
+	}
+
+	t := c.parity
+	e := len(erasures)
+
+	// Erasure locator Λ_E(x) = Π (1 - X_k x), low-order first.
+	// The locator of position p is X = α^(n-1-p) (degree of that symbol).
+	lambdaE := []byte{1}
+	for _, p := range erasures {
+		x := gf256.Exp(n - 1 - p)
+		lambdaE = polyMulLow(lambdaE, []byte{1, x})
+	}
+
+	// Forney syndromes T = S·Λ_E mod x^t; entries e..t-1 form a pure
+	// exponential sequence driven by the *error* locators only.
+	fs := polyMulLow(synd, lambdaE)
+	if len(fs) > t {
+		fs = fs[:t]
+	}
+
+	// Berlekamp-Massey on u_i = T[e+i].
+	u := fs[e:]
+	gamma, L := berlekampMassey(u)
+	if 2*L > len(u) {
+		return 0, fmt.Errorf("%w: locator degree %d exceeds capacity", ErrTooManyErrata, L)
+	}
+
+	// Errata locator and Chien search over all symbol degrees.
+	lambda := polyMulLow(gamma, lambdaE)
+	degLambda := len(lambda) - 1
+	for degLambda > 0 && lambda[degLambda] == 0 {
+		degLambda--
+	}
+	lambda = lambda[:degLambda+1]
+
+	var positions []int // positions in codeword
+	for d := 0; d < n; d++ {
+		// Root at x = α^{-d} ⇔ symbol with degree d is in error.
+		if polyEvalLow(lambda, gf256.Exp(-d)) == 0 {
+			positions = append(positions, n-1-d)
+		}
+	}
+	if len(positions) != degLambda {
+		return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrTooManyErrata, degLambda, len(positions))
+	}
+
+	// Evaluator Ω = S·Λ mod x^t and Forney magnitudes
+	// Y = X·Ω(X^{-1}) / Λ'(X^{-1}).
+	omega := polyMulLow(synd, lambda)
+	if len(omega) > t {
+		omega = omega[:t]
+	}
+	lambdaPrime := formalDerivativeLow(lambda)
+
+	for _, p := range positions {
+		d := n - 1 - p
+		xInv := gf256.Exp(-d)
+		denom := polyEvalLow(lambdaPrime, xInv)
+		if denom == 0 {
+			return 0, fmt.Errorf("%w: Forney denominator vanished", ErrTooManyErrata)
+		}
+		y := gf256.Mul(gf256.Exp(d), gf256.Div(polyEvalLow(omega, xInv), denom))
+		codeword[p] ^= y
+	}
+
+	// Re-check: a decoding beyond capacity can "correct" to a wrong word
+	// whose syndromes are nonzero only if something above went off-script.
+	if !allZero(c.syndromes(codeword)) {
+		return 0, fmt.Errorf("%w: residual syndromes after correction", ErrTooManyErrata)
+	}
+	return len(positions), nil
+}
+
+// syndromes returns S_j = C(α^j) for j = 0..parity-1 (low-order first).
+func (c *Code) syndromes(codeword []byte) []byte {
+	s := make([]byte, c.parity)
+	for j := range s {
+		s[j] = gf256.PolyEval(codeword, gf256.Exp(j))
+	}
+	return s
+}
+
+func allZero(p []byte) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// berlekampMassey finds the minimal LFSR C (low-order first, C[0]=1) with
+// Σ_i C_i·u_{r-i} = 0 for all r in [L, len(u)), returning C and its degree L.
+func berlekampMassey(u []byte) ([]byte, int) {
+	cPoly := []byte{1}
+	bPoly := []byte{1}
+	L, m := 0, 1
+	b := byte(1)
+	for r := 0; r < len(u); r++ {
+		delta := u[r]
+		for i := 1; i <= L && i < len(cPoly); i++ {
+			delta ^= gf256.Mul(cPoly[i], u[r-i])
+		}
+		switch {
+		case delta == 0:
+			m++
+		case 2*L <= r:
+			tPoly := append([]byte(nil), cPoly...)
+			cPoly = subScaledShift(cPoly, bPoly, gf256.Div(delta, b), m)
+			L = r + 1 - L
+			bPoly = tPoly
+			b = delta
+			m = 1
+		default:
+			cPoly = subScaledShift(cPoly, bPoly, gf256.Div(delta, b), m)
+			m++
+		}
+	}
+	return cPoly, L
+}
+
+// subScaledShift returns c - coef·x^shift·b (low-order-first slices).
+func subScaledShift(c, b []byte, coef byte, shift int) []byte {
+	n := len(b) + shift
+	if len(c) > n {
+		n = len(c)
+	}
+	out := make([]byte, n)
+	copy(out, c)
+	for i, bv := range b {
+		out[i+shift] ^= gf256.Mul(bv, coef)
+	}
+	return out
+}
+
+// polyMulLow multiplies two low-order-first polynomials.
+func polyMulLow(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			if bv != 0 {
+				out[i+j] ^= gf256.Mul(av, bv)
+			}
+		}
+	}
+	return out
+}
+
+// polyEvalLow evaluates a low-order-first polynomial at x.
+func polyEvalLow(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gf256.Mul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// formalDerivativeLow returns p' for low-order-first p over GF(2^8):
+// the term c·x^k differentiates to (k mod 2)·c·x^{k-1}.
+func formalDerivativeLow(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlonys/internal/gf256"
+)
+
+func TestGeneratorRoots(t *testing.T) {
+	c := New(32)
+	g := c.Generator()
+	for j := 0; j < 32; j++ {
+		if v := gf256.PolyEval(g, gf256.Exp(j)); v != 0 {
+			t.Fatalf("g(α^%d) = %#x, want 0", j, v)
+		}
+	}
+	if len(g) != 33 || g[0] != 1 {
+		t.Fatalf("generator not monic degree-32: len=%d g0=%d", len(g), g[0])
+	}
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	c := New(16)
+	data := []byte("universal layout emulation for long-term database archival")
+	cw := c.EncodeFull(data)
+	// A valid codeword evaluates to zero at every generator root.
+	for j := 0; j < 16; j++ {
+		if v := gf256.PolyEval(cw, gf256.Exp(j)); v != 0 {
+			t.Fatalf("syndrome %d = %#x", j, v)
+		}
+	}
+}
+
+func TestDecodeClean(t *testing.T) {
+	c := New(8)
+	cw := c.EncodeFull([]byte{1, 2, 3, 4, 5})
+	n, err := c.Decode(cw, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+}
+
+func corrupt(cw []byte, rng *rand.Rand, count int) []int {
+	positions := rng.Perm(len(cw))[:count]
+	for _, p := range positions {
+		old := cw[p]
+		for cw[p] == old {
+			cw[p] = byte(rng.Intn(256))
+		}
+	}
+	return positions
+}
+
+func TestErrorsOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(32)
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 223)
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		nerr := rng.Intn(17) // 0..16 = t/2
+		corrupt(cw, rng, nerr)
+		n, err := c.Decode(cw, nil)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if n != nerr {
+			t.Fatalf("trial %d: corrected %d, injected %d", trial, n, nerr)
+		}
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("trial %d: wrong correction", trial)
+		}
+	}
+}
+
+func TestErasuresOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(32)
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 223)
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		nera := rng.Intn(33) // up to 32 erasures
+		pos := corrupt(cw, rng, nera)
+		if _, err := c.Decode(cw, pos); err != nil {
+			t.Fatalf("trial %d (%d erasures): %v", trial, nera, err)
+		}
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("trial %d: wrong correction", trial)
+		}
+	}
+}
+
+func TestErrorsAndErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(32)
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, 100+rng.Intn(124))
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		// 2·errors + erasures ≤ 32
+		nera := rng.Intn(33)
+		nerr := rng.Intn((32-nera)/2 + 1)
+		all := rng.Perm(len(cw))[:nera+nerr]
+		eras := all[:nera]
+		for _, p := range all {
+			old := cw[p]
+			for cw[p] == old {
+				cw[p] = byte(rng.Intn(256))
+			}
+		}
+		if _, err := c.Decode(cw, eras); err != nil {
+			t.Fatalf("trial %d (e=%d v=%d n=%d): %v", trial, nera, nerr, len(cw), err)
+		}
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("trial %d: wrong correction (e=%d v=%d)", trial, nera, nerr)
+		}
+	}
+}
+
+func TestBeyondCapacityDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := New(16) // corrects 8 errors
+	misdecodes := 0
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 100)
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		corrupt(cw, rng, 9+rng.Intn(8)) // 9..16 errors, beyond t/2
+		_, err := c.Decode(cw, nil)
+		if err == nil && !bytes.Equal(cw, want) {
+			// Decoding to a *different* valid codeword is an inherent RS
+			// property when far beyond capacity; it must stay rare.
+			misdecodes++
+		}
+	}
+	if misdecodes > 10 {
+		t.Fatalf("silent misdecodes: %d/200", misdecodes)
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c := New(4)
+	cw := c.EncodeFull([]byte{1, 2, 3})
+	_, err := c.Decode(cw, []int{0, 1, 2, 3, 4})
+	if !errors.Is(err, ErrTooManyErrata) {
+		t.Fatalf("want ErrTooManyErrata, got %v", err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	c := New(4)
+	if _, err := c.Decode([]byte{1, 2}, nil); err == nil {
+		t.Fatal("short codeword accepted")
+	}
+	cw := c.EncodeFull([]byte{9, 9, 9})
+	if _, err := c.Decode(cw, []int{99}); err == nil {
+		t.Fatal("out-of-range erasure accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with oversized data should panic")
+		}
+	}()
+	c.Encode(make([]byte, 252))
+}
+
+func TestShortenedOuterCode(t *testing.T) {
+	// The outer inter-emblem code: RS(20,17), erasure-decode any 3 of 20.
+	rng := rand.New(rand.NewSource(5))
+	c := New(OuterParity)
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, OuterData)
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		pos := corrupt(cw, rng, OuterParity)
+		if _, err := c.Decode(cw, pos); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("trial %d: wrong correction", trial)
+		}
+	}
+}
+
+func TestInnerCodeIntraEmblemClaim(t *testing.T) {
+	// §3.1: the inner code corrects up to 16 errors = 16/223 ≈ 7.2 % of
+	// user data within a block.
+	c := New(InnerParity)
+	if c.MaxData() != InnerData {
+		t.Fatalf("MaxData = %d, want %d", c.MaxData(), InnerData)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, InnerData)
+	rng.Read(data)
+	cw := c.EncodeFull(data)
+	want := append([]byte(nil), cw...)
+	corrupt(cw, rng, 16)
+	if _, err := c.Decode(cw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cw, want) {
+		t.Fatal("wrong correction at 16 errors")
+	}
+	frac := float64(16) / float64(InnerData)
+	if frac < 0.071 || frac > 0.073 {
+		t.Fatalf("correction fraction %.4f, want ≈0.072", frac)
+	}
+}
+
+func TestQuickRandomRoundTrip(t *testing.T) {
+	c := New(10)
+	f := func(seed int64, sizeRaw uint8, nerrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 11 + int(sizeRaw)%200
+		nerr := int(nerrRaw) % 6 // ≤ 5 = t/2
+		data := make([]byte, size)
+		rng.Read(data)
+		cw := c.EncodeFull(data)
+		want := append([]byte(nil), cw...)
+		corrupt(cw, rng, nerr)
+		if _, err := c.Decode(cw, nil); err != nil {
+			return false
+		}
+		return bytes.Equal(cw, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeInner(b *testing.B) {
+	c := New(InnerParity)
+	data := make([]byte, InnerData)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(InnerData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkDecodeInner16Errors(b *testing.B) {
+	c := New(InnerParity)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, InnerData)
+	rng.Read(data)
+	clean := c.EncodeFull(data)
+	dirty := append([]byte(nil), clean...)
+	corrupt(dirty, rng, 16)
+	buf := make([]byte, len(dirty))
+	b.SetBytes(InnerData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, dirty)
+		if _, err := c.Decode(buf, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sqldump
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"microlonys/tpch"
+)
+
+func TestDumpShape(t *testing.T) {
+	db := tpch.Generate(0.0002, 1)
+	dump := Dump(db)
+	text := string(dump)
+	for _, want := range []string{
+		"PostgreSQL database dump",
+		"CREATE TABLE lineitem (",
+		"COPY region (r_regionkey, r_name, r_comment) FROM stdin;",
+		"\\.",
+		"dump complete",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dump missing %q", want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := tpch.Generate(0.0004, 2)
+	dump := Dump(db)
+	parsed, err := Parse(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(db, parsed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsJunk(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"no tables":       "hello world\n",
+		"unknown copy":    "COPY ghosts (a) FROM stdin;\n\\.\n",
+		"unterminated":    "CREATE TABLE t (\n a text\n);\nCOPY t (a) FROM stdin;\nrow1\n",
+		"bad copy syntax": "CREATE TABLE t (\n a text\n);\nCOPY t a FROM somewhere\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	db := tpch.Generate(0.0002, 3)
+	dump := Dump(db)
+
+	corrupt := bytes.Replace(dump, []byte("AFRICA"), []byte("AFRIKA"), 1)
+	parsed, err := Parse(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(db, parsed); err == nil {
+		t.Fatal("changed value not detected")
+	}
+
+	// A dropped row must also fail.
+	lines := strings.Split(string(dump), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "0\tAFRICA") {
+			lines = append(lines[:i], lines[i+1:]...)
+			break
+		}
+	}
+	parsed, err = Parse([]byte(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(db, parsed); err == nil {
+		t.Fatal("dropped row not detected")
+	}
+}
+
+func TestDumpSizeBallpark(t *testing.T) {
+	// The paper's experiment used a TPC-H archive of roughly 1.2 MB;
+	// verify FitScaleFactor can land there through the real renderer.
+	sf, db := tpch.FitScaleFactor(1_200_000, 7, Dump)
+	size := len(Dump(db))
+	if size < 1_000_000 || size > 1_500_000 {
+		t.Fatalf("fitted dump %d bytes (sf=%g)", size, sf)
+	}
+	t.Logf("sf=%g gives a %d byte dump with %d rows", sf, size, db.TotalRows())
+}

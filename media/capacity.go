@@ -1,0 +1,98 @@
+package media
+
+import "fmt"
+
+// Capacity models for §4 ("Micr'Olonys is capable of storing 1.3GB in a
+// single 66 meter reel") and the §5 scale arithmetic (800 reels per
+// terabyte; DNA at 1 EB per mm³ as the contrasting future medium).
+
+// ReelModel is the analytic capacity model of a film reel.
+type ReelModel struct {
+	LengthMeters float64
+	FramePitchMM float64 // film advanced per frame
+	FrameBytes   int     // payload per frame
+}
+
+// Frames returns the number of frames a reel holds.
+func (r ReelModel) Frames() int {
+	if r.FramePitchMM <= 0 {
+		return 0
+	}
+	return int(r.LengthMeters * 1000 / r.FramePitchMM)
+}
+
+// Bytes returns the reel's payload capacity.
+func (r ReelModel) Bytes() int64 { return int64(r.Frames()) * int64(r.FrameBytes) }
+
+// MicrofilmReel returns the 66 m, 16 mm reel model of the paper with this
+// implementation's frame capacity.
+func MicrofilmReel() ReelModel {
+	return ReelModel{
+		LengthMeters: 66,
+		FramePitchMM: 2.31,
+		FrameBytes:   Microfilm().FrameCapacity(),
+	}
+}
+
+// ReelsFor returns the number of reels needed for total payload bytes.
+func (r ReelModel) ReelsFor(total int64) int {
+	per := r.Bytes()
+	if per <= 0 {
+		return 0
+	}
+	n := total / per
+	if total%per != 0 {
+		n++
+	}
+	return int(n)
+}
+
+// PageModel is the analytic capacity model of printed archival paper.
+type PageModel struct {
+	PageBytes int
+}
+
+// PaperPage returns the A4/600 dpi page model ("a density of 50KB per
+// page" in the paper; this implementation's exact figure comes from the
+// layout arithmetic).
+func PaperPage() PageModel { return PageModel{PageBytes: Paper().FrameCapacity()} }
+
+// PagesFor returns pages needed for total bytes.
+func (p PageModel) PagesFor(total int64) int {
+	if p.PageBytes <= 0 {
+		return 0
+	}
+	n := total / int64(p.PageBytes)
+	if total%int64(p.PageBytes) != 0 {
+		n++
+	}
+	return int(n)
+}
+
+// DNADensityEBPerMM3 is the theoretical density of synthetic DNA quoted in
+// §5 for contrast: one exabyte per cubic millimetre.
+const DNADensityEBPerMM3 = 1.0
+
+// ScaleReport summarises the §5 arithmetic for a dataset size.
+type ScaleReport struct {
+	TotalBytes    int64
+	ReelCapacity  int64
+	Reels         int
+	Pages         int
+	DNAVolumeMM3  float64
+	ReelShelfNote string
+}
+
+// Scale computes the §5 comparison for a dataset of total bytes.
+func Scale(total int64) ScaleReport {
+	reel := MicrofilmReel()
+	rep := ScaleReport{
+		TotalBytes:   total,
+		ReelCapacity: reel.Bytes(),
+		Reels:        reel.ReelsFor(total),
+		Pages:        PaperPage().PagesFor(total),
+		DNAVolumeMM3: float64(total) / (DNADensityEBPerMM3 * 1e18),
+	}
+	rep.ReelShelfNote = fmt.Sprintf("%d reels of %.0f m film", rep.Reels, reel.LengthMeters)
+	return rep
+}

@@ -1,0 +1,203 @@
+// Package media simulates the visual analog media of the paper's
+// evaluation (§4): laser-printed archival paper, 16 mm microfilm written by
+// an archive writer, and 35 mm black-and-white cinema film — together with
+// the degradations the paper lists as the threats MOCoder must survive:
+// film distortion, fading, hot spots, scratches, dust, lens curvature and
+// the unsteady mechanical motion of linear-array scanners (§3.1).
+//
+// Physical devices are replaced by raster simulation: "writing" quantises
+// and stores frames, "scanning" resamples them at the scanner's resolution
+// and applies a distortion model. The distortion parameters of each
+// built-in profile are calibrated so that an undamaged archive decodes
+// (as the paper's experiments did), while the failure-injection helpers
+// can push any frame beyond the correction thresholds.
+package media
+
+import (
+	"math"
+	"math/rand"
+
+	"microlonys/raster"
+)
+
+// Distortions models everything that can go wrong between writing an
+// emblem and handing its scan to MOCoder. The zero value applies nothing.
+type Distortions struct {
+	Seed int64 // deterministic randomness; 0 derives from frame index
+
+	// Geometry (lens and transport mechanics).
+	RotationDeg float64 // page/film skew, degrees
+	BarrelK     float64 // radial lens distortion: >0 barrel, <0 pincushion
+	RowJitterPx float64 // max horizontal drift from scanner motion, pixels
+
+	// Optics.
+	BlurRadius int // lens defocus (box blur radius, pixels)
+
+	// Photometry (media ageing).
+	Fade     float64 // 0..1 contrast compression toward mid-gray
+	Gradient float64 // 0..1 illumination gradient / hot-spot amplitude
+	Noise    float64 // additive noise standard deviation (intensity units)
+
+	// Physical damage.
+	DustSpecks    int // random dark/light blobs
+	DustMaxRadius int // max blob radius, pixels (default 3)
+	Scratches     int // thin straight lines across the frame
+}
+
+// Apply returns a distorted copy of img.
+func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
+	rng := rand.New(rand.NewSource(d.Seed))
+	out := img
+
+	// Geometric distortions share one inverse mapping so the image is
+	// resampled only once.
+	if d.RotationDeg != 0 || d.BarrelK != 0 || d.RowJitterPx != 0 {
+		theta := d.RotationDeg * math.Pi / 180
+		sin, cos := math.Sin(theta), math.Cos(theta)
+		cx, cy := float64(out.W)/2, float64(out.H)/2
+		rmax := math.Hypot(cx, cy)
+		jitter := rowJitter(rng, out.H, d.RowJitterPx)
+		src := out
+		out = src.Warp(func(x, y float64) (float64, float64) {
+			if d.RowJitterPx != 0 {
+				yi := int(y)
+				if yi >= 0 && yi < len(jitter) {
+					x += jitter[yi]
+				}
+			}
+			dx, dy := x-cx, y-cy
+			if d.BarrelK != 0 {
+				r := math.Hypot(dx, dy) / rmax
+				s := 1 + d.BarrelK*r*r
+				dx *= s
+				dy *= s
+			}
+			if theta != 0 {
+				dx, dy = cos*dx-sin*dy, sin*dx+cos*dy
+			}
+			return cx + dx, cy + dy
+		})
+	}
+
+	if d.BlurRadius > 0 {
+		out = out.BoxBlur(d.BlurRadius)
+	}
+
+	if d.Fade > 0 || d.Gradient > 0 || d.Noise > 0 {
+		if out == img {
+			out = img.Clone()
+		}
+		for y := 0; y < out.H; y++ {
+			// Illumination gradient: brighter on one side, as from an
+			// uneven lamp or a hot spot during filming.
+			grad := d.Gradient * 60 * (float64(y)/float64(out.H) - 0.5)
+			for x := 0; x < out.W; x++ {
+				v := float64(out.Pix[y*out.W+x])
+				if d.Fade > 0 {
+					v = 128 + (v-128)*(1-d.Fade)
+				}
+				v += grad
+				if d.Noise > 0 {
+					v += rng.NormFloat64() * d.Noise
+				}
+				out.Pix[y*out.W+x] = clamp(v)
+			}
+		}
+	}
+
+	if d.DustSpecks > 0 || d.Scratches > 0 {
+		if out == img {
+			out = img.Clone()
+		}
+		maxR := d.DustMaxRadius
+		if maxR <= 0 {
+			maxR = 3
+		}
+		for i := 0; i < d.DustSpecks; i++ {
+			x := rng.Intn(out.W)
+			y := rng.Intn(out.H)
+			r := 1 + rng.Intn(maxR)
+			shade := byte(0)
+			if rng.Intn(2) == 0 {
+				shade = 255
+			}
+			fillCircle(out, x, y, r, shade)
+		}
+		for i := 0; i < d.Scratches; i++ {
+			drawScratch(out, rng)
+		}
+	}
+
+	if out == img {
+		out = img.Clone()
+	}
+	return out
+}
+
+// rowJitter builds a bounded random walk: adjacent scan lines drift by a
+// fraction of a pixel, accumulating up to ±amplitude — the signature of
+// unsteady transport in linear-array scanners and ADFs.
+func rowJitter(rng *rand.Rand, rows int, amplitude float64) []float64 {
+	j := make([]float64, rows)
+	if amplitude == 0 {
+		return j
+	}
+	cur := 0.0
+	for y := range j {
+		cur += rng.NormFloat64() * amplitude / 18
+		if cur > amplitude {
+			cur = amplitude
+		}
+		if cur < -amplitude {
+			cur = -amplitude
+		}
+		j[y] = cur
+	}
+	return j
+}
+
+func fillCircle(g *raster.Gray, cx, cy, r int, v byte) {
+	for y := cy - r; y <= cy+r; y++ {
+		for x := cx - r; x <= cx+r; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r {
+				g.Set(x, y, v)
+			}
+		}
+	}
+}
+
+// drawScratch draws a thin, slightly slanted line across the frame, dark
+// or light, like an emulsion scratch.
+func drawScratch(g *raster.Gray, rng *rand.Rand) {
+	shade := byte(0)
+	if rng.Intn(2) == 0 {
+		shade = 255
+	}
+	vertical := rng.Intn(2) == 0
+	if vertical {
+		x := float64(rng.Intn(g.W))
+		slope := (rng.Float64() - 0.5) * 0.1
+		for y := 0; y < g.H; y++ {
+			g.Set(int(x), y, shade)
+			x += slope
+		}
+	} else {
+		y := float64(rng.Intn(g.H))
+		slope := (rng.Float64() - 0.5) * 0.1
+		for x := 0; x < g.W; x++ {
+			g.Set(x, int(y), shade)
+			y += slope
+		}
+	}
+}
+
+func clamp(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}

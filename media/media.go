@@ -1,0 +1,206 @@
+package media
+
+import (
+	"fmt"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/raster"
+)
+
+// Profile describes one analog medium: its frame geometry, the emblem
+// layout used on it, and the distortion models of its writer and scanner.
+// The built-in profiles mirror the equipment of the paper's evaluation.
+type Profile struct {
+	Name string
+
+	// FrameW/H is the written frame in pixels; ScanW/H is the resolution
+	// the scanner captures it back at.
+	FrameW, FrameH int
+	ScanW, ScanH   int
+
+	// WriteBitonal quantises frames to pure black/white at write time
+	// (laser printers and microfilm archive writers are bitonal devices);
+	// ScanBitonal models scanners that deliver bitonal output.
+	WriteBitonal bool
+	ScanBitonal  bool
+
+	Layout emblem.Layout
+
+	// Writer distortions act once when the frame is written; Scanner
+	// distortions act on every scan.
+	Writer  Distortions
+	Scanner Distortions
+}
+
+// FrameCapacity returns the payload bytes one emblem frame carries.
+func (p Profile) FrameCapacity() int { return mocoder.Capacity(p.Layout) }
+
+// FramesFor returns how many emblem frames a payload of n bytes needs
+// (before outer-code parity).
+func (p Profile) FramesFor(n int) int {
+	c := p.FrameCapacity()
+	return (n + c - 1) / c
+}
+
+// Paper models the paper experiment of §4: A4 pages printed at 600 dpi on
+// a laser printer (4800×6800 usable pixels after margins; 6 px modules)
+// and scanned back at the same resolution in grayscale.
+func Paper() Profile {
+	l := emblem.Layout{DataW: 790, DataH: 1123, PxPerModule: 6}
+	return Profile{
+		Name:   "paper-600dpi-a4",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		WriteBitonal: true,
+		Layout:       l,
+		Scanner: Distortions{
+			RotationDeg: 0.25,
+			RowJitterPx: 1.2,
+			BlurRadius:  1,
+			Fade:        0.08,
+			Gradient:    0.3,
+			Noise:       5,
+			DustSpecks:  40,
+		},
+	}
+}
+
+// Microfilm models the §4 microfilm experiment: an archive writer exposing
+// 3888×5498 bitonal frames on 16 mm film (5 px modules), scanned back
+// bitonal at roughly 5000×7000 — with film fading, dust and scratches.
+func Microfilm() Profile {
+	l := emblem.Layout{DataW: 767, DataH: 1089, PxPerModule: 5}
+	return Profile{
+		Name:   "microfilm-16mm",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: 5000, ScanH: 7072,
+		WriteBitonal: true,
+		ScanBitonal:  true,
+		Layout:       l,
+		Scanner: Distortions{
+			RotationDeg: 0.2,
+			BarrelK:     0.0015,
+			RowJitterPx: 1.0,
+			BlurRadius:  1,
+			Fade:        0.12,
+			Noise:       4,
+			DustSpecks:  60,
+			Scratches:   2,
+		},
+	}
+}
+
+// CinemaFilm models the §4 cinema-film experiment: an Arrilaser-style
+// recorder shooting 2K full-aperture frames (2048×1556, 2 px modules),
+// scanned in grayscale at 4K (4096×3120). Cinema scanners produce the
+// sharpest, lowest-distortion images of the three media.
+func CinemaFilm() Profile {
+	l := emblem.Layout{DataW: 1014, DataH: 768, PxPerModule: 2}
+	return Profile{
+		Name:   "cinema-35mm-2k",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: 4096, ScanH: 3120,
+		Layout: l,
+		Writer: Distortions{BlurRadius: 0},
+		Scanner: Distortions{
+			RotationDeg: 0.1,
+			RowJitterPx: 0.4,
+			BlurRadius:  1,
+			Fade:        0.05,
+			Noise:       3,
+			DustSpecks:  10,
+		},
+	}
+}
+
+// Medium is a simulated physical artifact: a stack of written frames that
+// can be damaged, destroyed and scanned back.
+type Medium struct {
+	profile Profile
+	frames  []*raster.Gray
+}
+
+// New returns an empty medium for the profile.
+func New(p Profile) *Medium { return &Medium{profile: p} }
+
+// Profile returns the medium's profile.
+func (m *Medium) Profile() Profile { return m.profile }
+
+// Write appends frames to the medium, applying writer-side quantisation
+// and distortion. Frames must match the profile's frame size.
+func (m *Medium) Write(frames []*raster.Gray) error {
+	for i, f := range frames {
+		if f.W != m.profile.FrameW || f.H != m.profile.FrameH {
+			return fmt.Errorf("media: frame %d is %dx%d, profile %q wants %dx%d",
+				i, f.W, f.H, m.profile.Name, m.profile.FrameW, m.profile.FrameH)
+		}
+		d := m.profile.Writer
+		d.Seed = int64(len(m.frames))*7919 + 1
+		out := d.Apply(f)
+		if m.profile.WriteBitonal {
+			out = out.Threshold(out.OtsuThreshold())
+		}
+		m.frames = append(m.frames, out)
+	}
+	return nil
+}
+
+// FrameCount returns the number of written frames.
+func (m *Medium) FrameCount() int { return len(m.frames) }
+
+// Damage applies additional distortion to a stored frame, modelling decay
+// or mishandling after writing.
+func (m *Medium) Damage(i int, d Distortions) error {
+	if i < 0 || i >= len(m.frames) {
+		return fmt.Errorf("media: frame %d out of range", i)
+	}
+	m.frames[i] = d.Apply(m.frames[i])
+	return nil
+}
+
+// Destroy makes a frame unreadable altogether (torn page, burnt frame) —
+// the whole-emblem failure the outer code exists for.
+func (m *Medium) Destroy(i int) error {
+	if i < 0 || i >= len(m.frames) {
+		return fmt.Errorf("media: frame %d out of range", i)
+	}
+	fogged := raster.New(m.profile.FrameW, m.profile.FrameH)
+	for j := range fogged.Pix {
+		fogged.Pix[j] = 128
+	}
+	m.frames[i] = fogged
+	return nil
+}
+
+// ScanFrame captures one frame at the scanner's resolution and applies
+// the scanner's distortion model.
+func (m *Medium) ScanFrame(i int) (*raster.Gray, error) {
+	if i < 0 || i >= len(m.frames) {
+		return nil, fmt.Errorf("media: frame %d out of range", i)
+	}
+	img := m.frames[i]
+	if m.profile.ScanW != m.profile.FrameW || m.profile.ScanH != m.profile.FrameH {
+		img = img.Resize(m.profile.ScanW, m.profile.ScanH)
+	}
+	d := m.profile.Scanner
+	d.Seed = int64(i)*104729 + 7
+	img = d.Apply(img)
+	if m.profile.ScanBitonal {
+		img = img.Threshold(img.OtsuThreshold())
+	}
+	return img, nil
+}
+
+// Scan captures every frame in order.
+func (m *Medium) Scan() ([]*raster.Gray, error) {
+	out := make([]*raster.Gray, len(m.frames))
+	for i := range m.frames {
+		img, err := m.ScanFrame(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = img
+	}
+	return out, nil
+}

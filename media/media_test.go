@@ -1,0 +1,278 @@
+package media
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/raster"
+)
+
+// tinyProfile is a scaled-down medium for fast mechanics tests.
+func tinyProfile() Profile {
+	l := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 4}
+	return Profile{
+		Name:   "tiny",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		Layout: l,
+		Scanner: Distortions{
+			RotationDeg: 0.2, RowJitterPx: 0.8, BlurRadius: 1,
+			Fade: 0.08, Noise: 4, DustSpecks: 6,
+		},
+	}
+}
+
+func encodeFrame(t *testing.T, p Profile, seed int64, frac float64) (*raster.Gray, []byte) {
+	t.Helper()
+	payload := make([]byte, int(float64(p.FrameCapacity())*frac))
+	rand.New(rand.NewSource(seed)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindData, Total: 1}
+	img, err := mocoder.Encode(payload, hdr, p.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, payload
+}
+
+func TestDistortionsDeterministic(t *testing.T) {
+	img := raster.New(200, 150)
+	img.FillRect(50, 40, 150, 110, 0)
+	d := Distortions{Seed: 5, RotationDeg: 0.4, BlurRadius: 1, Noise: 8, DustSpecks: 10}
+	a := d.Apply(img)
+	b := d.Apply(img)
+	if !raster.Equal(a, b) {
+		t.Fatal("same seed produced different distortion")
+	}
+	d.Seed = 6
+	c := d.Apply(img)
+	if raster.Equal(a, c) {
+		t.Fatal("different seed produced identical noise")
+	}
+}
+
+func TestDistortionsZeroIsIdentity(t *testing.T) {
+	img := raster.New(50, 50)
+	img.FillRect(10, 10, 40, 40, 0)
+	out := Distortions{}.Apply(img)
+	if !raster.Equal(img, out) {
+		t.Fatal("zero distortions changed image")
+	}
+	// And must be a copy, not an alias.
+	out.Set(0, 0, 0)
+	if img.At(0, 0) != 255 {
+		t.Fatal("Apply returned an alias")
+	}
+}
+
+func TestIndividualDistortionsHaveEffect(t *testing.T) {
+	img := raster.New(120, 120)
+	img.FillRect(30, 30, 90, 90, 0)
+	cases := map[string]Distortions{
+		"rotation": {RotationDeg: 2},
+		"barrel":   {BarrelK: 0.05},
+		"jitter":   {Seed: 1, RowJitterPx: 3},
+		"blur":     {BlurRadius: 2},
+		"fade":     {Fade: 0.5},
+		"gradient": {Gradient: 1},
+		"noise":    {Seed: 1, Noise: 20},
+		"dust":     {Seed: 1, DustSpecks: 20},
+		"scratch":  {Seed: 1, Scratches: 3},
+	}
+	for name, d := range cases {
+		out := d.Apply(img)
+		if raster.Equal(img, out) {
+			t.Errorf("%s: no effect", name)
+		}
+	}
+}
+
+func TestFadeCompressesRange(t *testing.T) {
+	img := raster.New(10, 10)
+	img.FillRect(0, 0, 5, 10, 0)
+	out := Distortions{Fade: 0.5}.Apply(img)
+	if out.At(0, 0) < 50 || out.At(9, 0) > 210 {
+		t.Fatalf("fade levels: dark=%d light=%d", out.At(0, 0), out.At(9, 0))
+	}
+}
+
+func TestMediumWriteScanRoundTrip(t *testing.T) {
+	p := tinyProfile()
+	m := New(p)
+	img, payload := encodeFrame(t, p, 1, 0.9)
+	if err := m.Write([]*raster.Gray{img}); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrameCount() != 1 {
+		t.Fatal("frame count")
+	}
+	scans, err := m.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := mocoder.Decode(scans[0], p.Layout)
+	if err != nil {
+		t.Fatalf("decode after simulated scan: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after media round trip")
+	}
+}
+
+func TestMediumRejectsWrongFrameSize(t *testing.T) {
+	m := New(tinyProfile())
+	if err := m.Write([]*raster.Gray{raster.New(10, 10)}); err == nil {
+		t.Fatal("wrong frame size accepted")
+	}
+}
+
+func TestMediumDamageAndDestroy(t *testing.T) {
+	p := tinyProfile()
+	m := New(p)
+	img, payload := encodeFrame(t, p, 2, 0.8)
+	if err := m.Write([]*raster.Gray{img, img.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mild extra damage: still decodes.
+	if err := m.Damage(0, Distortions{Seed: 3, DustSpecks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := m.ScanFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := mocoder.Decode(scan, p.Layout)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("damaged frame should still decode: %v", err)
+	}
+
+	// Destroyed frame: decode must fail loudly.
+	if err := m.Destroy(1); err != nil {
+		t.Fatal(err)
+	}
+	scan, err = m.ScanFrame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := mocoder.Decode(scan, p.Layout); err == nil {
+		t.Fatal("destroyed frame decoded")
+	}
+
+	// Bounds.
+	if err := m.Damage(9, Distortions{}); err == nil {
+		t.Fatal("out of range damage accepted")
+	}
+	if err := m.Destroy(-1); err == nil {
+		t.Fatal("out of range destroy accepted")
+	}
+	if _, err := m.ScanFrame(5); err == nil {
+		t.Fatal("out of range scan accepted")
+	}
+}
+
+func TestProfileCapacities(t *testing.T) {
+	paper := Paper().FrameCapacity()
+	film := Microfilm().FrameCapacity()
+	cine := CinemaFilm().FrameCapacity()
+
+	// §4: "we achieved a density of 50KB per page" — ours must land in
+	// the same ballpark (the exact figure depends on margins).
+	if paper < 40000 || paper > 60000 {
+		t.Fatalf("paper page capacity %d outside 40–60 KB", paper)
+	}
+	// §4: the 102 KB logo took 3 emblems on both film media.
+	if n := Microfilm().FramesFor(102 * 1024); n != 3 {
+		t.Fatalf("microfilm frames for 102KB = %d, paper reports 3 (capacity %d)", n, film)
+	}
+	if n := CinemaFilm().FramesFor(102 * 1024); n != 3 {
+		t.Fatalf("cinema frames for 102KB = %d, paper reports 3 (capacity %d)", n, cine)
+	}
+}
+
+func TestProfileFrameSizesMatchEquipment(t *testing.T) {
+	// Frames must fit the physical device rasters from §4.
+	mf := Microfilm()
+	if mf.FrameW > 3888 || mf.FrameH > 5498 {
+		t.Fatalf("microfilm frame %dx%d exceeds IMAGELINK 9600 raster", mf.FrameW, mf.FrameH)
+	}
+	cf := CinemaFilm()
+	if cf.FrameW > 2048 || cf.FrameH > 1556 {
+		t.Fatalf("cinema frame %dx%d exceeds 2K full aperture", cf.FrameW, cf.FrameH)
+	}
+	pp := Paper()
+	if pp.FrameW > 4961 || pp.FrameH > 7016 {
+		t.Fatalf("paper frame %dx%d exceeds A4 at 600 dpi", pp.FrameW, pp.FrameH)
+	}
+}
+
+func TestReelModel(t *testing.T) {
+	reel := MicrofilmReel()
+	got := reel.Bytes()
+	// §4: 1.3 GB in a single 66 m reel — within 15 %.
+	if got < 1_100_000_000 || got > 1_500_000_000 {
+		t.Fatalf("reel capacity %d outside 1.3GB ±15%%", got)
+	}
+	// §5: terabyte-scale data lakes need ~800 reels.
+	reels := reel.ReelsFor(1_000_000_000_000)
+	if reels < 600 || reels > 1000 {
+		t.Fatalf("reels per TB = %d, paper reports ~800", reels)
+	}
+	if (ReelModel{}).Frames() != 0 {
+		t.Fatal("zero pitch should yield zero frames")
+	}
+}
+
+func TestScaleReport(t *testing.T) {
+	rep := Scale(1_000_000_000_000)
+	if rep.Reels < 600 || rep.Reels > 1000 {
+		t.Fatalf("scale reels %d", rep.Reels)
+	}
+	if rep.Pages <= 0 {
+		t.Fatal("pages")
+	}
+	// DNA: 1 TB at 1 EB/mm³ is a millionth of a mm³.
+	if rep.DNAVolumeMM3 < 1e-7 || rep.DNAVolumeMM3 > 1e-5 {
+		t.Fatalf("DNA volume %g mm³", rep.DNAVolumeMM3)
+	}
+	if rep.ReelShelfNote == "" {
+		t.Fatal("empty shelf note")
+	}
+}
+
+// TestFullProfileRoundTrips runs a payload through each full-size profile
+// exactly as the §4 experiments do. These are the slowest unit tests in
+// the repository; -short skips them (the bench harness covers them too).
+func TestFullProfileRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size media round trips skipped in -short mode")
+	}
+	for _, p := range []Profile{CinemaFilm(), Microfilm()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m := New(p)
+			img, payload := encodeFrame(t, p, 11, 0.95)
+			if err := m.Write([]*raster.Gray{img}); err != nil {
+				t.Fatal(err)
+			}
+			scan, err := m.ScanFrame(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, hdr, st, err := mocoder.Decode(scan, p.Layout)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload mismatch")
+			}
+			if hdr.Kind != emblem.KindData {
+				t.Fatal("header kind")
+			}
+			t.Logf("%s: %d bytes, %d bytes corrected, %d clock violations",
+				p.Name, len(payload), st.BytesCorrected, st.ClockViolations)
+		})
+	}
+}

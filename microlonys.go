@@ -1,0 +1,75 @@
+// Package microlonys is an end-to-end, long-term database archival system
+// implementing Universal Layout Emulation (ULE), reproducing "Universal
+// Layout Emulation for Long-Term Database Archival" (Appuswamy & Joguin,
+// CIDR 2021).
+//
+// ULE archives data together with the layout decoders needed to read it
+// back: the database archive is compressed by DBCoder, laid out on visual
+// analog media as emblems by MOCoder, and accompanied by (a) system
+// emblems holding the DBCoder decoder as a DynaRisc instruction stream and
+// (b) a short plain-text Bootstrap document containing the MOCoder decoder
+// and a DynaRisc emulator written for the four-instruction VeRisc machine.
+// A future user implements VeRisc from the document's pseudocode — a few
+// hundred lines on any platform — and the archive restores itself.
+//
+//	opts := microlonys.DefaultOptions(media.Paper())
+//	arch, err := microlonys.Archive(sqlDump, opts)
+//	...
+//	data, stats, err := microlonys.Restore(arch.Medium, arch.BootstrapText,
+//		microlonys.RestoreNative)
+//
+// Restoration modes: RestoreNative uses the Go reference decoders;
+// RestoreDynaRisc executes the archived decoder instruction streams on the
+// DynaRisc reference CPU; RestoreNested additionally hosts DynaRisc inside
+// the VeRisc emulator — the exact path a future user follows.
+//
+// Subpackages: media (analog media simulation and capacity models), raster
+// (images), dynarisc and verisc (the two virtual processors), tpch (the
+// evaluation workload generator).
+package microlonys
+
+import (
+	"microlonys/internal/core"
+	"microlonys/media"
+)
+
+// Mode selects a restoration execution path.
+type Mode = core.Mode
+
+// Restoration modes.
+const (
+	RestoreNative   = core.RestoreNative
+	RestoreDynaRisc = core.RestoreDynaRisc
+	RestoreNested   = core.RestoreNested
+)
+
+// Options configures archival.
+type Options = core.Options
+
+// Manifest records what an archival run wrote.
+type Manifest = core.Manifest
+
+// Archived is a produced archive: the written medium, the Bootstrap
+// document text and the manifest.
+type Archived = core.Archived
+
+// RestoreStats reports restoration diagnostics.
+type RestoreStats = core.RestoreStats
+
+// DefaultOptions returns the paper's configuration (17+3 outer code,
+// DBCoder compression) for a media profile.
+func DefaultOptions(p media.Profile) Options { return core.DefaultOptions(p) }
+
+// Archive runs the archival pipeline of Figure 2(a): the database archive
+// bytes are compressed, laid out as emblems with nested Reed-Solomon
+// protection, and written to the simulated medium together with the
+// system emblems and Bootstrap document.
+func Archive(data []byte, opts Options) (*Archived, error) {
+	return core.CreateArchive(data, opts)
+}
+
+// Restore runs the restoration pipeline of Figure 2(b) against a medium
+// and the Bootstrap text, returning the original archive bytes.
+func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *RestoreStats, error) {
+	return core.Restore(m, bootstrapText, mode)
+}

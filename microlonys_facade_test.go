@@ -1,0 +1,76 @@
+package microlonys_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"microlonys"
+	"microlonys/internal/emblem"
+	"microlonys/media"
+)
+
+// facadeProfile is a small clean medium for public-API tests.
+func facadeProfile() media.Profile {
+	l := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 3}
+	return media.Profile{
+		Name:   "facade-test",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		Layout: l,
+	}
+}
+
+func TestFacadeArchiveRestore(t *testing.T) {
+	data := []byte(strings.Repeat("INSERT INTO nation VALUES (0, 'ALGERIA');\n", 200))
+	opts := microlonys.DefaultOptions(facadeProfile())
+	arch, err := microlonys.Archive(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Manifest.RawLen != len(data) {
+		t.Fatalf("manifest raw len %d", arch.Manifest.RawLen)
+	}
+	if arch.BootstrapText == "" || arch.Bootstrap == nil {
+		t.Fatal("no bootstrap document")
+	}
+	got, st, err := microlonys.Restore(arch.Medium, arch.BootstrapText, microlonys.RestoreNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("facade round trip mismatch")
+	}
+	if st.Mode != microlonys.RestoreNative {
+		t.Fatalf("stats mode %v", st.Mode)
+	}
+}
+
+func TestFacadeModesAreDistinct(t *testing.T) {
+	modes := map[microlonys.Mode]string{
+		microlonys.RestoreNative:   "native",
+		microlonys.RestoreDynaRisc: "dynarisc",
+		microlonys.RestoreNested:   "nested",
+	}
+	if len(modes) != 3 {
+		t.Fatal("modes collide")
+	}
+	for m, want := range modes {
+		if m.String() != want {
+			t.Fatalf("%v != %s", m, want)
+		}
+	}
+}
+
+func TestFacadeDefaultOptions(t *testing.T) {
+	opts := microlonys.DefaultOptions(media.Paper())
+	if opts.GroupData != 17 || opts.GroupParity != 3 {
+		t.Fatalf("default outer code %d+%d, want the paper's 17+3", opts.GroupData, opts.GroupParity)
+	}
+	if !opts.Compress {
+		t.Fatal("DBCoder should be on by default")
+	}
+	if opts.Profile.Name != media.Paper().Name {
+		t.Fatal("profile not threaded through")
+	}
+}

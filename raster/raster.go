@@ -1,0 +1,434 @@
+// Package raster provides the grayscale image type shared by MOCoder and
+// the analog-media simulators, together with the sampling, warping and
+// thresholding primitives the emblem decoder needs.
+//
+// Images are 8-bit grayscale: 0 is black (exposed film / printed toner),
+// 255 is white. Bitonal media (microfilm writers, laser printers) use the
+// same type restricted to {0, 255}.
+package raster
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"math"
+)
+
+// Gray is an 8-bit grayscale image with row-major pixels.
+type Gray struct {
+	W, H int
+	Pix  []byte // len = W*H
+}
+
+// New returns a white (255) image of the given size.
+func New(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid size %dx%d", w, h))
+	}
+	g := &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+	for i := range g.Pix {
+		g.Pix[i] = 255
+	}
+	return g
+}
+
+// NewBlack returns an all-black image.
+func NewBlack(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return white, which
+// matches the unexposed margin around a scanned frame.
+func (g *Gray) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 255
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are dropped.
+func (g *Gray) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// FillRect paints the rectangle [x0,x1)×[y0,y1) with v, clipped to bounds.
+func (g *Gray) FillRect(x0, y0, x1, y1 int, v byte) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W {
+		x1 = g.W
+	}
+	if y1 > g.H {
+		y1 = g.H
+	}
+	for y := y0; y < y1; y++ {
+		row := g.Pix[y*g.W : y*g.W+g.W]
+		for x := x0; x < x1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	return &Gray{W: g.W, H: g.H, Pix: append([]byte(nil), g.Pix...)}
+}
+
+// SampleBilinear returns the bilinearly interpolated intensity at the
+// floating-point position (x, y). Out-of-bounds regions read as white.
+func (g *Gray) SampleBilinear(x, y float64) float64 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	p00 := float64(g.At(x0, y0))
+	p10 := float64(g.At(x0+1, y0))
+	p01 := float64(g.At(x0, y0+1))
+	p11 := float64(g.At(x0+1, y0+1))
+	return p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+}
+
+// Mean returns the average intensity.
+func (g *Gray) Mean() float64 {
+	var sum uint64
+	for _, p := range g.Pix {
+		sum += uint64(p)
+	}
+	return float64(sum) / float64(len(g.Pix))
+}
+
+// Histogram returns the 256-bin intensity histogram.
+func (g *Gray) Histogram() [256]int {
+	var h [256]int
+	for _, p := range g.Pix {
+		h[p]++
+	}
+	return h
+}
+
+// OtsuThreshold computes the global binarisation threshold that maximises
+// inter-class variance — the first step of emblem decoding on a scan whose
+// black/white levels have drifted with fading or exposure.
+func (g *Gray) OtsuThreshold() byte {
+	hist := g.Histogram()
+	total := len(g.Pix)
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+	var sumB, wB float64
+	var best float64
+	bestMid := 128.0
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > best {
+			best = between
+			// Split halfway between the class means rather than at the
+			// class boundary: near-binary histograms make the boundary
+			// degenerate (argmax plateau starting at t=0), and the
+			// midpoint classifies blur-graded pixels sensibly.
+			bestMid = (mB + mF) / 2
+		}
+	}
+	if bestMid < 1 {
+		bestMid = 1
+	}
+	if bestMid > 255 {
+		bestMid = 255
+	}
+	return byte(bestMid)
+}
+
+// Threshold returns a bitonal copy: pixels < t become 0, others 255.
+func (g *Gray) Threshold(t byte) *Gray {
+	out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+	for i, p := range g.Pix {
+		if p < t {
+			out.Pix[i] = 0
+		} else {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// Resize scales to w×h. Upscaling interpolates bilinearly; downscaling
+// averages over the source area each destination pixel covers, which is
+// how a scanner sensor integrates light (and avoids aliasing on module
+// boundaries).
+func (g *Gray) Resize(w, h int) *Gray {
+	out := New(w, h)
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	if sx <= 1 && sy <= 1 {
+		for y := 0; y < h; y++ {
+			srcY := (float64(y)+0.5)*sy - 0.5
+			for x := 0; x < w; x++ {
+				srcX := (float64(x)+0.5)*sx - 0.5
+				out.Pix[y*w+x] = clampByte(g.SampleBilinear(srcX, srcY))
+			}
+		}
+		return out
+	}
+	for y := 0; y < h; y++ {
+		y0 := float64(y) * sy
+		y1 := y0 + sy
+		for x := 0; x < w; x++ {
+			x0 := float64(x) * sx
+			x1 := x0 + sx
+			out.Pix[y*w+x] = clampByte(g.areaAverage(x0, y0, x1, y1))
+		}
+	}
+	return out
+}
+
+// areaAverage integrates intensity over the source rectangle
+// [x0,x1)×[y0,y1) in pixel-box coordinates (pixel i covers [i, i+1)).
+func (g *Gray) areaAverage(x0, y0, x1, y1 float64) float64 {
+	ix0, iy0 := int(math.Floor(x0)), int(math.Floor(y0))
+	ix1, iy1 := int(math.Ceil(x1)), int(math.Ceil(y1))
+	var sum, area float64
+	for iy := iy0; iy < iy1; iy++ {
+		hy := math.Min(y1, float64(iy+1)) - math.Max(y0, float64(iy))
+		if hy <= 0 {
+			continue
+		}
+		for ix := ix0; ix < ix1; ix++ {
+			wx := math.Min(x1, float64(ix+1)) - math.Max(x0, float64(ix))
+			if wx <= 0 {
+				continue
+			}
+			sum += wx * hy * float64(g.At(ix, iy))
+			area += wx * hy
+		}
+	}
+	if area == 0 {
+		return 255
+	}
+	return sum / area
+}
+
+// Warp resamples the image through an inverse mapping: for every output
+// pixel (x, y), f returns the source position to sample. Distortion models
+// (lens curvature, rotation, scanner jitter) are expressed as warps.
+func (g *Gray) Warp(f func(x, y float64) (sx, sy float64)) *Gray {
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			sx, sy := f(float64(x), float64(y))
+			out.Pix[y*g.W+x] = clampByte(g.SampleBilinear(sx, sy))
+		}
+	}
+	return out
+}
+
+// BoxBlur applies an n-radius box blur (separable, two passes). Three
+// successive box blurs approximate a Gaussian; one pass models mild lens
+// defocus well enough for the decode-robustness experiments.
+func (g *Gray) BoxBlur(radius int) *Gray {
+	if radius <= 0 {
+		return g.Clone()
+	}
+	tmp := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+	win := 2*radius + 1
+	// horizontal
+	for y := 0; y < g.H; y++ {
+		row := g.Pix[y*g.W:]
+		var sum int
+		for x := -radius; x <= radius; x++ {
+			sum += int(atClamped(row, g.W, x))
+		}
+		for x := 0; x < g.W; x++ {
+			tmp.Pix[y*g.W+x] = byte(sum / win)
+			sum += int(atClamped(row, g.W, x+radius+1)) - int(atClamped(row, g.W, x-radius))
+		}
+	}
+	// vertical
+	out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+	for x := 0; x < g.W; x++ {
+		var sum int
+		for y := -radius; y <= radius; y++ {
+			sum += int(atClampedCol(tmp, x, y))
+		}
+		for y := 0; y < g.H; y++ {
+			out.Pix[y*g.W+x] = byte(sum / win)
+			sum += int(atClampedCol(tmp, x, y+radius+1)) - int(atClampedCol(tmp, x, y-radius))
+		}
+	}
+	return out
+}
+
+func atClamped(row []byte, w, x int) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x >= w {
+		x = w - 1
+	}
+	return row[x]
+}
+
+func atClampedCol(g *Gray, x, y int) byte {
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+func clampByte(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// Rotate90 returns the image rotated clockwise by k×90 degrees.
+func (g *Gray) Rotate90(k int) *Gray {
+	k = ((k % 4) + 4) % 4
+	switch k {
+	case 0:
+		return g.Clone()
+	case 2:
+		out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				out.Pix[(g.H-1-y)*g.W+(g.W-1-x)] = g.Pix[y*g.W+x]
+			}
+		}
+		return out
+	case 1:
+		out := &Gray{W: g.H, H: g.W, Pix: make([]byte, len(g.Pix))}
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				// (x, y) → (H-1-y, x)
+				out.Pix[x*out.W+(g.H-1-y)] = g.Pix[y*g.W+x]
+			}
+		}
+		return out
+	default: // 3
+		out := &Gray{W: g.H, H: g.W, Pix: make([]byte, len(g.Pix))}
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				// (x, y) → (y, W-1-x)
+				out.Pix[(g.W-1-x)*out.W+y] = g.Pix[y*g.W+x]
+			}
+		}
+		return out
+	}
+}
+
+// EncodePNG writes the image as an 8-bit grayscale PNG.
+func (g *Gray) EncodePNG(w io.Writer) error {
+	img := image.NewGray(image.Rect(0, 0, g.W, g.H))
+	copy(img.Pix, g.Pix)
+	return png.Encode(w, img)
+}
+
+// DecodePNG reads a PNG (any color model) as grayscale.
+func DecodePNG(r io.Reader) (*Gray, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("raster: %w", err)
+	}
+	b := img.Bounds()
+	g := New(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r16, g16, b16, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			// ITU-R BT.601 luma.
+			lum := (299*r16 + 587*g16 + 114*b16) / 1000
+			g.Pix[y*g.W+x] = byte(lum >> 8)
+		}
+	}
+	return g, nil
+}
+
+// EncodePGM writes the image as a binary PGM (P5), the "flat array of pixel
+// intensities" interchange format the Bootstrap document describes for
+// feeding scans to the emulated decoder.
+func (g *Gray) EncodePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	_, err := w.Write(g.Pix)
+	return err
+}
+
+// DecodePGM reads a binary PGM (P5).
+func DecodePGM(r io.Reader) (*Gray, error) {
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(r, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("raster: bad PGM header: %w", err)
+	}
+	if magic != "P5" || maxv != 255 || w <= 0 || h <= 0 {
+		return nil, errors.New("raster: unsupported PGM variant")
+	}
+	// Single whitespace byte after maxval per spec.
+	var sep [1]byte
+	if _, err := io.ReadFull(r, sep[:]); err != nil {
+		return nil, err
+	}
+	g := &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+	if _, err := io.ReadFull(r, g.Pix); err != nil {
+		return nil, fmt.Errorf("raster: short PGM payload: %w", err)
+	}
+	return g, nil
+}
+
+// Equal reports whether two images are identical.
+func Equal(a, b *Gray) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of differing pixels between equally sized
+// images; it panics on size mismatch.
+func DiffCount(a, b *Gray) int {
+	if a.W != b.W || a.H != b.H {
+		panic("raster: DiffCount size mismatch")
+	}
+	n := 0
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			n++
+		}
+	}
+	return n
+}

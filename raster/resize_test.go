@@ -1,0 +1,95 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBlack(t *testing.T) {
+	g := NewBlack(7, 5)
+	if g.W != 7 || g.H != 5 {
+		t.Fatalf("dimensions %dx%d", g.W, g.H)
+	}
+	for i, p := range g.Pix {
+		if p != 0 {
+			t.Fatalf("pixel %d = %d, want 0", i, p)
+		}
+	}
+}
+
+func TestResizeDownscaleAveragesAreas(t *testing.T) {
+	// A 4x4 checkerboard of 0/255 downscaled 2x must become uniform 127/128
+	// (every output pixel integrates half black, half white).
+	src := New(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if (x+y)%2 == 0 {
+				src.Set(x, y, 0)
+			}
+		}
+	}
+	out := src.Resize(2, 2)
+	for i, p := range out.Pix {
+		if p < 126 || p > 129 {
+			t.Fatalf("pixel %d = %d, want ≈127", i, p)
+		}
+	}
+}
+
+func TestResizeDownscalePreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := New(64, 48)
+	for i := range src.Pix {
+		src.Pix[i] = byte(rng.Intn(256))
+	}
+	out := src.Resize(16, 12)
+	if d := src.Mean() - out.Mean(); d > 1.5 || d < -1.5 {
+		t.Fatalf("mean drifted by %.2f under area-average downscale", d)
+	}
+}
+
+func TestResizeDownscaleNonIntegerRatio(t *testing.T) {
+	src := NewBlack(10, 10)
+	src.FillRect(0, 0, 10, 5, 200) // top half bright
+	out := src.Resize(3, 3)
+	if out.W != 3 || out.H != 3 {
+		t.Fatal("size")
+	}
+	// Top row ≈ 200, bottom row ≈ 0, middle mixed.
+	if out.At(1, 0) < 190 || out.At(1, 2) > 10 {
+		t.Fatalf("rows %d / %d", out.At(1, 0), out.At(1, 2))
+	}
+	mid := out.At(1, 1)
+	if mid < 80 || mid > 120 {
+		t.Fatalf("middle row %d, want ≈100", mid)
+	}
+}
+
+func TestResizeRoundTripUpDownProperty(t *testing.T) {
+	// Upscale then downscale back must approximately preserve smooth
+	// content (pure noise loses its high frequencies by design).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := rng.Intn(17), rng.Intn(17)
+		src := New(12, 9)
+		for y := 0; y < 9; y++ {
+			for x := 0; x < 12; x++ {
+				src.Set(x, y, byte(a*x+b*y/2+rng.Intn(8))) // ≤ 248: no wraparound
+			}
+		}
+		back := src.Resize(36, 27).Resize(12, 9)
+		diff := 0.0
+		for i := range src.Pix {
+			d := float64(src.Pix[i]) - float64(back.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		return diff/float64(len(src.Pix)) < 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package tpch generates TPC-H-shaped test databases — the workload of the
+// paper's evaluation (§4: "we used the industry-standard TPC-H benchmark to
+// generate a test dataset", loaded into PostgreSQL and dumped with pg_dump).
+//
+// The generator is a deterministic, dbgen-style re-implementation: the
+// eight TPC-H tables with their standard columns, populated from seeded
+// pseudo-random draws and the classic value vocabularies (market segments,
+// part name words, ship modes). It does not reproduce dbgen's exact byte
+// streams — the archival experiments need realistic shape, cardinality and
+// text statistics, not official benchmark numbers. Scale factor 1 matches
+// TPC-H row counts (6 M lineitems); fractional scale factors produce the
+// megabyte-class archives used in the paper's experiments.
+package tpch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generated table: a name, column names and row data.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Database is a complete generated TPC-H instance.
+type Database struct {
+	ScaleFactor float64
+	Seed        int64
+	Tables      []*Table
+}
+
+// rng is a splitmix64 generator: deterministic across platforms.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// decimal renders v/100 with two decimals.
+func decimal(v int) string { return fmt.Sprintf("%d.%02d", v/100, v%100) }
+
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	segments  = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorts   = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	instructs = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	nameWords = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood",
+		"burnished", "chartreuse", "chiffon", "chocolate", "coral",
+		"cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+		"dodger", "drab", "firebrick", "floral", "forest", "frosted",
+		"gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+		"hot", "hazelnut", "indian", "ivory", "khaki", "lace", "lavender",
+		"lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+	}
+	containers = []string{"SM CASE", "SM BOX", "LG CASE", "LG BOX", "MED BAG",
+		"MED BOX", "JUMBO PKG", "WRAP CASE", "LG DRUM", "SM PKG"}
+	types = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER",
+		"PROMO BURNISHED NICKEL", "ECONOMY BRUSHED STEEL", "LARGE POLISHED BRASS",
+		"MEDIUM BURNISHED COPPER", "PROMO PLATED STEEL", "STANDARD BRUSHED BRASS"}
+	commentWords = []string{
+		"carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+		"requests", "packages", "accounts", "instructions", "foxes", "pinto",
+		"beans", "theodolites", "platelets", "ideas", "sleep", "nag", "haggle",
+		"wake", "cajole", "boost", "engage", "doze", "integrate", "final",
+		"express", "regular", "special", "ironic", "even", "bold", "pending",
+		"silent", "unusual", "about", "the", "above", "across", "after",
+	}
+)
+
+func comment(r *rng, minWords, maxWords int) string {
+	n := r.rangeInt(minWords, maxWords)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = commentWords[r.intn(len(commentWords))]
+	}
+	return strings.Join(words, " ")
+}
+
+func phone(r *rng, nation int) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation, r.rangeInt(100, 999),
+		r.rangeInt(100, 999), r.rangeInt(1000, 9999))
+}
+
+func date(r *rng) string {
+	// Order/ship dates span 1992-01-01 .. 1998-08-02 per the spec.
+	year := r.rangeInt(1992, 1998)
+	month := r.rangeInt(1, 12)
+	day := r.rangeInt(1, 28)
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+}
+
+// Generate builds a database at the given scale factor. The same (sf,
+// seed) always yields identical data.
+func Generate(sf float64, seed int64) *Database {
+	db := &Database{ScaleFactor: sf, Seed: seed}
+
+	count := func(base int) int {
+		n := int(float64(base) * sf)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	newRng := func(table string, i int) *rng {
+		h := uint64(seed)
+		for _, c := range []byte(table) {
+			h = h*1099511628211 + uint64(c)
+		}
+		return &rng{s: h + uint64(i)*0x9E3779B97F4A7C15}
+	}
+
+	// region
+	region := &Table{Name: "region", Columns: []string{"r_regionkey", "r_name", "r_comment"}}
+	for i, name := range regions {
+		r := newRng("region", i)
+		region.Rows = append(region.Rows, []string{fmt.Sprint(i), name, comment(r, 4, 12)})
+	}
+
+	// nation
+	nation := &Table{Name: "nation", Columns: []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"}}
+	for i, n := range nations {
+		r := newRng("nation", i)
+		nation.Rows = append(nation.Rows, []string{
+			fmt.Sprint(i), n.name, fmt.Sprint(n.region), comment(r, 4, 12)})
+	}
+
+	// supplier
+	nSupp := count(10000)
+	supplier := &Table{Name: "supplier", Columns: []string{
+		"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}}
+	for i := 1; i <= nSupp; i++ {
+		r := newRng("supplier", i)
+		nk := r.intn(len(nations))
+		supplier.Rows = append(supplier.Rows, []string{
+			fmt.Sprint(i),
+			fmt.Sprintf("Supplier#%09d", i),
+			address(r),
+			fmt.Sprint(nk),
+			phone(r, nk),
+			decimal(r.rangeInt(-99999, 999999)),
+			comment(r, 6, 18),
+		})
+	}
+
+	// part
+	nPart := count(200000)
+	part := &Table{Name: "part", Columns: []string{
+		"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+		"p_container", "p_retailprice", "p_comment"}}
+	for i := 1; i <= nPart; i++ {
+		r := newRng("part", i)
+		w := make([]string, 5)
+		for j := range w {
+			w[j] = nameWords[r.intn(len(nameWords))]
+		}
+		mfgr := r.rangeInt(1, 5)
+		part.Rows = append(part.Rows, []string{
+			fmt.Sprint(i),
+			strings.Join(w, " "),
+			fmt.Sprintf("Manufacturer#%d", mfgr),
+			fmt.Sprintf("Brand#%d%d", mfgr, r.rangeInt(1, 5)),
+			types[r.intn(len(types))],
+			fmt.Sprint(r.rangeInt(1, 50)),
+			containers[r.intn(len(containers))],
+			decimal(90000 + (i%200)*100 + i%1000),
+			comment(r, 2, 8),
+		})
+	}
+
+	// partsupp: 4 suppliers per part
+	partsupp := &Table{Name: "partsupp", Columns: []string{
+		"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"}}
+	for i := 1; i <= nPart; i++ {
+		r := newRng("partsupp", i)
+		for j := 0; j < 4; j++ {
+			sk := (i+j*(nSupp/4+1))%nSupp + 1
+			partsupp.Rows = append(partsupp.Rows, []string{
+				fmt.Sprint(i), fmt.Sprint(sk),
+				fmt.Sprint(r.rangeInt(1, 9999)),
+				decimal(r.rangeInt(100, 100000)),
+				comment(r, 10, 30),
+			})
+		}
+	}
+
+	// customer
+	nCust := count(150000)
+	customer := &Table{Name: "customer", Columns: []string{
+		"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+		"c_acctbal", "c_mktsegment", "c_comment"}}
+	for i := 1; i <= nCust; i++ {
+		r := newRng("customer", i)
+		nk := r.intn(len(nations))
+		customer.Rows = append(customer.Rows, []string{
+			fmt.Sprint(i),
+			fmt.Sprintf("Customer#%09d", i),
+			address(r),
+			fmt.Sprint(nk),
+			phone(r, nk),
+			decimal(r.rangeInt(-99999, 999999)),
+			segments[r.intn(len(segments))],
+			comment(r, 6, 20),
+		})
+	}
+
+	// orders + lineitem
+	nOrd := count(1500000)
+	orders := &Table{Name: "orders", Columns: []string{
+		"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+		"o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"}}
+	lineitem := &Table{Name: "lineitem", Columns: []string{
+		"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+		"l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+		"l_shipmode", "l_comment"}}
+	for i := 1; i <= nOrd; i++ {
+		r := newRng("orders", i)
+		nLines := r.rangeInt(1, 7)
+		total := 0
+		odate := date(r)
+		for ln := 1; ln <= nLines; ln++ {
+			qty := r.rangeInt(1, 50)
+			price := r.rangeInt(90000, 200000) * qty / 100
+			total += price
+			lineitem.Rows = append(lineitem.Rows, []string{
+				fmt.Sprint(i),
+				fmt.Sprint(r.intn(nPart) + 1),
+				fmt.Sprint(r.intn(nSupp) + 1),
+				fmt.Sprint(ln),
+				fmt.Sprint(qty),
+				decimal(price),
+				decimal(r.rangeInt(0, 10)),
+				decimal(r.rangeInt(0, 8)),
+				[]string{"A", "N", "R"}[r.intn(3)],
+				[]string{"F", "O"}[r.intn(2)],
+				date(r), date(r), date(r),
+				instructs[r.intn(len(instructs))],
+				shipModes[r.intn(len(shipModes))],
+				comment(r, 4, 12),
+			})
+		}
+		orders.Rows = append(orders.Rows, []string{
+			fmt.Sprint(i),
+			fmt.Sprint(r.intn(nCust) + 1),
+			[]string{"F", "O", "P"}[r.intn(3)],
+			decimal(total),
+			odate,
+			priorts[r.intn(len(priorts))],
+			fmt.Sprintf("Clerk#%09d", r.rangeInt(1, 1000)),
+			"0",
+			comment(r, 6, 18),
+		})
+	}
+
+	db.Tables = []*Table{region, nation, supplier, part, partsupp, customer, orders, lineitem}
+	return db
+}
+
+func address(r *rng) string {
+	n := r.rangeInt(10, 30)
+	var b strings.Builder
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,"
+	for i := 0; i < n; i++ {
+		b.WriteByte(chars[r.intn(len(chars))])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// TotalRows returns the row count across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.Tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// Table returns a table by name, or nil.
+func (db *Database) Table(name string) *Table {
+	for _, t := range db.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// FitScaleFactor searches for a scale factor whose SQL dump (rendered by
+// render) is close to targetBytes. It is how the experiments reproduce
+// the paper's "roughly 1 MB (1.2 MB)" archive.
+func FitScaleFactor(targetBytes int, seed int64, render func(*Database) []byte) (float64, *Database) {
+	lo, hi := 0.00001, 0.01
+	var best *Database
+	var bestSF float64
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		db := Generate(mid, seed)
+		size := len(render(db))
+		best, bestSF = db, mid
+		switch {
+		case size < targetBytes*95/100:
+			lo = mid
+		case size > targetBytes*105/100:
+			hi = mid
+		default:
+			return mid, db
+		}
+	}
+	return bestSF, best
+}

@@ -1,0 +1,167 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.0005, 42)
+	b := Generate(0.0005, 42)
+	if a.TotalRows() != b.TotalRows() {
+		t.Fatal("row counts differ")
+	}
+	for i, ta := range a.Tables {
+		tb := b.Tables[i]
+		for r := range ta.Rows {
+			for c := range ta.Rows[r] {
+				if ta.Rows[r][c] != tb.Rows[r][c] {
+					t.Fatalf("%s[%d][%d] nondeterministic", ta.Name, r, c)
+				}
+			}
+		}
+	}
+	c := Generate(0.0005, 43)
+	if c.Table("customer").Rows[0][7] == a.Table("customer").Rows[0][7] {
+		t.Fatal("different seeds produced identical comments")
+	}
+}
+
+func TestEightTables(t *testing.T) {
+	db := Generate(0.0002, 1)
+	want := []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+	if len(db.Tables) != 8 {
+		t.Fatalf("%d tables", len(db.Tables))
+	}
+	for i, n := range want {
+		if db.Tables[i].Name != n {
+			t.Fatalf("table %d = %s, want %s", i, db.Tables[i].Name, n)
+		}
+	}
+	if db.Table("nope") != nil {
+		t.Fatal("unknown table lookup")
+	}
+}
+
+func TestFixedTables(t *testing.T) {
+	db := Generate(0.0001, 7)
+	if n := len(db.Table("region").Rows); n != 5 {
+		t.Fatalf("regions %d", n)
+	}
+	if n := len(db.Table("nation").Rows); n != 25 {
+		t.Fatalf("nations %d", n)
+	}
+}
+
+func TestCardinalityScaling(t *testing.T) {
+	small := Generate(0.0002, 1)
+	big := Generate(0.0008, 1)
+	if big.Table("lineitem").Rows == nil || small.Table("lineitem").Rows == nil {
+		t.Fatal("no lineitems")
+	}
+	ratio := float64(len(big.Table("lineitem").Rows)) / float64(len(small.Table("lineitem").Rows))
+	if ratio < 3 || ratio > 5.5 {
+		t.Fatalf("lineitem scaling ratio %.2f, want ≈4", ratio)
+	}
+	// partsupp is 4 rows per part.
+	if len(small.Table("partsupp").Rows) != 4*len(small.Table("part").Rows) {
+		t.Fatal("partsupp != 4×part")
+	}
+}
+
+func TestReferentialShape(t *testing.T) {
+	db := Generate(0.0003, 2)
+	nCust := len(db.Table("customer").Rows)
+	for _, row := range db.Table("orders").Rows[:50] {
+		var ck int
+		if _, err := sscan(row[1], &ck); err != nil || ck < 1 || ck > nCust {
+			t.Fatalf("o_custkey %q out of range [1,%d]", row[1], nCust)
+		}
+	}
+	// Order dates inside the spec window.
+	for _, row := range db.Table("orders").Rows[:50] {
+		d := row[4]
+		if d < "1992-01-01" || d > "1998-12-31" || len(d) != 10 {
+			t.Fatalf("o_orderdate %q", d)
+		}
+	}
+	// lineitem line numbers start at 1 per order.
+	first := db.Table("lineitem").Rows[0]
+	if first[0] != "1" || first[3] != "1" {
+		t.Fatalf("first lineitem: %v", first[:4])
+	}
+}
+
+func TestRowFormats(t *testing.T) {
+	db := Generate(0.0002, 3)
+	sup := db.Table("supplier").Rows[0]
+	if !strings.HasPrefix(sup[1], "Supplier#") || len(sup[1]) != len("Supplier#")+9 {
+		t.Fatalf("s_name %q", sup[1])
+	}
+	if !strings.Contains(sup[4], "-") {
+		t.Fatalf("s_phone %q", sup[4])
+	}
+	if !strings.Contains(sup[5], ".") {
+		t.Fatalf("s_acctbal %q", sup[5])
+	}
+	for _, row := range db.Table("part").Rows[:20] {
+		if !strings.HasPrefix(row[3], "Brand#") {
+			t.Fatalf("p_brand %q", row[3])
+		}
+		if strings.Count(row[1], " ") != 4 {
+			t.Fatalf("p_name %q should be five words", row[1])
+		}
+	}
+}
+
+func TestNoTabsOrNewlinesInValues(t *testing.T) {
+	// The SQL archive uses tab-separated COPY rows; values must be clean.
+	db := Generate(0.0005, 4)
+	for _, tab := range db.Tables {
+		for _, row := range tab.Rows {
+			for _, v := range row {
+				if strings.ContainsAny(v, "\t\n\\") {
+					t.Fatalf("%s value %q contains separator characters", tab.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFitScaleFactor(t *testing.T) {
+	render := func(db *Database) []byte {
+		var b strings.Builder
+		for _, t := range db.Tables {
+			for _, row := range t.Rows {
+				b.WriteString(strings.Join(row, "\t"))
+				b.WriteByte('\n')
+			}
+		}
+		return []byte(b.String())
+	}
+	target := 300_000
+	sf, db := FitScaleFactor(target, 1, render)
+	size := len(render(db))
+	if size < target*7/10 || size > target*13/10 {
+		t.Fatalf("fitted size %d for target %d (sf=%g)", size, target, sf)
+	}
+}
+
+// sscan is a minimal integer parser avoiding fmt.Sscan allocation noise.
+func sscan(s string, out *int) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBadInt
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+var errBadInt = errString("bad int")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,200 @@
+package verisc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildStepProgram assembles a small program exercising every opcode,
+// memory-mapped cell and the borrow flag.
+func buildStepProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(ReservedCells)
+	x := b.Var("x", 1000)
+	y := b.Var("y", 58)
+	// x - y, borrow games, AND, I/O echo, then halt.
+	b.LD(x)
+	b.ZeroB()
+	b.SBBi(y)
+	b.ST(x)
+	b.ANDi(b.Const(0xFF))
+	b.OutR()
+	b.Label("echo")
+	b.LD(Abs(CellAvail))
+	b.ZeroB()
+	b.SBBi(b.Const(0))
+	b.JumpIfZero("done")
+	b.InR()
+	b.OutR()
+	b.Goto("echo")
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStepMatchesRun pins the contract the fast Run loop relies on:
+// stepping one instruction at a time is observationally identical to
+// Run — same registers, memory-mapped effects, output and step count.
+func TestStepMatchesRun(t *testing.T) {
+	p := buildStepProgram(t)
+	mk := func() *CPU {
+		c := NewCPU(1 << 12)
+		if err := c.Load(p.Org, p.Cells); err != nil {
+			t.Fatal(err)
+		}
+		c.In = []uint32{3, 1, 4, 1, 5}
+		return c
+	}
+
+	fast := mk()
+	if err := fast.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := mk()
+	for !slow.Halted {
+		if err := slow.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if fast.R != slow.R || fast.B != slow.B || fast.PC != slow.PC {
+		t.Fatalf("register divergence: fast (R=%d B=%d PC=%d) slow (R=%d B=%d PC=%d)",
+			fast.R, fast.B, fast.PC, slow.R, slow.B, slow.PC)
+	}
+	if fast.Steps != slow.Steps {
+		t.Fatalf("step counts differ: %d vs %d", fast.Steps, slow.Steps)
+	}
+	if len(fast.Out) != len(slow.Out) {
+		t.Fatalf("output lengths differ: %d vs %d", len(fast.Out), len(slow.Out))
+	}
+	for i := range fast.Out {
+		if fast.Out[i] != slow.Out[i] {
+			t.Fatalf("output[%d]: %d vs %d", i, fast.Out[i], slow.Out[i])
+		}
+	}
+}
+
+// TestStepRunEquivalenceProperty drives random instruction soups through
+// both execution paths; whatever happens (halt, error, step limit) must
+// happen identically.
+func TestStepRunEquivalenceProperty(t *testing.T) {
+	f := func(cells []uint32, in []uint32) bool {
+		run := NewCPU(4096)
+		copy(run.Mem[ReservedCells:], cells)
+		run.PC = ReservedCells
+		run.In = append([]uint32(nil), in...)
+		run.MaxSteps = 2000
+		runErr := run.Run()
+
+		step := NewCPU(4096)
+		copy(step.Mem[ReservedCells:], cells)
+		step.PC = ReservedCells
+		step.In = append([]uint32(nil), in...)
+		step.MaxSteps = 2000
+		var stepErr error
+		for !step.Halted && stepErr == nil {
+			stepErr = step.Step()
+		}
+
+		if (runErr == nil) != (stepErr == nil) {
+			return false
+		}
+		if run.R != step.R || run.B != step.B || len(run.Out) != len(step.Out) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := NewCPU(64)
+	c.Mem[ReservedCells] = ST
+	c.Mem[ReservedCells+1] = CellHalt
+	c.PC = ReservedCells
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	steps := c.Steps
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Steps != steps {
+		t.Fatal("Step advanced a halted machine")
+	}
+}
+
+func TestWriteMappedCells(t *testing.T) {
+	c := NewCPU(64)
+	// ST to PC jumps.
+	c.R = 40
+	if err := c.write(CellPC, c.R); err != nil {
+		t.Fatal(err)
+	}
+	if c.PC != 40 {
+		t.Fatalf("PC=%d", c.PC)
+	}
+	// ST to B masks to one bit.
+	if err := c.write(CellB, 7); err != nil {
+		t.Fatal(err)
+	}
+	if c.B != 1 {
+		t.Fatalf("B=%d", c.B)
+	}
+	// Out-of-range store errors.
+	if err := c.write(1<<20, 1); err == nil {
+		t.Fatal("store beyond memory accepted")
+	}
+	// Out-of-range load errors.
+	if _, err := c.read(1 << 20); err == nil {
+		t.Fatal("load beyond memory accepted")
+	}
+}
+
+func TestRunErrorsMatchStepErrors(t *testing.T) {
+	// Bad opcode (direct-memory operand) must error on both paths.
+	for _, addr := range []uint32{ReservedCells + 10, CellIn} {
+		mk := func() *CPU {
+			c := NewCPU(64)
+			c.Mem[ReservedCells] = 99 // undefined opcode
+			c.Mem[ReservedCells+1] = addr
+			c.PC = ReservedCells
+			return c
+		}
+		r := mk()
+		rErr := r.Run()
+		s := mk()
+		sErr := s.Step()
+		if rErr == nil || sErr == nil {
+			t.Fatalf("addr %d: bad opcode accepted (run=%v step=%v)", addr, rErr, sErr)
+		}
+	}
+	// PC walking off the end errors on both paths.
+	r := NewCPU(16)
+	r.PC = 15
+	if err := r.Run(); err == nil {
+		t.Fatal("run accepted pc at memory end")
+	}
+	s := NewCPU(16)
+	s.PC = 15
+	if err := s.Step(); err == nil {
+		t.Fatal("step accepted pc at memory end")
+	}
+}
+
+func TestNewCPUDefaults(t *testing.T) {
+	if len(NewCPU(0).Mem) != DefaultMemCells {
+		t.Fatal("default memory size not applied")
+	}
+	if len(NewCPU(128).Mem) != 128 {
+		t.Fatal("explicit memory size not applied")
+	}
+}

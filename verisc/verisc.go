@@ -1,0 +1,304 @@
+// Package verisc implements VeRisc, the four-instruction software
+// processor at the bottom of the Olonys nested emulation strategy (§3.2).
+//
+// VeRisc exists to minimise the work a user must do decades from now: the
+// Bootstrap document archived with the data describes this machine in a
+// few pages of pseudocode, and implementing it — an interpreter for just
+// four instructions — is the only programming the restoration requires.
+// The archived DynaRisc emulator then runs *on* VeRisc, and the archived
+// layout decoders run on DynaRisc.
+//
+// # Machine model
+//
+// Memory is an array of 32-bit cells. One accumulator R and one borrow
+// flag B form the whole register state. An instruction is two consecutive
+// cells, [op, addr]:
+//
+//	op 0  LD  &addr   R = M[addr]
+//	op 1  ST  &addr   M[addr] = R
+//	op 2  SBB &addr   R = R - M[addr] - B, setting B to the borrow
+//	op 3  AND &addr   R = R & M[addr]
+//
+// The low cells are memory-mapped machine state:
+//
+//	cell 0  PC     read: address of next instruction; write: jump
+//	cell 1  B      borrow flag (0 or 1)
+//	cell 2  IN     read: pops the next input word (0 at end)
+//	cell 3  AVAIL  read: 1 while input remains
+//	cell 4  OUT    write: appends an output word
+//	cell 5  HALT   write: stops the machine
+//
+// Everything else — control flow, logic, arithmetic — is synthesised:
+// jumps store a computed target to PC, OR/XOR derive from AND and
+// subtraction, and indexed addressing patches the operand cell of an
+// upcoming instruction (the program lives in the same memory it computes
+// in). Package's Builder provides these idioms as macros; internal/nested
+// uses them to express the DynaRisc emulator as a VeRisc program.
+package verisc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The four opcodes.
+const (
+	LD  = 0
+	ST  = 1
+	SBB = 2
+	AND = 3
+)
+
+// Memory-mapped cells.
+const (
+	CellPC    = 0
+	CellB     = 1
+	CellIn    = 2
+	CellAvail = 3
+	CellOut   = 4
+	CellHalt  = 5
+
+	// ReservedCells is the first address available to programs.
+	ReservedCells = 8
+)
+
+// DefaultMemCells sizes the reference CPU memory.
+const DefaultMemCells = 1 << 21
+
+// Execution errors.
+var (
+	ErrStepLimit  = errors.New("verisc: step limit exceeded")
+	ErrBadAddress = errors.New("verisc: address out of range")
+	ErrBadOpcode  = errors.New("verisc: undefined opcode")
+)
+
+// CPU is the reference VeRisc emulator. It is intentionally tiny — the
+// measurable artifact behind the paper's "anyone can implement this in
+// under a week" portability claim (see also examples/futureuser, an
+// independent implementation written only from the Bootstrap text).
+type CPU struct {
+	R   uint32
+	B   uint32 // 0 or 1
+	PC  uint32
+	Mem []uint32
+
+	In    []uint32
+	InPos int
+	Out   []uint32
+
+	Halted   bool
+	Steps    uint64
+	MaxSteps uint64 // 0 = unlimited
+}
+
+// NewCPU returns a CPU with the given memory size in cells (0 selects
+// DefaultMemCells).
+func NewCPU(memCells int) *CPU {
+	if memCells <= 0 {
+		memCells = DefaultMemCells
+	}
+	return &CPU{Mem: make([]uint32, memCells)}
+}
+
+// Load copies a program image to org and points PC at it.
+func (c *CPU) Load(org uint32, cells []uint32) error {
+	if int(org)+len(cells) > len(c.Mem) {
+		return fmt.Errorf("%w: image of %d cells at %d", ErrBadAddress, len(cells), org)
+	}
+	copy(c.Mem[org:], cells)
+	c.PC = org
+	return nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.MaxSteps > 0 && c.Steps >= c.MaxSteps {
+		return ErrStepLimit
+	}
+	c.Steps++
+	if int(c.PC)+1 >= len(c.Mem) {
+		return fmt.Errorf("%w: pc=%d", ErrBadAddress, c.PC)
+	}
+	op := c.Mem[c.PC]
+	addr := c.Mem[c.PC+1]
+	c.PC += 2
+
+	switch op {
+	case LD:
+		v, err := c.read(addr)
+		if err != nil {
+			return err
+		}
+		c.R = v
+	case ST:
+		if err := c.write(addr, c.R); err != nil {
+			return err
+		}
+	case SBB:
+		v, err := c.read(addr)
+		if err != nil {
+			return err
+		}
+		t := int64(c.R) - int64(v) - int64(c.B)
+		if t < 0 {
+			c.B = 1
+		} else {
+			c.B = 0
+		}
+		c.R = uint32(t)
+	case AND:
+		v, err := c.read(addr)
+		if err != nil {
+			return err
+		}
+		c.R &= v
+	default:
+		return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, c.PC-2)
+	}
+	return nil
+}
+
+func (c *CPU) read(addr uint32) (uint32, error) {
+	switch addr {
+	case CellPC:
+		return c.PC, nil
+	case CellB:
+		return c.B, nil
+	case CellIn:
+		if c.InPos < len(c.In) {
+			v := c.In[c.InPos]
+			c.InPos++
+			return v, nil
+		}
+		return 0, nil
+	case CellAvail:
+		if c.InPos < len(c.In) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if int(addr) >= len(c.Mem) {
+		return 0, fmt.Errorf("%w: load %d", ErrBadAddress, addr)
+	}
+	return c.Mem[addr], nil
+}
+
+func (c *CPU) write(addr, v uint32) error {
+	switch addr {
+	case CellPC:
+		c.PC = v
+		return nil
+	case CellB:
+		c.B = v & 1
+		return nil
+	case CellOut:
+		c.Out = append(c.Out, v)
+		return nil
+	case CellHalt:
+		c.Halted = true
+		return nil
+	}
+	if int(addr) >= len(c.Mem) {
+		return fmt.Errorf("%w: store %d", ErrBadAddress, addr)
+	}
+	c.Mem[addr] = v
+	return nil
+}
+
+// Run executes until HALT, an error, or the step limit.
+//
+// Run is the throughput path: it inlines instruction dispatch and the
+// common direct-memory case (addr >= ReservedCells), falling back to the
+// memory-mapped handlers only for the low cells. Semantics are identical
+// to calling Step in a loop; dynarisc/verisc differential tests rely on
+// that equivalence.
+func (c *CPU) Run() error {
+	mem := c.Mem
+	memLen := uint32(len(mem))
+	for !c.Halted {
+		if c.MaxSteps > 0 && c.Steps >= c.MaxSteps {
+			return ErrStepLimit
+		}
+		c.Steps++
+		if c.PC+1 >= memLen {
+			return fmt.Errorf("%w: pc=%d", ErrBadAddress, c.PC)
+		}
+		op := mem[c.PC]
+		addr := mem[c.PC+1]
+		c.PC += 2
+
+		// Direct-memory fast path.
+		if addr >= ReservedCells && addr < memLen {
+			switch op {
+			case LD:
+				c.R = mem[addr]
+			case ST:
+				mem[addr] = c.R
+			case SBB:
+				t := int64(c.R) - int64(mem[addr]) - int64(c.B)
+				if t < 0 {
+					c.B = 1
+				} else {
+					c.B = 0
+				}
+				c.R = uint32(t)
+			case AND:
+				c.R &= mem[addr]
+			default:
+				return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, c.PC-2)
+			}
+			continue
+		}
+
+		switch op {
+		case LD, SBB, AND:
+			v, err := c.read(addr)
+			if err != nil {
+				return err
+			}
+			switch op {
+			case LD:
+				c.R = v
+			case SBB:
+				t := int64(c.R) - int64(v) - int64(c.B)
+				if t < 0 {
+					c.B = 1
+				} else {
+					c.B = 0
+				}
+				c.R = uint32(t)
+			case AND:
+				c.R &= v
+			}
+		case ST:
+			if err := c.write(addr, c.R); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, c.PC-2)
+		}
+	}
+	return nil
+}
+
+// SetInBytes loads the input stream from bytes, one per cell — the
+// convention the archived decoders use for byte streams.
+func (c *CPU) SetInBytes(p []byte) {
+	c.In = make([]uint32, len(p))
+	for i, b := range p {
+		c.In[i] = uint32(b)
+	}
+	c.InPos = 0
+}
+
+// OutBytes returns the output stream as bytes (low byte of each word).
+func (c *CPU) OutBytes() []byte {
+	out := make([]byte, len(c.Out))
+	for i, w := range c.Out {
+		out[i] = byte(w)
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package verisc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// runProgram builds and runs, returning the CPU.
+func runProgram(t *testing.T, build func(b *Builder), in []uint32) *CPU {
+	t.Helper()
+	b := NewBuilder(ReservedCells)
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU(1 << 16)
+	c.MaxSteps = 5_000_000
+	if err := c.Load(p.Org, p.Cells); err != nil {
+		t.Fatal(err)
+	}
+	c.In = in
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRawInstructions(t *testing.T) {
+	// Hand-assembled: R = M[20]; R &= M[21]; R -= M[22]; M[23] = R; halt.
+	c := NewCPU(64)
+	prog := []uint32{
+		LD, 20,
+		AND, 21,
+		SBB, 22,
+		ST, 23,
+		ST, CellHalt,
+	}
+	copy(c.Mem[8:], prog)
+	c.Mem[20] = 0xFF
+	c.Mem[21] = 0x3C
+	c.Mem[22] = 0x04
+	c.PC = 8
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem[23] != 0x38 {
+		t.Fatalf("result %#x", c.Mem[23])
+	}
+	if c.B != 0 {
+		t.Fatal("no borrow expected")
+	}
+}
+
+func TestSBBBorrowChain(t *testing.T) {
+	c := NewCPU(64)
+	// R=5; R -= M[20](=7) → borrow; R -= M[21](=0) consumes borrow.
+	prog := []uint32{
+		LD, 20,
+		SBB, 21,
+		SBB, 22,
+		ST, 23,
+		ST, CellHalt,
+	}
+	copy(c.Mem[8:], prog)
+	c.Mem[20] = 5
+	c.Mem[21] = 7
+	c.Mem[22] = 0
+	c.PC = 8
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 5-7 = 0xFFFFFFFE with B=1, then -0-1 = 0xFFFFFFFD, B=0.
+	if c.Mem[23] != 0xFFFFFFFD {
+		t.Fatalf("result %#x", c.Mem[23])
+	}
+}
+
+func TestJumpViaPC(t *testing.T) {
+	c := NewCPU(64)
+	prog := []uint32{
+		LD, 30, // R = 16 (address of the "good" tail)
+		ST, CellPC,
+		// dead code: writes 99 to out
+		LD, 31,
+		ST, CellOut,
+		ST, CellHalt,
+		// good tail at absolute cell 16:
+		LD, 32,
+		ST, CellOut,
+		ST, CellHalt,
+	}
+	copy(c.Mem[8:], prog)
+	c.Mem[30] = 18
+	c.Mem[31] = 99
+	c.Mem[32] = 42
+	c.PC = 8
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Out) != 1 || c.Out[0] != 42 {
+		t.Fatalf("out %v", c.Out)
+	}
+}
+
+func TestPCReadsNextInstruction(t *testing.T) {
+	c := NewCPU(64)
+	prog := []uint32{
+		LD, CellPC, // R = address after this instruction = 10
+		ST, 20,
+		ST, CellHalt,
+	}
+	copy(c.Mem[8:], prog)
+	c.PC = 8
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem[20] != 10 {
+		t.Fatalf("PC read %d, want 10", c.Mem[20])
+	}
+}
+
+func TestIOAndHalt(t *testing.T) {
+	c := NewCPU(64)
+	prog := []uint32{
+		LD, CellAvail,
+		ST, CellOut,
+		LD, CellIn,
+		ST, CellOut,
+		LD, CellIn, // exhausted → 0
+		ST, CellOut,
+		LD, CellAvail, // 0 now
+		ST, CellOut,
+		ST, CellHalt,
+	}
+	copy(c.Mem[8:], prog)
+	c.In = []uint32{77}
+	c.PC = 8
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 77, 0, 0}
+	for i, w := range want {
+		if c.Out[i] != w {
+			t.Fatalf("out %v, want %v", c.Out, want)
+		}
+	}
+}
+
+func TestBadOpcodeAndAddress(t *testing.T) {
+	c := NewCPU(32)
+	c.Mem[8] = 9
+	c.PC = 8
+	if err := c.Run(); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want bad opcode, got %v", err)
+	}
+	c2 := NewCPU(32)
+	c2.Mem[8] = LD
+	c2.Mem[9] = 1000
+	c2.PC = 8
+	if err := c2.Run(); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want bad address, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	c := NewCPU(32)
+	// Tight loop: jump to self.
+	c.Mem[8] = LD
+	c.Mem[9] = 20
+	c.Mem[10] = ST
+	c.Mem[11] = CellPC
+	c.Mem[20] = 8
+	c.PC = 8
+	c.MaxSteps = 50
+	if err := c.Run(); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want step limit, got %v", err)
+	}
+}
+
+func TestSetInOutBytes(t *testing.T) {
+	c := NewCPU(32)
+	c.SetInBytes([]byte{1, 2, 255})
+	if len(c.In) != 3 || c.In[2] != 255 {
+		t.Fatal("SetInBytes")
+	}
+	c.Out = []uint32{65, 0x1FF}
+	got := c.OutBytes()
+	if got[0] != 65 || got[1] != 0xFF {
+		t.Fatal("OutBytes truncation")
+	}
+}
+
+// --- Builder macro tests ---------------------------------------------
+
+func TestBuilderLoadImmOut(t *testing.T) {
+	c := runProgram(t, func(b *Builder) {
+		b.LoadImm(123456)
+		b.OutR()
+		b.Halt()
+	}, nil)
+	if len(c.Out) != 1 || c.Out[0] != 123456 {
+		t.Fatalf("out %v", c.Out)
+	}
+}
+
+func TestBuilderAddMacro(t *testing.T) {
+	f := func(x, y uint32) bool {
+		b := NewBuilder(ReservedCells)
+		vx := b.Var("x", x)
+		b.LoadImm(y)
+		b.Add(vx)
+		b.OutR()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		c := NewCPU(1 << 12)
+		c.Load(p.Org, p.Cells)
+		c.MaxSteps = 10000
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return c.Out[0] == x+y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderSubAndBorrowJumps(t *testing.T) {
+	// Output 1 if first input < second input else 0.
+	build := func(b *Builder) {
+		less := b.Var("less", 0)
+		y := b.Var("y", 0)
+		_ = less
+		b.InR()
+		b.ST(b.scratch("$x"))
+		b.InR()
+		b.ST(y)
+		b.LD(b.scratch("$x"))
+		b.JumpIfULT(Lbl("y"), "isless")
+		b.LoadImm(0)
+		b.OutR()
+		b.Halt()
+		b.Label("isless")
+		b.LoadImm(1)
+		b.OutR()
+		b.Halt()
+	}
+	c := runProgram(t, build, []uint32{3, 9})
+	if c.Out[0] != 1 {
+		t.Fatal("3 < 9 not detected")
+	}
+	c = runProgram(t, build, []uint32{9, 3})
+	if c.Out[0] != 0 {
+		t.Fatal("9 < 3 misdetected")
+	}
+	c = runProgram(t, build, []uint32{5, 5})
+	if c.Out[0] != 0 {
+		t.Fatal("5 < 5 misdetected")
+	}
+}
+
+func TestBuilderJumpZeroNonZero(t *testing.T) {
+	build := func(b *Builder) {
+		b.InR()
+		b.JumpIfZero("zero")
+		b.LoadImm(7)
+		b.OutR()
+		b.Halt()
+		b.Label("zero")
+		b.LoadImm(8)
+		b.OutR()
+		b.Halt()
+	}
+	if c := runProgram(t, build, []uint32{0}); c.Out[0] != 8 {
+		t.Fatal("zero path")
+	}
+	if c := runProgram(t, build, []uint32{5}); c.Out[0] != 7 {
+		t.Fatal("nonzero path")
+	}
+
+	build2 := func(b *Builder) {
+		b.InR()
+		b.JumpIfNonZero("nz")
+		b.LoadImm(1)
+		b.OutR()
+		b.Halt()
+		b.Label("nz")
+		b.LoadImm(2)
+		b.OutR()
+		b.Halt()
+	}
+	if c := runProgram(t, build2, []uint32{0}); c.Out[0] != 1 {
+		t.Fatal("JumpIfNonZero on zero")
+	}
+	if c := runProgram(t, build2, []uint32{9}); c.Out[0] != 2 {
+		t.Fatal("JumpIfNonZero on nonzero")
+	}
+}
+
+func TestBuilderLoopSum(t *testing.T) {
+	// Sum all input words: the canonical VeRisc loop.
+	c := runProgram(t, func(b *Builder) {
+		sum := b.Var("sum", 0)
+		b.Label("loop")
+		b.LD(Abs(CellAvail))
+		b.JumpIfZero("done")
+		b.InR()
+		b.Add(sum)
+		b.ST(sum)
+		b.Goto("loop")
+		b.Label("done")
+		b.LD(sum)
+		b.OutR()
+		b.Halt()
+	}, []uint32{10, 20, 30, 4})
+	if c.Out[0] != 64 {
+		t.Fatalf("sum %d", c.Out[0])
+	}
+}
+
+func TestBuilderIndirect(t *testing.T) {
+	// Reverse 4 input words through an array using indexed access.
+	c := runProgram(t, func(b *Builder) {
+		arr := b.Array("arr", 4)
+		i := b.Var("i", 0)
+		val := b.Var("val", 0)
+		four := b.Const(4)
+		_ = arr
+
+		b.Label("rdloop")
+		b.LD(i)
+		b.JumpIfUGE(four, "emit")
+		// arr[i] = input
+		b.InR()
+		b.ST(val)
+		b.LD(b.AddrConst("arr"))
+		b.Add(i)
+		b.StoreIndirect(val)
+		b.LD(i)
+		b.Add(b.Const(1))
+		b.ST(i)
+		b.Goto("rdloop")
+
+		b.Label("emit")
+		b.LoadImm(4)
+		b.ST(i)
+		b.Label("emitloop")
+		b.LD(i)
+		b.JumpIfZero("fin")
+		b.LD(i) // JumpIfZero clobbers R; reload
+		b.Sub(b.Const(1))
+		b.ST(i)
+		b.LD(b.AddrConst("arr"))
+		b.Add(i)
+		b.LoadIndirect()
+		b.OutR()
+		b.Goto("emitloop")
+		b.Label("fin")
+		b.Halt()
+	}, []uint32{1, 2, 3, 4})
+	want := []uint32{4, 3, 2, 1}
+	for k, w := range want {
+		if c.Out[k] != w {
+			t.Fatalf("out %v", c.Out)
+		}
+	}
+}
+
+func TestBuilderSubroutine(t *testing.T) {
+	// double(): R = R + R via a temp var; called twice.
+	c := runProgram(t, func(b *Builder) {
+		x := b.Var("x", 0)
+		b.InR()
+		b.ST(x)
+		b.CallSub("double")
+		b.CallSub("double")
+		b.LD(x)
+		b.OutR()
+		b.Halt()
+
+		b.BeginSub("double")
+		b.LD(x)
+		b.Add(Lbl("x"))
+		b.ST(x)
+		b.RetSub("double")
+	}, []uint32{5})
+	if c.Out[0] != 20 {
+		t.Fatalf("double twice: %d", c.Out[0])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(ReservedCells)
+	b.Goto("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+
+	b2 := NewBuilder(ReservedCells)
+	b2.Label("a")
+	b2.Label("a")
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestBuilderOrgBelowReservedClamped(t *testing.T) {
+	b := NewBuilder(0)
+	if b.Here() != ReservedCells {
+		t.Fatalf("origin %d", b.Here())
+	}
+}
+
+func TestLoadBounds(t *testing.T) {
+	c := NewCPU(16)
+	if err := c.Load(10, make([]uint32, 10)); !errors.Is(err, ErrBadAddress) {
+		t.Fatal("oversized load accepted")
+	}
+}
