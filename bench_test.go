@@ -16,6 +16,9 @@
 //	E9  ablation  self-clocking vs absolute grid vs QR baseline
 //	E10 §5 ext.   columnar DBCoder layout vs generic
 //	E11 §5 ext.   DNA archival channel (coverage sweep)
+//	P1  ext.      concurrent frame pipeline: workers sweep (archive)
+//	P2  ext.      concurrent frame pipeline: workers sweep (restore ×3 modes)
+//	P3  ext.      concurrent frame pipeline: serial vs parallel per profile
 package microlonys_test
 
 import (
@@ -539,6 +542,127 @@ func BenchmarkE9ClockingAblation(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(success)/float64(trials), "success")
+			})
+		}
+	}
+}
+
+// ---- P1–P3: concurrent frame pipeline ----------------------------------------
+
+// pipelineWorkerCounts is the sweep used by the P benchmarks: the serial
+// reference, small fixed pools, and 0 = GOMAXPROCS.
+var pipelineWorkerCounts = []int{1, 2, 4, 8, 0}
+
+// BenchmarkP1ArchiveWorkers measures CreateArchive's frame-encode fan-out.
+// The payload is archived raw (as in E1/E2/E3), so per-frame emblem
+// rasterization dominates and throughput scales with the worker count;
+// with DBCoder enabled the serial split stage bounds the speedup instead
+// (Amdahl — see BenchmarkE6Compression for that cost).
+func BenchmarkP1ArchiveWorkers(b *testing.B) {
+	data := tpchDump()[:256*1024]
+	for _, w := range pipelineWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := microlonys.DefaultOptions(benchProfile())
+			opts.Compress = false
+			opts.Workers = w
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := microlonys.Archive(data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP2RestoreWorkers measures Restore's scan/decode fan-out in all
+// three execution modes. Native restores the 256 KB archive; the emulated
+// modes restore a smaller one (DynaRisc decodes each frame in seconds,
+// nested in minutes — the overhead E8 quantifies per frame).
+func BenchmarkP2RestoreWorkers(b *testing.B) {
+	archive := func(b *testing.B, n int, compress bool) (*microlonys.Archived, []byte) {
+		data := tpchDump()[:n]
+		opts := microlonys.DefaultOptions(benchProfile())
+		opts.Compress = compress
+		arch, err := microlonys.Archive(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return arch, data
+	}
+
+	run := func(b *testing.B, arch *microlonys.Archived, data []byte, mode microlonys.Mode, w int) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			got, _, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
+				microlonys.RestoreOptions{Mode: mode, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				b.Fatal("restore mismatch")
+			}
+		}
+	}
+
+	b.Run("native", func(b *testing.B) {
+		arch, data := archive(b, 256*1024, true)
+		for _, w := range pipelineWorkerCounts {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, arch, data, microlonys.RestoreNative, w) })
+		}
+	})
+	b.Run("dynarisc", func(b *testing.B) {
+		arch, data := archive(b, 8*1024, true)
+		for _, w := range pipelineWorkerCounts {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, arch, data, microlonys.RestoreDynaRisc, w) })
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("nested emulation is slow; skipped in -short mode")
+		}
+		// Raw mode keeps this to one group of four small frames, as in
+		// the core nested tests.
+		data := tpchDump()[:2*benchProfile().FrameCapacity()]
+		opts := microlonys.DefaultOptions(benchProfile())
+		opts.Compress = false
+		arch, err := microlonys.Archive(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, arch, data, microlonys.RestoreNested, w) })
+		}
+	})
+}
+
+// BenchmarkP3ProfilePipeline compares the serial reference (workers=1)
+// against the default pool (workers=0 ⇒ GOMAXPROCS) for an archive+restore
+// round trip on each of the paper's three media profiles, at a payload
+// small enough that the full-resolution frames stay benchable.
+func BenchmarkP3ProfilePipeline(b *testing.B) {
+	payload := logoPayload()
+	for _, prof := range []media.Profile{media.Paper(), media.Microfilm(), media.CinemaFilm()} {
+		for _, w := range []int{1, 0} {
+			b.Run(fmt.Sprintf("%s/workers=%d", prof.Name, w), func(b *testing.B) {
+				opts := microlonys.DefaultOptions(prof)
+				opts.Compress = false // as in E2/E3: the payload is image-like
+				opts.Workers = w
+				b.SetBytes(int64(len(payload)))
+				for i := 0; i < b.N; i++ {
+					arch, err := microlonys.Archive(payload, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					got, _, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
+						microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !bytes.Equal(got, payload) {
+						b.Fatal("round trip mismatch")
+					}
+				}
 			})
 		}
 	}

@@ -5,7 +5,7 @@
 //
 //	microlonys -in dump.sql [-profile paper|microfilm|cinema]
 //	           [-mode native|dynarisc|nested] [-raw] [-destroy N]
-//	           [-frames out/] [-bootstrap bootstrap.txt]
+//	           [-workers N] [-frames out/] [-bootstrap bootstrap.txt]
 //
 // The tool archives the input, optionally destroys N frames, restores
 // through the selected mode and verifies bit-exactness, printing the
@@ -34,6 +34,7 @@ func main() {
 	framesDir := flag.String("frames", "", "write frame PNGs to this directory")
 	bootOut := flag.String("bootstrap", "", "write the Bootstrap document to this file")
 	seed := flag.Int64("seed", 1, "seed for frame destruction")
+	workers := flag.Int("workers", 0, "frame pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *in == "" {
@@ -69,6 +70,7 @@ func main() {
 
 	opts := microlonys.DefaultOptions(prof)
 	opts.Compress = !*raw
+	opts.Workers = *workers
 
 	fmt.Printf("archiving %s (%d bytes) to %s...\n", *in, len(data), prof.Name)
 	t0 := time.Now()
@@ -111,7 +113,8 @@ func main() {
 
 	fmt.Printf("restoring (mode %s)...\n", m)
 	t0 = time.Now()
-	got, st, err := microlonys.Restore(arch.Medium, arch.BootstrapText, m)
+	got, st, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
+		microlonys.RestoreOptions{Mode: m, Workers: *workers})
 	check(err)
 	fmt.Printf("  %d frames scanned, %d failed, %d groups recovered, %d bytes corrected\n",
 		st.FramesScanned, st.FramesFailed, st.GroupsRecovered, st.BytesCorrected)

@@ -1,0 +1,3 @@
+module microlonys
+
+go 1.24

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"microlonys/internal/bootstrap"
+	"microlonys/internal/dbcoder"
+	"microlonys/internal/dynprog"
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/internal/nested"
+	"microlonys/media"
+	"microlonys/raster"
+)
+
+// The archival pipeline (Figure 2a), as three explicit stages:
+//
+//	split:  DBCoder + system stream → chunks → outer-code groups → a
+//	        frame plan fixing every header and payload (serial; owns all
+//	        cross-frame state)
+//	encode: frame plan → rasterized emblems (parallel per frame)
+//	place:  emblems → written medium, in frame order (serial; the medium
+//	        applies per-frame-index writer distortion)
+//
+// Fixing headers and frame indices during split is what makes the encode
+// fan-out trivially deterministic: workers only rasterize, they never
+// allocate indices or touch shared counters.
+
+// frameTask is one planned emblem: the padded payload and the fully
+// resolved header the encode stage will rasterize.
+type frameTask struct {
+	payload []byte
+	hdr     emblem.Header
+}
+
+// framePlan is the output of the split stage.
+type framePlan struct {
+	tasks []frameTask
+	man   Manifest
+}
+
+// CreateArchive runs the archival pipeline (Figure 2a): db_dump output in,
+// written medium + Bootstrap out.
+func CreateArchive(data []byte, opts Options) (*Archived, error) {
+	if opts.GroupData <= 0 {
+		opts.GroupData = mocoder.GroupData
+	}
+	if opts.GroupParity <= 0 {
+		opts.GroupParity = mocoder.GroupParity
+	}
+	if opts.GroupData > mocoder.GroupData || opts.GroupParity != mocoder.GroupParity {
+		return nil, fmt.Errorf("core: unsupported group shape %d+%d", opts.GroupData, opts.GroupParity)
+	}
+	layout := opts.Profile.Layout
+	capacity := mocoder.Capacity(layout)
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: profile %q has zero emblem capacity", opts.Profile.Name)
+	}
+
+	// Stage 1: split the streams into a frame plan.
+	plan, err := splitStage(data, opts, capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: encode every planned frame, fanning out across workers.
+	frames, err := encodeStage(context.Background(), plan.tasks, layout, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6: Bootstrap document.
+	emu, err := nested.Program()
+	if err != nil {
+		return nil, fmt.Errorf("core: building emulator: %w", err)
+	}
+	mo, err := dynprog.MODecode()
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling MODecode: %w", err)
+	}
+	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
+
+	// Stage 3: place the frames on the medium.
+	m := media.New(opts.Profile)
+	if err := m.Write(frames); err != nil {
+		return nil, fmt.Errorf("core: writing medium: %w", err)
+	}
+
+	return &Archived{
+		Medium:        m,
+		Bootstrap:     doc,
+		BootstrapText: doc.Render(),
+		Manifest:      plan.man,
+		Options:       opts,
+	}, nil
+}
+
+// splitStage runs DBCoder, splits the data and system streams into
+// capacity-sized chunks, forms outer-code groups and computes their parity
+// payloads, and assigns every frame its header and index. All cross-frame
+// bookkeeping lives here, so the stages after it treat frames as fully
+// independent.
+func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
+	// Step 2: DBCoder.
+	stream := data
+	kind := emblem.KindRaw
+	if opts.Compress {
+		depth := opts.Depth
+		if depth <= 0 {
+			depth = dbcoder.DefaultDepth
+		}
+		stream = dbcoder.CompressDepth(data, depth)
+		kind = emblem.KindData
+	}
+
+	plan := &framePlan{man: Manifest{RawLen: len(data), StreamLen: len(stream)}}
+
+	// Steps 3+5: emblems for the data stream, then for the archived
+	// DBDecode instruction stream (system emblems).
+	type section struct {
+		kind   emblem.Kind
+		stream []byte
+	}
+	sections := []section{{kind, stream}}
+	if opts.Compress {
+		prog, err := dynprog.DBDecode()
+		if err != nil {
+			return nil, fmt.Errorf("core: assembling DBDecode: %w", err)
+		}
+		sys := bootstrap.MarshalDynaRisc(prog)
+		plan.man.SystemLen = len(sys)
+		sections = append(sections, section{emblem.KindSystem, sys})
+	}
+
+	groupID := 0
+	frameIdx := 0
+	for _, sec := range sections {
+		chunks := splitChunks(sec.stream, capacity)
+		for len(chunks) > 0 {
+			g := opts.GroupData
+			if g > len(chunks) {
+				g = len(chunks)
+			}
+			group := chunks[:g]
+			chunks = chunks[g:]
+
+			padded := make([][]byte, g)
+			for i, c := range group {
+				p := make([]byte, capacity)
+				copy(p, c)
+				padded[i] = p
+			}
+			parity, err := mocoder.GroupParityPayloads(padded)
+			if err != nil {
+				return nil, fmt.Errorf("core: group parity: %w", err)
+			}
+
+			emit := func(payload []byte, k emblem.Kind, pos int) {
+				plan.tasks = append(plan.tasks, frameTask{
+					payload: payload,
+					hdr: emblem.Header{
+						Kind:        k,
+						Index:       uint16(frameIdx),
+						GroupID:     uint16(groupID),
+						GroupPos:    uint8(pos),
+						GroupData:   uint8(g),
+						GroupParity: uint8(opts.GroupParity),
+						TotalLen:    uint32(len(sec.stream)),
+					},
+				})
+				frameIdx++
+			}
+			for i, c := range group {
+				emit(c, sec.kind, i)
+				if sec.kind == emblem.KindSystem {
+					plan.man.SystemEmblems++
+				} else {
+					plan.man.DataEmblems++
+				}
+			}
+			for i, p := range parity {
+				emit(p, emblem.KindParity, g+i)
+				plan.man.ParityEmblems++
+			}
+			groupID++
+		}
+	}
+	plan.man.Groups = groupID
+	plan.man.TotalFrames = len(plan.tasks)
+	return plan, nil
+}
+
+// encodeStage rasterizes every planned frame. Workers claim frames by
+// index and write only frames[i], so the result order matches the plan
+// regardless of scheduling; the first encode error cancels the rest.
+func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int) ([]*raster.Gray, error) {
+	frames := make([]*raster.Gray, len(tasks))
+	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, i int) error {
+		img, err := mocoder.Encode(tasks[i].payload, tasks[i].hdr, layout)
+		if err != nil {
+			kind := "emblem"
+			if tasks[i].hdr.Kind == emblem.KindParity {
+				kind = "parity emblem"
+			}
+			return fmt.Errorf("core: encoding %s: %w", kind, err)
+		}
+		frames[i] = img
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// splitChunks cuts a stream into capacity-sized chunks (the last may be
+// short). An empty stream still occupies one empty chunk, so every
+// section produces at least one emblem carrying its TotalLen.
+func splitChunks(stream []byte, capacity int) [][]byte {
+	var out [][]byte
+	for len(stream) > 0 {
+		n := capacity
+		if n > len(stream) {
+			n = len(stream)
+		}
+		out = append(out, stream[:n])
+		stream = stream[n:]
+	}
+	if len(out) == 0 {
+		out = [][]byte{{}}
+	}
+	return out
+}

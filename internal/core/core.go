@@ -4,22 +4,28 @@
 // analog media, and the six restoration steps that bring the data back —
 // optionally executing the archived decoders under emulation exactly as a
 // future user would.
+//
+// Both directions are organised as explicit stage pipelines over
+// independent emblem frames:
+//
+//	archive:  split → encode frame → place on medium     (archive.go)
+//	restore:  scan → decode frame → reassemble           (restore.go)
+//
+// The split/plan and reassemble stages are serial (they carry the
+// cross-frame state: chunking, outer-code groups, stream totals); the
+// per-frame stages fan out over a bounded worker pool (pipeline.go) sized
+// by Options.Workers / RestoreOptions.Workers, defaulting to GOMAXPROCS.
+// Frame order — and therefore every produced byte — is identical at any
+// worker count.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
-	"microlonys/internal/dbcoder"
-	"microlonys/internal/dynprog"
-	"microlonys/internal/emblem"
 	"microlonys/internal/mocoder"
-	"microlonys/internal/nested"
 	"microlonys/media"
-	"microlonys/raster"
 )
 
 // Mode selects the restoration execution path.
@@ -58,6 +64,11 @@ type Options struct {
 	GroupParity int  // parity emblems per group (default 3)
 	Compress    bool // run DBCoder (default); false archives raw payloads
 	Depth       int  // DBCoder match-finder depth (0 = default)
+
+	// Workers bounds the frame-encode worker pool: 0 (the default) uses
+	// GOMAXPROCS, 1 forces the serial reference path, larger values cap
+	// the fan-out. Output is byte-identical at any setting.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration for a profile.
@@ -68,6 +79,15 @@ func DefaultOptions(p media.Profile) Options {
 		GroupParity: mocoder.GroupParity,
 		Compress:    true,
 	}
+}
+
+// RestoreOptions configures restoration.
+type RestoreOptions struct {
+	Mode Mode
+
+	// Workers bounds the frame scan/decode worker pool, with the same
+	// semantics as Options.Workers: 0 = GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 // Manifest records what was written.
@@ -91,164 +111,6 @@ type Archived struct {
 	Options       Options
 }
 
-// CreateArchive runs the archival pipeline (Figure 2a): db_dump output in,
-// written medium + Bootstrap out.
-func CreateArchive(data []byte, opts Options) (*Archived, error) {
-	if opts.GroupData <= 0 {
-		opts.GroupData = mocoder.GroupData
-	}
-	if opts.GroupParity <= 0 {
-		opts.GroupParity = mocoder.GroupParity
-	}
-	if opts.GroupData > mocoder.GroupData || opts.GroupParity != mocoder.GroupParity {
-		return nil, fmt.Errorf("core: unsupported group shape %d+%d", opts.GroupData, opts.GroupParity)
-	}
-	layout := opts.Profile.Layout
-	capacity := mocoder.Capacity(layout)
-	if capacity <= 0 {
-		return nil, fmt.Errorf("core: profile %q has zero emblem capacity", opts.Profile.Name)
-	}
-
-	// Step 2: DBCoder.
-	stream := data
-	kind := emblem.KindRaw
-	if opts.Compress {
-		depth := opts.Depth
-		if depth <= 0 {
-			depth = dbcoder.DefaultDepth
-		}
-		stream = dbcoder.CompressDepth(data, depth)
-		kind = emblem.KindData
-	}
-
-	man := Manifest{RawLen: len(data), StreamLen: len(stream)}
-
-	// Steps 3+5: emblems for the data stream, then for the archived
-	// DBDecode instruction stream (system emblems).
-	type section struct {
-		kind   emblem.Kind
-		stream []byte
-	}
-	sections := []section{{kind, stream}}
-	if opts.Compress {
-		prog, err := dynprog.DBDecode()
-		if err != nil {
-			return nil, fmt.Errorf("core: assembling DBDecode: %w", err)
-		}
-		sys := bootstrap.MarshalDynaRisc(prog)
-		man.SystemLen = len(sys)
-		sections = append(sections, section{emblem.KindSystem, sys})
-	}
-
-	var frames []*raster.Gray
-	groupID := 0
-	frameIdx := 0
-	for _, sec := range sections {
-		chunks := splitChunks(sec.stream, capacity)
-		for len(chunks) > 0 {
-			g := opts.GroupData
-			if g > len(chunks) {
-				g = len(chunks)
-			}
-			group := chunks[:g]
-			chunks = chunks[g:]
-
-			padded := make([][]byte, g)
-			for i, c := range group {
-				p := make([]byte, capacity)
-				copy(p, c)
-				padded[i] = p
-			}
-			parity, err := mocoder.GroupParityPayloads(padded)
-			if err != nil {
-				return nil, fmt.Errorf("core: group parity: %w", err)
-			}
-
-			emit := func(payload []byte, k emblem.Kind, pos int) error {
-				hdr := emblem.Header{
-					Kind:        k,
-					Index:       uint16(frameIdx),
-					GroupID:     uint16(groupID),
-					GroupPos:    uint8(pos),
-					GroupData:   uint8(g),
-					GroupParity: uint8(opts.GroupParity),
-					TotalLen:    uint32(len(sec.stream)),
-				}
-				img, err := mocoder.Encode(payload, hdr, layout)
-				if err != nil {
-					return err
-				}
-				frames = append(frames, img)
-				frameIdx++
-				return nil
-			}
-			for i, c := range group {
-				if err := emit(c, sec.kind, i); err != nil {
-					return nil, fmt.Errorf("core: encoding emblem: %w", err)
-				}
-				if sec.kind == emblem.KindSystem {
-					man.SystemEmblems++
-				} else {
-					man.DataEmblems++
-				}
-			}
-			for i, p := range parity {
-				if err := emit(p, emblem.KindParity, g+i); err != nil {
-					return nil, fmt.Errorf("core: encoding parity emblem: %w", err)
-				}
-				man.ParityEmblems++
-			}
-			groupID++
-		}
-	}
-	man.Groups = groupID
-	man.TotalFrames = len(frames)
-
-	// Fix Total in headers? Headers were written per frame already with
-	// Index; Total is informative and recomputed at restore from counts.
-
-	// Step 6: Bootstrap document.
-	emu, err := nested.Program()
-	if err != nil {
-		return nil, fmt.Errorf("core: building emulator: %w", err)
-	}
-	mo, err := dynprog.MODecode()
-	if err != nil {
-		return nil, fmt.Errorf("core: assembling MODecode: %w", err)
-	}
-	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
-
-	// Step 7: write to the medium.
-	m := media.New(opts.Profile)
-	if err := m.Write(frames); err != nil {
-		return nil, fmt.Errorf("core: writing medium: %w", err)
-	}
-
-	return &Archived{
-		Medium:        m,
-		Bootstrap:     doc,
-		BootstrapText: doc.Render(),
-		Manifest:      man,
-		Options:       opts,
-	}, nil
-}
-
-func splitChunks(stream []byte, capacity int) [][]byte {
-	var out [][]byte
-	for len(stream) > 0 {
-		n := capacity
-		if n > len(stream) {
-			n = len(stream)
-		}
-		out = append(out, stream[:n])
-		stream = stream[n:]
-	}
-	if len(out) == 0 {
-		out = [][]byte{{}}
-	}
-	return out
-}
-
 // RestoreStats reports how restoration went.
 type RestoreStats struct {
 	FramesScanned   int
@@ -260,273 +122,3 @@ type RestoreStats struct {
 
 // ErrRestore wraps restoration failures.
 var ErrRestore = errors.New("core: restoration failed")
-
-// Restore runs the restoration pipeline (Figure 2b) against a scanned
-// medium and the Bootstrap text. It returns the original archive bytes.
-func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *RestoreStats, error) {
-	doc, err := bootstrap.Parse(bootstrapText)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
-	}
-	layout := doc.Layout
-	capacity := mocoder.Capacity(layout)
-	st := &RestoreStats{Mode: mode}
-
-	var moProg *dynarisc.Program
-	if mode != RestoreNative {
-		if moProg, err = doc.MODecodeProgram(); err != nil {
-			return nil, st, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
-		}
-	}
-
-	type framePayload struct {
-		hdr     emblem.Header
-		payload []byte
-	}
-	var decoded []framePayload
-	for i := 0; i < m.FrameCount(); i++ {
-		scan, err := m.ScanFrame(i)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, i, err)
-		}
-		st.FramesScanned++
-		var payload []byte
-		var hdr emblem.Header
-		switch mode {
-		case RestoreNative:
-			var stats *mocoder.Stats
-			payload, hdr, stats, err = mocoder.Decode(scan, layout)
-			if stats != nil {
-				st.BytesCorrected += stats.BytesCorrected
-			}
-		default:
-			payload, hdr, err = decodeFrameEmulated(moProg, scan, layout, mode)
-		}
-		if err != nil {
-			st.FramesFailed++
-			continue
-		}
-		decoded = append(decoded, framePayload{hdr, payload})
-	}
-	if len(decoded) == 0 {
-		return nil, st, fmt.Errorf("%w: no readable frames", ErrRestore)
-	}
-
-	// Group the payloads and run outer-code recovery where needed.
-	type groupState struct {
-		members map[int][]byte // GroupPos → payload (padded to capacity)
-		data    int
-		parity  int
-		kind    emblem.Kind
-		total   uint32
-	}
-	groups := map[int]*groupState{}
-	for _, fp := range decoded {
-		gid := int(fp.hdr.GroupID)
-		g := groups[gid]
-		if g == nil {
-			g = &groupState{members: map[int][]byte{}}
-			groups[gid] = g
-		}
-		padded := make([]byte, capacity)
-		copy(padded, fp.payload)
-		g.members[int(fp.hdr.GroupPos)] = padded
-		if int(fp.hdr.GroupData) > 0 {
-			g.data = int(fp.hdr.GroupData)
-			g.parity = int(fp.hdr.GroupParity)
-		}
-		if fp.hdr.Kind != emblem.KindParity {
-			g.kind = fp.hdr.Kind
-			g.total = fp.hdr.TotalLen
-		}
-	}
-
-	gids := make([]int, 0, len(groups))
-	for gid := range groups {
-		gids = append(gids, gid)
-	}
-	sort.Ints(gids)
-
-	streams := map[emblem.Kind][]byte{}
-	totals := map[emblem.Kind]uint32{}
-	for _, gid := range gids {
-		g := groups[gid]
-		if g.kind == 0 {
-			return nil, st, fmt.Errorf("%w: group %d has no readable data emblems", ErrRestore, gid)
-		}
-		full := make([][]byte, g.data+g.parity)
-		missing := 0
-		for pos := range full {
-			if p, ok := g.members[pos]; ok {
-				full[pos] = p
-			} else {
-				missing++
-			}
-		}
-		if missing > 0 {
-			if err := mocoder.RecoverGroup(full); err != nil {
-				return nil, st, fmt.Errorf("%w: group %d: %v", ErrRestore, gid, err)
-			}
-			st.GroupsRecovered++
-		}
-		for pos := 0; pos < g.data; pos++ {
-			streams[g.kind] = append(streams[g.kind], full[pos]...)
-		}
-		totals[g.kind] = g.total
-	}
-
-	finish := func(k emblem.Kind) ([]byte, bool) {
-		s, ok := streams[k]
-		if !ok {
-			return nil, false
-		}
-		t := int(totals[k])
-		if t > len(s) {
-			return nil, false
-		}
-		return s[:t], true
-	}
-
-	if raw, ok := finish(emblem.KindRaw); ok {
-		return raw, st, nil
-	}
-	blob, ok := finish(emblem.KindData)
-	if !ok {
-		return nil, st, fmt.Errorf("%w: no data stream recovered", ErrRestore)
-	}
-
-	switch mode {
-	case RestoreNative:
-		out, err := dbcoder.Decompress(blob)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
-		}
-		return out, st, nil
-	default:
-		sys, ok := finish(emblem.KindSystem)
-		if !ok {
-			return nil, st, fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
-		}
-		dbProg, err := bootstrap.UnmarshalDynaRisc(sys)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
-		}
-		out, err := runDBDecode(dbProg, blob, mode)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
-		}
-		// The archived decoder skips the final CRC; verify here.
-		if ref, err := dbcoder.Decompress(blob); err != nil || string(ref) != string(out) {
-			if err != nil {
-				return nil, st, fmt.Errorf("%w: archive CRC: %v", ErrRestore, err)
-			}
-		}
-		return out, st, nil
-	}
-}
-
-// decodeFrameEmulated runs the archived MODecode program on a scan.
-func decodeFrameEmulated(prog *dynarisc.Program, scan *raster.Gray, l emblem.Layout, mode Mode) ([]byte, emblem.Header, error) {
-	// Host-side image preprocessing per the Bootstrap (§3.3 step 1):
-	// deskew and rescale the scan onto the nominal grid before handing
-	// the flat pixel array to the archived decoder. The Bootstrap fixes
-	// the rescale target at 3 pixels per module (module centres land on
-	// whole pixels), which also keeps every profile's frame inside
-	// DynaRisc's 24-bit address range.
-	rl := l
-	if rl.PxPerModule > 3 {
-		rl.PxPerModule = 3
-	}
-	scan, err := mocoder.Rectify(scan, rl)
-	if err != nil {
-		return nil, emblem.Header{}, err
-	}
-
-	// Input framing per the Bootstrap: [W, H, dataW, dataH, pixels...].
-	in := make([]uint16, 0, 4+len(scan.Pix))
-	in = append(in, uint16(scan.W), uint16(scan.H), uint16(l.DataW), uint16(l.DataH))
-	for _, p := range scan.Pix {
-		in = append(in, uint16(p))
-	}
-
-	var outBytes []byte
-	switch mode {
-	case RestoreDynaRisc:
-		cpu := dynarisc.NewCPU(dynprog.MOMemWords(scan))
-		cpu.MaxSteps = 60_000_000_000
-		if err := cpu.LoadProgram(prog.Org, prog.Words); err != nil {
-			return nil, emblem.Header{}, err
-		}
-		cpu.In = in
-		if err := cpu.Run(); err != nil {
-			return nil, emblem.Header{}, err
-		}
-		outBytes = cpu.OutBytes()
-	case RestoreNested:
-		guestWords := dynprog.MOMemWords(scan)
-		out, err := nested.Run(prog, in, guestWords, 0)
-		if err != nil {
-			return nil, emblem.Header{}, err
-		}
-		outBytes = make([]byte, len(out))
-		for i, w := range out {
-			outBytes[i] = byte(w)
-		}
-	default:
-		return nil, emblem.Header{}, fmt.Errorf("core: bad emulated mode %v", mode)
-	}
-	if len(outBytes) == 0 {
-		return nil, emblem.Header{}, errors.New("core: MODecode produced no output (damaged frame)")
-	}
-
-	// MODecode emits the payload; recover the header from a native parse
-	// of the same scan's header block is not available here, so MODecode
-	// convention: the payload is prefixed by the 22-byte voted header.
-	if len(outBytes) < emblem.HeaderSize {
-		return nil, emblem.Header{}, errors.New("core: emulated payload too short")
-	}
-	hdr, err := emblem.ParseHeader(outBytes[:emblem.HeaderSize])
-	if err != nil {
-		return nil, emblem.Header{}, err
-	}
-	return outBytes[emblem.HeaderSize:], hdr, nil
-}
-
-// runDBDecode executes the archived DBDecode program on the compressed
-// stream under the selected emulation level.
-func runDBDecode(prog *dynarisc.Program, blob []byte, mode Mode) ([]byte, error) {
-	rawLen, err := dbcoder.RawLen(blob)
-	if err != nil {
-		return nil, err
-	}
-	memWords := dynprog.DBOutBuf + rawLen + 4096
-	switch mode {
-	case RestoreDynaRisc:
-		cpu := dynarisc.NewCPU(memWords)
-		cpu.MaxSteps = 60_000_000_000
-		if err := cpu.LoadProgram(prog.Org, prog.Words); err != nil {
-			return nil, err
-		}
-		cpu.SetInBytes(blob)
-		if err := cpu.Run(); err != nil {
-			return nil, err
-		}
-		return cpu.OutBytes(), nil
-	case RestoreNested:
-		in := make([]uint16, len(blob))
-		for i, b := range blob {
-			in[i] = uint16(b)
-		}
-		out, err := nested.Run(prog, in, memWords, 0)
-		if err != nil {
-			return nil, err
-		}
-		res := make([]byte, len(out))
-		for i, w := range out {
-			res[i] = byte(w)
-		}
-		return res, nil
-	default:
-		return nil, fmt.Errorf("core: bad emulated mode %v", mode)
-	}
-}

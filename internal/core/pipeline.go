@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The frame fan-out machinery shared by the archival and restoration
+// pipelines. Emblem frames are independent by construction (§3.1 — each
+// carries its own header, inner code and outer-code group coordinates), so
+// the per-frame stages (rasterize/encode on the way out, scan/decode on
+// the way back) run on a bounded worker pool. Order never depends on
+// scheduling: every worker writes only the slot of the frame index it
+// claimed, and the serial stages that follow read the slots in index
+// order. A frame-fatal error cancels the remaining work through the
+// context; among the errors recorded before cancellation lands, the one
+// from the lowest frame index is reported.
+
+// resolveWorkers maps an Options.Workers value to a concrete pool size:
+// n <= 0 selects GOMAXPROCS (the default), anything else is used as given.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachFrame runs fn(ctx, i) for every i in [0, n), fanning out over at
+// most `workers` goroutines. fn must confine its writes to per-index
+// storage owned by the caller.
+//
+// The first fn error cancels ctx so in-flight siblings can stop early and
+// queued frames are never started; forEachFrame still waits for every
+// started call to return before it does. When several frames fail before
+// cancellation lands, the error of the lowest such frame index is
+// returned (which errors got recorded can vary with scheduling; the
+// tie-break among them is deterministic).
+// With workers == 1 (or n <= 1) the frames run strictly serially on the
+// calling goroutine — the reference path the parallel one must match
+// byte-for-byte.
+func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = resolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next int64 = -1 // atomically claimed frame cursor
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[int]error) // frame index → fatal error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(errs) == 0 {
+		return ctx.Err()
+	}
+	first := -1
+	for i := range errs {
+		if first < 0 || i < first {
+			first = i
+		}
+	}
+	return errs[first]
+}

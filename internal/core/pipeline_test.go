@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ---- splitChunks edge cases -------------------------------------------
+
+func TestSplitChunksEmptyStream(t *testing.T) {
+	c := splitChunks(nil, 64)
+	if len(c) != 1 || len(c[0]) != 0 {
+		t.Fatalf("empty stream: got %d chunks, first len %d; want one empty chunk", len(c), len(c[0]))
+	}
+	c = splitChunks([]byte{}, 64)
+	if len(c) != 1 || len(c[0]) != 0 {
+		t.Fatalf("zero-length stream: got %d chunks, want one empty chunk", len(c))
+	}
+}
+
+func TestSplitChunksCapacityOne(t *testing.T) {
+	data := []byte("abc")
+	c := splitChunks(data, 1)
+	if len(c) != 3 {
+		t.Fatalf("capacity 1: got %d chunks, want 3", len(c))
+	}
+	for i, ch := range c {
+		if len(ch) != 1 || ch[0] != data[i] {
+			t.Fatalf("chunk %d = %q, want %q", i, ch, data[i:i+1])
+		}
+	}
+}
+
+func TestSplitChunksStreamSmallerThanCapacity(t *testing.T) {
+	data := []byte("tiny")
+	c := splitChunks(data, 1000)
+	if len(c) != 1 || !bytes.Equal(c[0], data) {
+		t.Fatalf("small stream: got %v", c)
+	}
+}
+
+func TestSplitChunksReassembles(t *testing.T) {
+	data := []byte("0123456789abcdef-")
+	for _, capacity := range []int{1, 2, 3, 16, 17, 100} {
+		var joined []byte
+		for _, ch := range splitChunks(data, capacity) {
+			joined = append(joined, ch...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Fatalf("capacity %d: chunks do not reassemble", capacity)
+		}
+	}
+}
+
+// ---- worker pool ------------------------------------------------------
+
+func TestForEachFrameVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]int32, n)
+		err := forEachFrame(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachFrameReportsLowestIndexError(t *testing.T) {
+	// Frames 3 and 7 fail; whichever is hit first cancels the pool, but
+	// if both record an error the lower index must win. Run at several
+	// worker counts to shake out scheduling orders.
+	for _, workers := range []int{1, 2, 8} {
+		err := forEachFrame(context.Background(), workers, 10, func(_ context.Context, i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("frame %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// With one worker, frame 3 always fails first. With more, either
+		// index may have been recorded, but never anything else.
+		if err.Error() != "frame 3 failed" && err.Error() != "frame 7 failed" {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if workers == 1 && err.Error() != "frame 3 failed" {
+			t.Fatalf("serial path must fail on the first bad frame, got %v", err)
+		}
+	}
+}
+
+func TestForEachFrameCancelsRemainingWork(t *testing.T) {
+	// Frame 0 fails immediately; every other frame blocks until it sees
+	// the cancellation. If the pool did not cancel, the blocked frames
+	// would run out the 2 s timeout and the started count would reach n.
+	const n = 1000
+	var started int32
+	boom := errors.New("boom")
+	err := forEachFrame(context.Background(), 4, n, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Second):
+			t.Error("frame never saw cancellation")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if s := atomic.LoadInt32(&started); s >= n {
+		t.Fatalf("cancellation started all %d frames", s)
+	}
+}
+
+func TestForEachFrameHonorsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := forEachFrame(ctx, 4, 50, func(_ context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if resolveWorkers(0) < 1 || resolveWorkers(-3) < 1 {
+		t.Fatal("default workers must be at least 1")
+	}
+	if resolveWorkers(7) != 7 {
+		t.Fatal("explicit worker count must be respected")
+	}
+}
+
+// ---- parallel vs serial determinism -----------------------------------
+
+// mediumFingerprint hashes every scanned frame. ScanFrame's distortion is
+// seeded by frame index, so identical written frames scan identically —
+// any divergence in written pixels shows up here.
+func mediumFingerprint(t *testing.T, a *Archived) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := 0; i < a.Medium.FrameCount(); i++ {
+		img, err := a.Medium.ScanFrame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(img.Pix)
+	}
+	return buf.Bytes()
+}
+
+func TestArchiveParallelMatchesSerial(t *testing.T) {
+	data := testPayload(40000)
+	base := DefaultOptions(tinyProfile())
+
+	serialOpts := base
+	serialOpts.Workers = 1
+	serial, err := CreateArchive(data, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mediumFingerprint(t, serial)
+
+	for _, workers := range []int{0, 2, 5} {
+		opts := base
+		opts.Workers = workers
+		par, err := CreateArchive(data, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Manifest != serial.Manifest {
+			t.Fatalf("workers=%d: manifest %+v != serial %+v", workers, par.Manifest, serial.Manifest)
+		}
+		if par.BootstrapText != serial.BootstrapText {
+			t.Fatalf("workers=%d: bootstrap text differs", workers)
+		}
+		if !bytes.Equal(mediumFingerprint(t, par), ref) {
+			t.Fatalf("workers=%d: written medium differs from serial", workers)
+		}
+	}
+}
+
+func TestRestoreParallelMatchesSerial(t *testing.T) {
+	data := testPayload(50000)
+	arch, err := CreateArchive(data, DefaultOptions(tinyProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy two frames so the parallel reassembly also exercises
+	// outer-code recovery.
+	if err := arch.Medium.Destroy(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Medium.Destroy(arch.Medium.FrameCount() - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	serialOut, serialSt, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+		RestoreOptions{Mode: RestoreNative, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut, data) {
+		t.Fatal("serial restore differs from input")
+	}
+
+	for _, workers := range []int{0, 2, 5} {
+		out, st, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+			RestoreOptions{Mode: RestoreNative, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(out, serialOut) {
+			t.Fatalf("workers=%d: restored bytes differ from serial", workers)
+		}
+		if *st != *serialSt {
+			t.Fatalf("workers=%d: stats %+v != serial %+v", workers, st, serialSt)
+		}
+	}
+}
+
+func TestRestoreParallelMatchesSerialEmulated(t *testing.T) {
+	// The emulated decode path spins up one DynaRisc CPU per frame; run
+	// it at several worker counts on a small archive and require
+	// byte-identical output.
+	data := testPayload(4000)
+	arch, err := CreateArchive(data, DefaultOptions(tinyProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialOut, _, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+		RestoreOptions{Mode: RestoreDynaRisc, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut, data) {
+		t.Fatal("serial emulated restore differs from input")
+	}
+	out, _, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+		RestoreOptions{Mode: RestoreDynaRisc, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, serialOut) {
+		t.Fatal("parallel emulated restore differs from serial")
+	}
+}

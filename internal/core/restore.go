@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"microlonys/dynarisc"
+	"microlonys/internal/bootstrap"
+	"microlonys/internal/dbcoder"
+	"microlonys/internal/dynprog"
+	"microlonys/internal/emblem"
+	"microlonys/internal/mocoder"
+	"microlonys/internal/nested"
+	"microlonys/media"
+	"microlonys/raster"
+)
+
+// The restoration pipeline (Figure 2b), as three explicit stages:
+//
+//	scan:       medium → per-frame scans (the simulated scanner)
+//	decode:     scan → header + payload, natively or under emulation
+//	reassemble: decoded frames → outer-code groups → streams → DBDecode
+//
+// Scan and decode are fused into one parallel per-frame stage — a scan
+// feeds exactly one decode, so splitting them would only add a buffer of
+// full-resolution frame images between two stages of the same fan-out.
+// Reassemble is serial: it owns the cross-frame state (group membership,
+// recovery, stream order). A frame that fails to decode is not an error —
+// that is what the outer code is for — but a frame that cannot even be
+// scanned aborts the run.
+
+// frameResult is the decode stage's per-frame slot.
+type frameResult struct {
+	scanned   bool
+	decoded   bool
+	hdr       emblem.Header
+	payload   []byte
+	corrected int // inner-code corrections (native mode only)
+}
+
+// Restore runs the restoration pipeline (Figure 2b) against a scanned
+// medium and the Bootstrap text with default options. It returns the
+// original archive bytes.
+func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *RestoreStats, error) {
+	return RestoreWithOptions(m, bootstrapText, RestoreOptions{Mode: mode})
+}
+
+// RestoreWithOptions is Restore with an explicit worker-pool size. The
+// restored bytes and stats are identical at any worker count.
+func RestoreWithOptions(m *media.Medium, bootstrapText string, ro RestoreOptions) ([]byte, *RestoreStats, error) {
+	doc, err := bootstrap.Parse(bootstrapText)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
+	}
+	layout := doc.Layout
+	capacity := mocoder.Capacity(layout)
+	st := &RestoreStats{Mode: ro.Mode}
+
+	var moProg *dynarisc.Program
+	if ro.Mode != RestoreNative {
+		if moProg, err = doc.MODecodeProgram(); err != nil {
+			return nil, st, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
+		}
+	}
+
+	// Stages 1+2: scan and decode every frame on the worker pool.
+	results, err := decodeStage(context.Background(), m, layout, ro, moProg)
+	for i := range results {
+		if results[i].scanned {
+			st.FramesScanned++
+		}
+	}
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Stage 3: reassemble the streams from the decoded frames.
+	return reassembleStage(results, capacity, ro.Mode, st)
+}
+
+// decodeStage scans and decodes each frame of the medium into an
+// index-addressed result slice. Decode failures are recorded in the slot
+// (the outer code recovers them later); scan failures are fatal and cancel
+// the remaining frames.
+func decodeStage(ctx context.Context, m *media.Medium, layout emblem.Layout, ro RestoreOptions, moProg *dynarisc.Program) ([]frameResult, error) {
+	results := make([]frameResult, m.FrameCount())
+	err := forEachFrame(ctx, ro.Workers, len(results), func(_ context.Context, i int) error {
+		scan, err := m.ScanFrame(i)
+		if err != nil {
+			return fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, i, err)
+		}
+		res := &results[i]
+		res.scanned = true
+		switch ro.Mode {
+		case RestoreNative:
+			var stats *mocoder.Stats
+			res.payload, res.hdr, stats, err = mocoder.Decode(scan, layout)
+			if stats != nil {
+				res.corrected = stats.BytesCorrected
+			}
+		default:
+			res.payload, res.hdr, err = decodeFrameEmulated(moProg, scan, layout, ro.Mode)
+		}
+		res.decoded = err == nil
+		return nil
+	})
+	return results, err
+}
+
+// reassembleStage groups the decoded payloads, runs outer-code recovery
+// where frames are missing, concatenates the per-kind streams and — for
+// compressed archives — decompresses, natively or by executing the
+// archived DBDecode program.
+func reassembleStage(results []frameResult, capacity int, mode Mode, st *RestoreStats) ([]byte, *RestoreStats, error) {
+	type groupState struct {
+		members map[int][]byte // GroupPos → payload (padded to capacity)
+		data    int
+		parity  int
+		kind    emblem.Kind
+		total   uint32
+	}
+	groups := map[int]*groupState{}
+	decoded := 0
+	for i := range results {
+		fp := &results[i]
+		if !fp.decoded {
+			st.FramesFailed++
+			continue
+		}
+		decoded++
+		st.BytesCorrected += fp.corrected
+		gid := int(fp.hdr.GroupID)
+		g := groups[gid]
+		if g == nil {
+			g = &groupState{members: map[int][]byte{}}
+			groups[gid] = g
+		}
+		padded := make([]byte, capacity)
+		copy(padded, fp.payload)
+		g.members[int(fp.hdr.GroupPos)] = padded
+		if int(fp.hdr.GroupData) > 0 {
+			g.data = int(fp.hdr.GroupData)
+			g.parity = int(fp.hdr.GroupParity)
+		}
+		if fp.hdr.Kind != emblem.KindParity {
+			g.kind = fp.hdr.Kind
+			g.total = fp.hdr.TotalLen
+		}
+	}
+	if decoded == 0 {
+		return nil, st, fmt.Errorf("%w: no readable frames", ErrRestore)
+	}
+
+	gids := make([]int, 0, len(groups))
+	for gid := range groups {
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+
+	streams := map[emblem.Kind][]byte{}
+	totals := map[emblem.Kind]uint32{}
+	for _, gid := range gids {
+		g := groups[gid]
+		if g.kind == 0 {
+			return nil, st, fmt.Errorf("%w: group %d has no readable data emblems", ErrRestore, gid)
+		}
+		full := make([][]byte, g.data+g.parity)
+		missing := 0
+		for pos := range full {
+			if p, ok := g.members[pos]; ok {
+				full[pos] = p
+			} else {
+				missing++
+			}
+		}
+		if missing > 0 {
+			if err := mocoder.RecoverGroup(full); err != nil {
+				return nil, st, fmt.Errorf("%w: group %d: %v", ErrRestore, gid, err)
+			}
+			st.GroupsRecovered++
+		}
+		for pos := 0; pos < g.data; pos++ {
+			streams[g.kind] = append(streams[g.kind], full[pos]...)
+		}
+		totals[g.kind] = g.total
+	}
+
+	finish := func(k emblem.Kind) ([]byte, bool) {
+		s, ok := streams[k]
+		if !ok {
+			return nil, false
+		}
+		t := int(totals[k])
+		if t > len(s) {
+			return nil, false
+		}
+		return s[:t], true
+	}
+
+	if raw, ok := finish(emblem.KindRaw); ok {
+		return raw, st, nil
+	}
+	blob, ok := finish(emblem.KindData)
+	if !ok {
+		return nil, st, fmt.Errorf("%w: no data stream recovered", ErrRestore)
+	}
+
+	switch mode {
+	case RestoreNative:
+		out, err := dbcoder.Decompress(blob)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
+		}
+		return out, st, nil
+	default:
+		sys, ok := finish(emblem.KindSystem)
+		if !ok {
+			return nil, st, fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
+		}
+		dbProg, err := bootstrap.UnmarshalDynaRisc(sys)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
+		}
+		out, err := runDBDecode(dbProg, blob, mode)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
+		}
+		// The archived decoder skips the final CRC; verify here.
+		if ref, err := dbcoder.Decompress(blob); err != nil || string(ref) != string(out) {
+			if err != nil {
+				return nil, st, fmt.Errorf("%w: archive CRC: %v", ErrRestore, err)
+			}
+		}
+		return out, st, nil
+	}
+}
+
+// decodeFrameEmulated runs the archived MODecode program on a scan.
+func decodeFrameEmulated(prog *dynarisc.Program, scan *raster.Gray, l emblem.Layout, mode Mode) ([]byte, emblem.Header, error) {
+	// Host-side image preprocessing per the Bootstrap (§3.3 step 1):
+	// deskew and rescale the scan onto the nominal grid before handing
+	// the flat pixel array to the archived decoder. The Bootstrap fixes
+	// the rescale target at 3 pixels per module (module centres land on
+	// whole pixels), which also keeps every profile's frame inside
+	// DynaRisc's 24-bit address range.
+	rl := l
+	if rl.PxPerModule > 3 {
+		rl.PxPerModule = 3
+	}
+	scan, err := mocoder.Rectify(scan, rl)
+	if err != nil {
+		return nil, emblem.Header{}, err
+	}
+
+	// Input framing per the Bootstrap: [W, H, dataW, dataH, pixels...].
+	in := make([]uint16, 0, 4+len(scan.Pix))
+	in = append(in, uint16(scan.W), uint16(scan.H), uint16(l.DataW), uint16(l.DataH))
+	for _, p := range scan.Pix {
+		in = append(in, uint16(p))
+	}
+
+	var outBytes []byte
+	switch mode {
+	case RestoreDynaRisc:
+		cpu := dynarisc.NewCPU(dynprog.MOMemWords(scan))
+		cpu.MaxSteps = 60_000_000_000
+		if err := cpu.LoadProgram(prog.Org, prog.Words); err != nil {
+			return nil, emblem.Header{}, err
+		}
+		cpu.In = in
+		if err := cpu.Run(); err != nil {
+			return nil, emblem.Header{}, err
+		}
+		outBytes = cpu.OutBytes()
+	case RestoreNested:
+		guestWords := dynprog.MOMemWords(scan)
+		out, err := nested.Run(prog, in, guestWords, 0)
+		if err != nil {
+			return nil, emblem.Header{}, err
+		}
+		outBytes = make([]byte, len(out))
+		for i, w := range out {
+			outBytes[i] = byte(w)
+		}
+	default:
+		return nil, emblem.Header{}, fmt.Errorf("core: bad emulated mode %v", mode)
+	}
+	if len(outBytes) == 0 {
+		return nil, emblem.Header{}, errors.New("core: MODecode produced no output (damaged frame)")
+	}
+
+	// MODecode emits the payload; recover the header from a native parse
+	// of the same scan's header block is not available here, so MODecode
+	// convention: the payload is prefixed by the 22-byte voted header.
+	if len(outBytes) < emblem.HeaderSize {
+		return nil, emblem.Header{}, errors.New("core: emulated payload too short")
+	}
+	hdr, err := emblem.ParseHeader(outBytes[:emblem.HeaderSize])
+	if err != nil {
+		return nil, emblem.Header{}, err
+	}
+	return outBytes[emblem.HeaderSize:], hdr, nil
+}
+
+// runDBDecode executes the archived DBDecode program on the compressed
+// stream under the selected emulation level.
+func runDBDecode(prog *dynarisc.Program, blob []byte, mode Mode) ([]byte, error) {
+	rawLen, err := dbcoder.RawLen(blob)
+	if err != nil {
+		return nil, err
+	}
+	memWords := dynprog.DBOutBuf + rawLen + 4096
+	switch mode {
+	case RestoreDynaRisc:
+		cpu := dynarisc.NewCPU(memWords)
+		cpu.MaxSteps = 60_000_000_000
+		if err := cpu.LoadProgram(prog.Org, prog.Words); err != nil {
+			return nil, err
+		}
+		cpu.SetInBytes(blob)
+		if err := cpu.Run(); err != nil {
+			return nil, err
+		}
+		return cpu.OutBytes(), nil
+	case RestoreNested:
+		in := make([]uint16, len(blob))
+		for i, b := range blob {
+			in[i] = uint16(b)
+		}
+		out, err := nested.Run(prog, in, memWords, 0)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]byte, len(out))
+		for i, w := range out {
+			res[i] = byte(w)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("core: bad emulated mode %v", mode)
+	}
+}

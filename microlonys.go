@@ -23,6 +23,12 @@
 // DynaRisc reference CPU; RestoreNested additionally hosts DynaRisc inside
 // the VeRisc emulator — the exact path a future user follows.
 //
+// Emblem frames are independent, so both directions fan per-frame work
+// (rasterization on the way out, scan/decode on the way back) across a
+// bounded worker pool. Options.Workers and RestoreOptions.Workers size the
+// pool (0 = GOMAXPROCS, 1 = serial); results are byte-identical at any
+// setting.
+//
 // Subpackages: media (analog media simulation and capacity models), raster
 // (images), dynarisc and verisc (the two virtual processors), tpch (the
 // evaluation workload generator).
@@ -43,8 +49,13 @@ const (
 	RestoreNested   = core.RestoreNested
 )
 
-// Options configures archival.
+// Options configures archival, including the Workers field bounding the
+// frame-encode fan-out.
 type Options = core.Options
+
+// RestoreOptions configures restoration: the execution Mode and the
+// Workers field bounding the frame scan/decode fan-out.
+type RestoreOptions = core.RestoreOptions
 
 // Manifest records what an archival run wrote.
 type Manifest = core.Manifest
@@ -72,4 +83,11 @@ func Archive(data []byte, opts Options) (*Archived, error) {
 // and the Bootstrap text, returning the original archive bytes.
 func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *RestoreStats, error) {
 	return core.Restore(m, bootstrapText, mode)
+}
+
+// RestoreWith is Restore with explicit options — most usefully Workers,
+// which sizes the scan/decode worker pool. Output is byte-identical at
+// any worker count.
+func RestoreWith(m *media.Medium, bootstrapText string, opts RestoreOptions) ([]byte, *RestoreStats, error) {
+	return core.RestoreWithOptions(m, bootstrapText, opts)
 }
