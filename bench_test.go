@@ -19,6 +19,7 @@
 //	P1  ext.      concurrent frame pipeline: workers sweep (archive)
 //	P2  ext.      concurrent frame pipeline: workers sweep (restore ×3 modes)
 //	P3  ext.      concurrent frame pipeline: serial vs parallel per profile
+//	P4  ext.      emulated restore: time and allocations per frame
 package microlonys_test
 
 import (
@@ -666,6 +667,128 @@ func BenchmarkP3ProfilePipeline(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---- P4: emulated restore hot path --------------------------------------------
+
+// BenchmarkP4EmulatedRestore measures the emulated-restore hot path this
+// repo's perf work targets: end-to-end Restore in the DynaRisc and
+// nested modes at serial and default worker counts, with allocation
+// reporting. Per-worker emulator reuse should hold allocations per
+// restore roughly constant in the frame count (one machine image per
+// worker, one payload per frame) rather than one multi-megabyte image
+// per frame; the fused interpreter loops set the ns/frame floor.
+func BenchmarkP4EmulatedRestore(b *testing.B) {
+	run := func(b *testing.B, arch *microlonys.Archived, data []byte, mode microlonys.Mode, w int) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		frames := arch.Manifest.TotalFrames
+		for i := 0; i < b.N; i++ {
+			got, _, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
+				microlonys.RestoreOptions{Mode: mode, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				b.Fatal("restore mismatch")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(frames)/1e6, "ms/frame")
+	}
+
+	b.Run("dynarisc", func(b *testing.B) {
+		data := tpchDump()[:8*1024]
+		opts := microlonys.DefaultOptions(benchProfile())
+		arch, err := microlonys.Archive(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 0} {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				run(b, arch, data, microlonys.RestoreDynaRisc, w)
+			})
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("nested emulation is slow; skipped in -short mode")
+		}
+		data := tpchDump()[:2*benchProfile().FrameCapacity()]
+		opts := microlonys.DefaultOptions(benchProfile())
+		opts.Compress = false // one 4-frame group keeps nested benchable
+		arch, err := microlonys.Archive(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				run(b, arch, data, microlonys.RestoreNested, w)
+			})
+		}
+	})
+
+	// Per-frame decoder cost in isolation, one iteration = one frame
+	// through a reused emulator — the counterpart of E8's fresh-machine
+	// numbers, and the direct measure of what Reset/reuse saves.
+	b.Run("frame-reuse", func(b *testing.B) {
+		l := emblem.Layout{DataW: 80, DataH: 64, PxPerModule: 2}
+		payload := make([]byte, mocoder.Capacity(l))
+		rand.New(rand.NewSource(3)).Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindRaw, GroupData: 1, GroupParity: 0}
+		scan, err := mocoder.Encode(payload, hdr, l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moProg, err := dynprog.MODecode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := dynprog.MOInput(scan, l)
+
+		b.Run("dynarisc", func(b *testing.B) {
+			b.ReportAllocs()
+			cpu := dynarisc.NewCPU(dynprog.MOMemWords(scan))
+			decode := func() []byte {
+				cpu.Reset()
+				if err := cpu.LoadProgram(moProg.Org, moProg.Words); err != nil {
+					b.Fatal(err)
+				}
+				cpu.In = in
+				if err := cpu.Run(); err != nil {
+					b.Fatal(err)
+				}
+				return cpu.OutBytes()
+			}
+			decode()       // warm-up grows the reused Out buffer once
+			b.ResetTimer() // …so iterations measure the steady state
+			for i := 0; i < b.N; i++ {
+				out := decode()
+				if len(out) < emblem.HeaderSize || !bytes.Equal(out[emblem.HeaderSize:], payload) {
+					b.Fatal("dynarisc decode mismatch")
+				}
+			}
+		})
+		b.Run("nested", func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("nested emulation is slow; skipped in -short mode")
+			}
+			b.ReportAllocs()
+			r := nested.NewRunner()
+			if _, err := r.RunAppendBytes(nil, moProg, in, dynprog.MOMemWords(scan), 0); err != nil {
+				b.Fatal(err) // warm-up allocates the lazy machine
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outB, err := r.RunAppendBytes(nil, moProg, in, dynprog.MOMemWords(scan), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outB) < emblem.HeaderSize || !bytes.Equal(outB[emblem.HeaderSize:], payload) {
+					b.Fatal("nested decode mismatch")
+				}
+			}
+		})
+	})
 }
 
 // ---- E11: DNA archival channel (§5 future work) -------------------------------

@@ -1,0 +1,157 @@
+package dynarisc
+
+import (
+	"errors"
+	"testing"
+)
+
+// resetProg stores to memory, reads input, emits output and halts — it
+// dirties every kind of state Reset must clear.
+func resetProg(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble(`
+	        LDI  R0, 0xFFF0
+	        MOVE D0, R0
+	        LDI  R0, 0xFF
+	        MOVH D0, R0      ; D0 = IOIn
+	        LDI  R0, 0xFFF2
+	        MOVE D2, R0
+	        LDI  R0, 0xFF
+	        MOVH D2, R0      ; D2 = IOOut
+	        LDI  R3, 2000
+	        MOVE D1, R3
+	        LDM  R1, [D0]
+	        STM  R1, [D1]    ; dirty high memory
+	        MUL  R1, R1
+	        STM  R1, [D2]
+	        STM  R7, [D2]
+	        HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runOnce(t *testing.T, c *CPU, p *Program, in []uint16) {
+	t.Helper()
+	if err := c.LoadProgram(p.Org, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	c.In = in
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetMatchesFresh pins the reuse contract: a Reset CPU must be
+// indistinguishable from a fresh NewCPU of the same size — registers,
+// flags, cursors, dirtied memory — and produce identical results on the
+// next program.
+func TestResetMatchesFresh(t *testing.T) {
+	p := resetProg(t)
+
+	reused := NewCPU(1 << 12)
+	runOnce(t, reused, p, []uint16{0x1234})
+	if len(reused.Out) == 0 || reused.Mem[2000] == 0 {
+		t.Fatal("first run left no trace; test is vacuous")
+	}
+	reused.Reset()
+
+	fresh := NewCPU(1 << 12)
+	if !stateEqual(reused, fresh) {
+		t.Fatalf("reset CPU differs from fresh:\nreset: %+v\nfresh: %+v", reused, fresh)
+	}
+
+	runOnce(t, reused, p, []uint16{0x00FF})
+	runOnce(t, fresh, p, []uint16{0x00FF})
+	if !stateEqual(reused, fresh) {
+		t.Fatal("reused CPU diverged from fresh CPU on the second program")
+	}
+}
+
+// TestResetAfterAbort reuses a CPU whose previous run died mid-program —
+// on a step limit and on a bad memory access — with registers, flags and
+// partial output mid-flight.
+func TestResetAfterAbort(t *testing.T) {
+	limited := NewCPU(1 << 12)
+	limited.MaxSteps = 7
+	p := resetProg(t)
+	if err := limited.LoadProgram(p.Org, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	limited.In = []uint16{9}
+	if err := limited.Run(); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("got %v, want step limit", err)
+	}
+	limited.Reset()
+	limited.MaxSteps = 0
+
+	bad, err := Assemble(`
+	        LDI  R0, 4000
+	        MOVE D0, R0
+	        LDM  R1, [D0]    ; beyond the 1<<10 memory below
+	        HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := NewCPU(1 << 10)
+	if err := broken.LoadProgram(bad.Org, bad.Words); err != nil {
+		t.Fatal(err)
+	}
+	if err := broken.Run(); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("got %v, want bad address", err)
+	}
+	broken.Reset()
+
+	for name, c := range map[string]*CPU{"limited": limited, "broken": broken} {
+		fresh := NewCPU(len(c.Mem))
+		if !stateEqual(c, fresh) {
+			t.Fatalf("%s: reset-after-abort CPU differs from fresh", name)
+		}
+	}
+
+	runOnce(t, limited, p, []uint16{5})
+	fresh := NewCPU(1 << 12)
+	runOnce(t, fresh, p, []uint16{5})
+	if !stateEqual(limited, fresh) {
+		t.Fatal("CPU reused after a step-limit abort diverged from fresh")
+	}
+}
+
+// TestEnsureMemGrowsAndPreserves covers the grow-only reuse helper.
+func TestEnsureMemGrowsAndPreserves(t *testing.T) {
+	c := NewCPU(64)
+	c.Mem[10] = 42
+	c.EnsureMem(32) // never shrinks
+	if len(c.Mem) != 64 {
+		t.Fatalf("EnsureMem shrank memory to %d", len(c.Mem))
+	}
+	c.EnsureMem(128)
+	if len(c.Mem) != 128 || c.Mem[10] != 42 {
+		t.Fatalf("EnsureMem lost contents: len=%d Mem[10]=%d", len(c.Mem), c.Mem[10])
+	}
+	c.EnsureMem(MaxMemWords + 1)
+	if len(c.Mem) != MaxMemWords {
+		t.Fatalf("EnsureMem ignored the MaxMemWords clamp: %d", len(c.Mem))
+	}
+}
+
+// TestAppendBuffers covers the allocation-free I/O conversions.
+func TestAppendBuffers(t *testing.T) {
+	c := NewCPU(64)
+	c.Out = []uint16{0x41, 0x142, 0x43}
+	got := c.AppendOutBytes([]byte("x:"))
+	if string(got) != "x:ABC" {
+		t.Fatalf("AppendOutBytes = %q", got)
+	}
+	words := AppendInWords([]uint16{7}, []byte{1, 2})
+	if len(words) != 3 || words[0] != 7 || words[1] != 1 || words[2] != 2 {
+		t.Fatalf("AppendInWords = %v", words)
+	}
+	c.SetInBytes([]byte{9, 8})
+	if len(c.In) != 2 || c.In[0] != 9 || c.In[1] != 8 || c.InPos != 0 {
+		t.Fatalf("SetInBytes = %v pos=%d", c.In, c.InPos)
+	}
+}

@@ -196,7 +196,7 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 // regardless of scheduling; the first encode error cancels the rest.
 func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int) ([]*raster.Gray, error) {
 	frames := make([]*raster.Gray, len(tasks))
-	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, i int) error {
+	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, _, i int) error {
 		img, err := mocoder.Encode(tasks[i].payload, tasks[i].hdr, layout)
 		if err != nil {
 			kind := "emblem"

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"microlonys/internal/dbcoder"
 	"microlonys/internal/emblem"
 	"microlonys/media"
 )
@@ -189,6 +191,29 @@ func TestArchiveRestoreNested(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("nested-mode restore differs")
+	}
+}
+
+// TestEmulatedOutputVerification is the regression test for the silent
+// CRC-mismatch pass-through: when the emulated DBDecode output differs
+// from what the archive header records, reassembly must fail with
+// ErrRestore instead of returning the wrong bytes.
+func TestEmulatedOutputVerification(t *testing.T) {
+	src := testPayload(5000)
+	blob := dbcoder.Compress(src)
+
+	if err := verifyDBDecodeOutput(blob, src); err != nil {
+		t.Fatalf("true output rejected: %v", err)
+	}
+
+	wrong := append([]byte(nil), src...)
+	wrong[100] ^= 0x01 // same length, different bytes — the swallowed case
+	err := verifyDBDecodeOutput(blob, wrong)
+	if !errors.Is(err, ErrRestore) {
+		t.Fatalf("corrupt emulated output: got %v, want ErrRestore", err)
+	}
+	if err := verifyDBDecodeOutput(blob, src[:len(src)-3]); !errors.Is(err, ErrRestore) {
+		t.Fatalf("truncated emulated output: got %v, want ErrRestore", err)
 	}
 }
 

@@ -27,9 +27,12 @@ func resolveWorkers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEachFrame runs fn(ctx, i) for every i in [0, n), fanning out over at
-// most `workers` goroutines. fn must confine its writes to per-index
-// storage owned by the caller.
+// forEachFrame runs fn(ctx, worker, i) for every i in [0, n), fanning
+// out over at most `workers` goroutines. fn must confine its writes to
+// per-index storage owned by the caller, plus any per-worker scratch it
+// keys off the worker id: each id in [0, workers) is owned by exactly
+// one goroutine for the whole run, which is how the restore pipeline
+// threads reusable emulator state through the pool without locks.
 //
 // The first fn error cancels ctx so in-flight siblings can stop early and
 // queued frames are never started; forEachFrame still waits for every
@@ -40,7 +43,7 @@ func resolveWorkers(n int) int {
 // With workers == 1 (or n <= 1) the frames run strictly serially on the
 // calling goroutine — the reference path the parallel one must match
 // byte-for-byte.
-func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Context, worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -57,7 +60,7 @@ func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Conte
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := fn(ctx, 0, i); err != nil {
 				return err
 			}
 		}
@@ -72,14 +75,14 @@ func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Conte
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := fn(ctx, worker, i); err != nil {
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
@@ -87,7 +90,7 @@ func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Conte
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

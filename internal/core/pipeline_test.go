@@ -5,9 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"microlonys/internal/emblem"
+	"microlonys/media"
 )
 
 // ---- splitChunks edge cases -------------------------------------------
@@ -63,7 +67,7 @@ func TestForEachFrameVisitsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		const n = 100
 		counts := make([]int32, n)
-		err := forEachFrame(context.Background(), workers, n, func(_ context.Context, i int) error {
+		err := forEachFrame(context.Background(), workers, n, func(_ context.Context, _, i int) error {
 			atomic.AddInt32(&counts[i], 1)
 			return nil
 		})
@@ -83,7 +87,7 @@ func TestForEachFrameReportsLowestIndexError(t *testing.T) {
 	// if both record an error the lower index must win. Run at several
 	// worker counts to shake out scheduling orders.
 	for _, workers := range []int{1, 2, 8} {
-		err := forEachFrame(context.Background(), workers, 10, func(_ context.Context, i int) error {
+		err := forEachFrame(context.Background(), workers, 10, func(_ context.Context, _, i int) error {
 			if i == 3 || i == 7 {
 				return fmt.Errorf("frame %d failed", i)
 			}
@@ -110,7 +114,7 @@ func TestForEachFrameCancelsRemainingWork(t *testing.T) {
 	const n = 1000
 	var started int32
 	boom := errors.New("boom")
-	err := forEachFrame(context.Background(), 4, n, func(ctx context.Context, i int) error {
+	err := forEachFrame(context.Background(), 4, n, func(ctx context.Context, _, i int) error {
 		atomic.AddInt32(&started, 1)
 		if i == 0 {
 			return boom
@@ -133,7 +137,7 @@ func TestForEachFrameCancelsRemainingWork(t *testing.T) {
 func TestForEachFrameHonorsParentContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := forEachFrame(ctx, 4, 50, func(_ context.Context, i int) error { return nil })
+	err := forEachFrame(ctx, 4, 50, func(_ context.Context, _, i int) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -237,9 +241,11 @@ func TestRestoreParallelMatchesSerial(t *testing.T) {
 }
 
 func TestRestoreParallelMatchesSerialEmulated(t *testing.T) {
-	// The emulated decode path spins up one DynaRisc CPU per frame; run
-	// it at several worker counts on a small archive and require
-	// byte-identical output.
+	// The emulated decode path reuses one DynaRisc CPU per worker: with
+	// Workers=1 a single machine decodes every frame back to back, with
+	// Workers=4 each pool goroutine owns its own. Byte identity across
+	// the counts pins both the pipeline determinism and the Reset-based
+	// reuse.
 	data := testPayload(4000)
 	arch, err := CreateArchive(data, DefaultOptions(tinyProfile()))
 	if err != nil {
@@ -260,5 +266,44 @@ func TestRestoreParallelMatchesSerialEmulated(t *testing.T) {
 	}
 	if !bytes.Equal(out, serialOut) {
 		t.Fatal("parallel emulated restore differs from serial")
+	}
+}
+
+func TestRestoreParallelMatchesSerialNested(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nested emulation is slow; skipped in -short mode")
+	}
+	// Same identity for the VeRisc-hosted path, whose per-worker Runner
+	// reuses the largest machine image of all. Raw mode keeps this to
+	// one group of four small frames, as in TestArchiveRestoreNested.
+	l := emblem.Layout{DataW: 80, DataH: 64, PxPerModule: 2}
+	p := media.Profile{
+		Name:   "tiny-nested-par",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		Layout: l,
+	}
+	data := []byte(strings.Repeat("SELECT 1; ", 20))
+	opts := DefaultOptions(p)
+	opts.Compress = false
+	arch, err := CreateArchive(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialOut, _, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+		RestoreOptions{Mode: RestoreNested, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut, data) {
+		t.Fatal("serial nested restore differs from input")
+	}
+	out, _, err := RestoreWithOptions(arch.Medium, arch.BootstrapText,
+		RestoreOptions{Mode: RestoreNested, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, serialOut) {
+		t.Fatal("parallel nested restore differs from serial")
 	}
 }

@@ -380,3 +380,21 @@ func RawLen(blob []byte) (int, error) {
 	}
 	return int(binary.LittleEndian.Uint32(blob[4:])), nil
 }
+
+// Verify checks raw against the length and CRC-32 recorded in blob's
+// header — the cheap way to validate an independently produced
+// decompression (such as the archived DBDecode program's output) against
+// the archive, without running the native decompressor a second time.
+func Verify(blob, raw []byte) error {
+	rawLen, err := RawLen(blob)
+	if err != nil {
+		return err
+	}
+	if len(raw) != rawLen {
+		return fmt.Errorf("%w: %d bytes, header records %d", ErrCRC, len(raw), rawLen)
+	}
+	if crc32.ChecksumIEEE(raw) != binary.LittleEndian.Uint32(blob[8:]) {
+		return ErrCRC
+	}
+	return nil
+}

@@ -154,6 +154,28 @@ func TestCorruptLengthDetected(t *testing.T) {
 	}
 }
 
+func TestVerify(t *testing.T) {
+	src := []byte("verify me, verify me, verify me")
+	blob := Compress(src)
+	if err := Verify(blob, src); err != nil {
+		t.Fatalf("Verify rejected the true payload: %v", err)
+	}
+	if err := Verify(blob, src[:len(src)-1]); !errors.Is(err, ErrCRC) {
+		t.Fatalf("short payload: got %v, want CRC error", err)
+	}
+	wrong := append([]byte(nil), src...)
+	wrong[3] ^= 0x40
+	if err := Verify(blob, wrong); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupt payload: got %v, want CRC error", err)
+	}
+	if err := Verify([]byte("junk"), src); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("junk blob: got %v, want bad magic", err)
+	}
+	if err := Verify(Compress(nil), nil); err != nil {
+		t.Fatalf("empty archive: %v", err)
+	}
+}
+
 func TestRawLen(t *testing.T) {
 	src := make([]byte, 12345)
 	n, err := RawLen(Compress(src))

@@ -1,0 +1,92 @@
+package dynprog
+
+import (
+	"testing"
+
+	"microlonys/dynarisc"
+	"microlonys/internal/dbcoder"
+)
+
+// The archived decoders are the programs dynarisc.Run is optimised for;
+// these tests pin Run ≡ Step-loop on them — every register, flag, memory
+// word, cursor and the step count — mirroring verisc/step_test.go one
+// emulation level up.
+
+func diffRunStep(t *testing.T, p *dynarisc.Program, memWords int, in []uint16) {
+	t.Helper()
+	mk := func() *dynarisc.CPU {
+		c := dynarisc.NewCPU(memWords)
+		c.MaxSteps = 4_000_000_000
+		if err := c.LoadProgram(p.Org, p.Words); err != nil {
+			t.Fatal(err)
+		}
+		c.In = append([]uint16(nil), in...)
+		return c
+	}
+
+	fast := mk()
+	if err := fast.Run(); err != nil {
+		t.Fatalf("Run: %v (steps=%d)", err, fast.Steps)
+	}
+	slow := mk()
+	for !slow.Halted {
+		if err := slow.Step(); err != nil {
+			t.Fatalf("Step: %v (steps=%d)", err, slow.Steps)
+		}
+	}
+
+	if fast.R != slow.R || fast.D != slow.D || fast.PC != slow.PC {
+		t.Fatalf("register divergence:\nrun:  R=%v D=%v PC=%#x\nstep: R=%v D=%v PC=%#x",
+			fast.R, fast.D, fast.PC, slow.R, slow.D, slow.PC)
+	}
+	if fast.Z != slow.Z || fast.N != slow.N || fast.C != slow.C {
+		t.Fatalf("flag divergence: run (Z=%v N=%v C=%v) step (Z=%v N=%v C=%v)",
+			fast.Z, fast.N, fast.C, slow.Z, slow.N, slow.C)
+	}
+	if fast.Steps != slow.Steps || fast.InPos != slow.InPos {
+		t.Fatalf("cursor divergence: steps %d vs %d, inpos %d vs %d",
+			fast.Steps, slow.Steps, fast.InPos, slow.InPos)
+	}
+	if len(fast.Out) != len(slow.Out) {
+		t.Fatalf("output lengths differ: %d vs %d", len(fast.Out), len(slow.Out))
+	}
+	for i := range fast.Out {
+		if fast.Out[i] != slow.Out[i] {
+			t.Fatalf("output[%d]: run %#x vs step %#x", i, fast.Out[i], slow.Out[i])
+		}
+	}
+	for i := range fast.Mem {
+		if fast.Mem[i] != slow.Mem[i] {
+			t.Fatalf("memory[%#x]: run %#x vs step %#x", i, fast.Mem[i], slow.Mem[i])
+		}
+	}
+	if len(fast.Out) == 0 {
+		t.Fatal("decoder produced no output; differential is vacuous")
+	}
+}
+
+// TestRunMatchesStepMODecode runs the archived emblem decoder over a
+// rendered scan on both execution paths.
+func TestRunMatchesStepMODecode(t *testing.T) {
+	l := moLayout()
+	img, _ := moEncode(t, l, 1.0, 42)
+	p, err := MODecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRunStep(t, p, MOMemWords(img), MOInput(img, l))
+}
+
+// TestRunMatchesStepDBDecode runs the archived DBC1 decompressor on both
+// execution paths.
+func TestRunMatchesStepDBDecode(t *testing.T) {
+	src := []byte("the quick brown fox jumps over the lazy dog, twice: " +
+		"the quick brown fox jumps over the lazy dog")
+	blob := dbcoder.Compress(src)
+	p, err := DBDecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dynarisc.AppendInWords(nil, blob)
+	diffRunStep(t, p, 1<<18, in)
+}

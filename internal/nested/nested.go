@@ -755,40 +755,131 @@ func Program() (*verisc.Program, error) {
 // GuestInput frames a DynaRisc program and its input stream for the
 // emulator's input port.
 func GuestInput(p *dynarisc.Program, input []uint16) []uint32 {
-	out := make([]uint32, 0, 2+len(p.Words)+len(input))
-	out = append(out, uint32(p.Org), uint32(len(p.Words)))
+	return AppendGuestInput(make([]uint32, 0, 2+len(p.Words)+len(input)), p, input)
+}
+
+// appendGuestFraming appends the input-port header for p — its origin,
+// code length and code words — the prefix shared by every guest input.
+func appendGuestFraming(dst []uint32, p *dynarisc.Program) []uint32 {
+	dst = append(dst, uint32(p.Org), uint32(len(p.Words)))
 	for _, w := range p.Words {
-		out = append(out, uint32(w))
+		dst = append(dst, uint32(w))
 	}
+	return dst
+}
+
+// AppendGuestInput appends the input-port framing for p followed by the
+// guest input words to dst — the companion to GuestInput for callers
+// that reuse the framing buffer across runs.
+func AppendGuestInput(dst []uint32, p *dynarisc.Program, input []uint16) []uint32 {
+	dst = appendGuestFraming(dst, p)
 	for _, w := range input {
-		out = append(out, uint32(w))
+		dst = append(dst, uint32(w))
 	}
-	return out
+	return dst
+}
+
+// AppendGuestInputBytes is AppendGuestInput for a byte-stream guest
+// input (one byte per word, the archived decoders' convention), skipping
+// the intermediate []uint16 conversion.
+func AppendGuestInputBytes(dst []uint32, p *dynarisc.Program, input []byte) []uint32 {
+	dst = appendGuestFraming(dst, p)
+	for _, b := range input {
+		dst = append(dst, uint32(b))
+	}
+	return dst
+}
+
+// Runner owns one reusable VeRisc machine and its input framing buffer.
+// The restore pipeline keeps one Runner per worker so nested-decoding a
+// frame no longer allocates the GuestBase+guestWords cell array (tens of
+// megabytes) afresh each time; the machine is Reset between runs, which
+// clears only the dirtied cells. A Runner is not safe for concurrent
+// use; each goroutine needs its own.
+type Runner struct {
+	cpu *verisc.CPU
+	in  []uint32
+}
+
+// NewRunner returns an empty Runner; the machine is allocated lazily on
+// first use and grown (never shrunk) to fit the largest guest seen.
+func NewRunner() *Runner { return &Runner{} }
+
+// exec prepares the reused machine and executes p to completion; the
+// guest's output words remain in r.cpu.Out.
+func (r *Runner) exec(guestWords int, maxSteps uint64, frame func([]uint32) []uint32) error {
+	prog, err := Program()
+	if err != nil {
+		return err
+	}
+	if guestWords <= 0 {
+		guestWords = DefaultGuestWords
+	}
+	need := GuestBase + guestWords
+	if r.cpu == nil {
+		r.cpu = verisc.NewCPU(need)
+	} else {
+		r.cpu.Reset()
+		r.cpu.EnsureMem(need)
+	}
+	r.cpu.MaxSteps = maxSteps
+	if err := r.cpu.Load(prog.Org, prog.Cells); err != nil {
+		return err
+	}
+	r.in = frame(r.in[:0])
+	r.cpu.In = r.in
+	if err := r.cpu.Run(); err != nil {
+		return fmt.Errorf("nested: %w", err)
+	}
+	return nil
+}
+
+// Run executes a DynaRisc program under the reused nested emulator and
+// returns the guest's output words, with the same semantics as the
+// package-level Run.
+func (r *Runner) Run(p *dynarisc.Program, input []uint16, guestWords int, maxSteps uint64) ([]uint16, error) {
+	err := r.exec(guestWords, maxSteps, func(dst []uint32) []uint32 {
+		return AppendGuestInput(dst, p, input)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint16, len(r.cpu.Out))
+	for i, w := range r.cpu.Out {
+		out[i] = uint16(w)
+	}
+	return out, nil
+}
+
+// RunAppendBytes executes p on a word input stream and appends the
+// guest's output bytes (low byte of each word) to dst — one conversion,
+// straight from the host machine's output cells into the caller's
+// buffer.
+func (r *Runner) RunAppendBytes(dst []byte, p *dynarisc.Program, input []uint16, guestWords int, maxSteps uint64) ([]byte, error) {
+	err := r.exec(guestWords, maxSteps, func(buf []uint32) []uint32 {
+		return AppendGuestInput(buf, p, input)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.cpu.AppendOutBytes(dst), nil
+}
+
+// RunBytesAppendBytes is RunAppendBytes for a byte guest input stream,
+// skipping the byte→word staging copy on the way in as well.
+func (r *Runner) RunBytesAppendBytes(dst []byte, p *dynarisc.Program, input []byte, guestWords int, maxSteps uint64) ([]byte, error) {
+	err := r.exec(guestWords, maxSteps, func(buf []uint32) []uint32 {
+		return AppendGuestInputBytes(buf, p, input)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.cpu.AppendOutBytes(dst), nil
 }
 
 // Run executes a DynaRisc program under the nested emulator and returns
 // the guest's output words. guestWords sizes guest memory (0 selects
 // DefaultGuestWords); maxSteps bounds host VeRisc steps (0 = unlimited).
 func Run(p *dynarisc.Program, input []uint16, guestWords int, maxSteps uint64) ([]uint16, error) {
-	prog, err := Program()
-	if err != nil {
-		return nil, err
-	}
-	if guestWords <= 0 {
-		guestWords = DefaultGuestWords
-	}
-	cpu := verisc.NewCPU(GuestBase + guestWords)
-	cpu.MaxSteps = maxSteps
-	if err := cpu.Load(prog.Org, prog.Cells); err != nil {
-		return nil, err
-	}
-	cpu.In = GuestInput(p, input)
-	if err := cpu.Run(); err != nil {
-		return nil, fmt.Errorf("nested: %w", err)
-	}
-	out := make([]uint16, len(cpu.Out))
-	for i, w := range cpu.Out {
-		out[i] = uint16(w)
-	}
-	return out, nil
+	return NewRunner().Run(p, input, guestWords, maxSteps)
 }

@@ -88,15 +88,30 @@ func (g *Gray) Clone() *Gray {
 
 // SampleBilinear returns the bilinearly interpolated intensity at the
 // floating-point position (x, y). Out-of-bounds regions read as white.
+//
+// Interior samples — the overwhelming case for the scanner simulation,
+// Rectify and the emblem reader, which all sample well inside the frame
+// — index Pix directly instead of taking four bounds-checked At calls.
+// Both paths evaluate the identical expression, so results are
+// bit-for-bit the same.
 func (g *Gray) SampleBilinear(x, y float64) float64 {
 	x0 := int(math.Floor(x))
 	y0 := int(math.Floor(y))
 	fx := x - float64(x0)
 	fy := y - float64(y0)
-	p00 := float64(g.At(x0, y0))
-	p10 := float64(g.At(x0+1, y0))
-	p01 := float64(g.At(x0, y0+1))
-	p11 := float64(g.At(x0+1, y0+1))
+	var p00, p10, p01, p11 float64
+	if x0 >= 0 && y0 >= 0 && x0+1 < g.W && y0+1 < g.H {
+		i := y0*g.W + x0
+		p00 = float64(g.Pix[i])
+		p10 = float64(g.Pix[i+1])
+		p01 = float64(g.Pix[i+g.W])
+		p11 = float64(g.Pix[i+g.W+1])
+	} else {
+		p00 = float64(g.At(x0, y0))
+		p10 = float64(g.At(x0+1, y0))
+		p01 = float64(g.At(x0, y0+1))
+		p11 = float64(g.At(x0+1, y0+1))
+	}
 	return p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
 }
 
@@ -186,9 +201,10 @@ func (g *Gray) Resize(w, h int) *Gray {
 	if sx <= 1 && sy <= 1 {
 		for y := 0; y < h; y++ {
 			srcY := (float64(y)+0.5)*sy - 0.5
+			row := out.row(y)
 			for x := 0; x < w; x++ {
 				srcX := (float64(x)+0.5)*sx - 0.5
-				out.Pix[y*w+x] = clampByte(g.SampleBilinear(srcX, srcY))
+				row[x] = clampByte(g.SampleBilinear(srcX, srcY))
 			}
 		}
 		return out
@@ -196,10 +212,11 @@ func (g *Gray) Resize(w, h int) *Gray {
 	for y := 0; y < h; y++ {
 		y0 := float64(y) * sy
 		y1 := y0 + sy
+		row := out.row(y)
 		for x := 0; x < w; x++ {
 			x0 := float64(x) * sx
 			x1 := x0 + sx
-			out.Pix[y*w+x] = clampByte(g.areaAverage(x0, y0, x1, y1))
+			row[x] = clampByte(g.areaAverage(x0, y0, x1, y1))
 		}
 	}
 	return out
@@ -207,13 +224,30 @@ func (g *Gray) Resize(w, h int) *Gray {
 
 // areaAverage integrates intensity over the source rectangle
 // [x0,x1)×[y0,y1) in pixel-box coordinates (pixel i covers [i, i+1)).
+// Rectangles fully inside the image — every downscale source box except
+// the border rows/columns — read Pix through a row slice instead of
+// bounds-checked At calls; the summation order and arithmetic are
+// identical on both paths.
 func (g *Gray) areaAverage(x0, y0, x1, y1 float64) float64 {
 	ix0, iy0 := int(math.Floor(x0)), int(math.Floor(y0))
 	ix1, iy1 := int(math.Ceil(x1)), int(math.Ceil(y1))
 	var sum, area float64
+	interior := ix0 >= 0 && iy0 >= 0 && ix1 <= g.W && iy1 <= g.H
 	for iy := iy0; iy < iy1; iy++ {
 		hy := math.Min(y1, float64(iy+1)) - math.Max(y0, float64(iy))
 		if hy <= 0 {
+			continue
+		}
+		if interior {
+			row := g.Pix[iy*g.W : iy*g.W+g.W]
+			for ix := ix0; ix < ix1; ix++ {
+				wx := math.Min(x1, float64(ix+1)) - math.Max(x0, float64(ix))
+				if wx <= 0 {
+					continue
+				}
+				sum += wx * hy * float64(row[ix])
+				area += wx * hy
+			}
 			continue
 		}
 		for ix := ix0; ix < ix1; ix++ {
@@ -237,9 +271,10 @@ func (g *Gray) areaAverage(x0, y0, x1, y1 float64) float64 {
 func (g *Gray) Warp(f func(x, y float64) (sx, sy float64)) *Gray {
 	out := New(g.W, g.H)
 	for y := 0; y < g.H; y++ {
+		row := out.row(y)
 		for x := 0; x < g.W; x++ {
 			sx, sy := f(float64(x), float64(y))
-			out.Pix[y*g.W+x] = clampByte(g.SampleBilinear(sx, sy))
+			row[x] = clampByte(g.SampleBilinear(sx, sy))
 		}
 	}
 	return out
@@ -248,6 +283,12 @@ func (g *Gray) Warp(f func(x, y float64) (sx, sy float64)) *Gray {
 // BoxBlur applies an n-radius box blur (separable, two passes). Three
 // successive box blurs approximate a Gaussian; one pass models mild lens
 // defocus well enough for the decode-robustness experiments.
+//
+// Both passes walk the image row-major: the vertical pass carries one
+// running sum per column and slides all of them down a row at a time, so
+// it streams whole rows instead of striding H pixels between touches.
+// The per-column sums it maintains are exactly the sums the per-column
+// walk would compute, keeping the output byte-identical.
 func (g *Gray) BoxBlur(radius int) *Gray {
 	if radius <= 0 {
 		return g.Clone()
@@ -261,21 +302,30 @@ func (g *Gray) BoxBlur(radius int) *Gray {
 		for x := -radius; x <= radius; x++ {
 			sum += int(atClamped(row, g.W, x))
 		}
+		dst := tmp.Pix[y*g.W:]
 		for x := 0; x < g.W; x++ {
-			tmp.Pix[y*g.W+x] = byte(sum / win)
+			dst[x] = byte(sum / win)
 			sum += int(atClamped(row, g.W, x+radius+1)) - int(atClamped(row, g.W, x-radius))
 		}
 	}
 	// vertical
 	out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
-	for x := 0; x < g.W; x++ {
-		var sum int
-		for y := -radius; y <= radius; y++ {
-			sum += int(atClampedCol(tmp, x, y))
+	sums := make([]int, g.W)
+	for y := -radius; y <= radius; y++ {
+		row := tmp.row(clampRow(y, g.H))
+		for x, p := range row {
+			sums[x] += int(p)
 		}
-		for y := 0; y < g.H; y++ {
-			out.Pix[y*g.W+x] = byte(sum / win)
-			sum += int(atClampedCol(tmp, x, y+radius+1)) - int(atClampedCol(tmp, x, y-radius))
+	}
+	for y := 0; y < g.H; y++ {
+		dst := out.Pix[y*g.W : y*g.W+g.W]
+		for x := range dst {
+			dst[x] = byte(sums[x] / win)
+		}
+		add := tmp.row(clampRow(y+radius+1, g.H))
+		sub := tmp.row(clampRow(y-radius, g.H))
+		for x := range sums {
+			sums[x] += int(add[x]) - int(sub[x])
 		}
 	}
 	return out
@@ -291,14 +341,19 @@ func atClamped(row []byte, w, x int) byte {
 	return row[x]
 }
 
-func atClampedCol(g *Gray, x, y int) byte {
+// row returns row y of the image as a slice.
+func (g *Gray) row(y int) []byte {
+	return g.Pix[y*g.W : y*g.W+g.W]
+}
+
+func clampRow(y, h int) int {
 	if y < 0 {
-		y = 0
+		return 0
 	}
-	if y >= g.H {
-		y = g.H - 1
+	if y >= h {
+		return h - 1
 	}
-	return g.Pix[y*g.W+x]
+	return y
 }
 
 func clampByte(v float64) byte {

@@ -1,0 +1,146 @@
+package verisc
+
+import (
+	"errors"
+	"testing"
+)
+
+func veriscStateEqual(a, b *CPU) bool {
+	if a.R != b.R || a.B != b.B || a.PC != b.PC {
+		return false
+	}
+	if a.Halted != b.Halted || a.Steps != b.Steps || a.InPos != b.InPos {
+		return false
+	}
+	if len(a.Out) != len(b.Out) {
+		return false
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			return false
+		}
+	}
+	if len(a.Mem) != len(b.Mem) {
+		return false
+	}
+	for i := range a.Mem {
+		if a.Mem[i] != b.Mem[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestResetMatchesFresh pins the reuse contract the nested emulator's
+// Runner relies on: a Reset machine is indistinguishable from a fresh
+// NewCPU of the same size and replays the next program identically.
+func TestResetMatchesFresh(t *testing.T) {
+	p := buildStepProgram(t)
+	runOnce := func(c *CPU, in []uint32) {
+		t.Helper()
+		if err := c.Load(p.Org, p.Cells); err != nil {
+			t.Fatal(err)
+		}
+		c.In = in
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reused := NewCPU(1 << 12)
+	runOnce(reused, []uint32{3, 1, 4})
+	if len(reused.Out) == 0 {
+		t.Fatal("first run produced nothing; test is vacuous")
+	}
+	reused.Reset()
+
+	fresh := NewCPU(1 << 12)
+	if !veriscStateEqual(reused, fresh) {
+		t.Fatal("reset CPU differs from fresh CPU")
+	}
+
+	runOnce(reused, []uint32{9, 9})
+	runOnce(fresh, []uint32{9, 9})
+	if !veriscStateEqual(reused, fresh) {
+		t.Fatal("reused CPU diverged from fresh CPU on the second program")
+	}
+}
+
+// TestResetAfterAbort reuses machines whose previous runs died on a step
+// limit and on a bad address, with dirty memory and partial output.
+func TestResetAfterAbort(t *testing.T) {
+	p := buildStepProgram(t)
+
+	limited := NewCPU(1 << 12)
+	limited.MaxSteps = 3
+	if err := limited.Load(p.Org, p.Cells); err != nil {
+		t.Fatal(err)
+	}
+	limited.In = []uint32{1, 2, 3}
+	if err := limited.Run(); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("got %v, want step limit", err)
+	}
+	limited.Reset()
+	limited.MaxSteps = 0
+
+	broken := NewCPU(64)
+	broken.Mem[ReservedCells] = LD
+	broken.Mem[ReservedCells+1] = 1 << 20 // out of range
+	broken.PC = ReservedCells
+	if err := broken.Run(); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("got %v, want bad address", err)
+	}
+	broken.Reset()
+	// The two soup cells were poked directly (bypassing the watermark);
+	// clear them by hand as Reset documents.
+	broken.Mem[ReservedCells] = 0
+	broken.Mem[ReservedCells+1] = 0
+
+	for name, c := range map[string]*CPU{"limited": limited, "broken": broken} {
+		if !veriscStateEqual(c, NewCPU(len(c.Mem))) {
+			t.Fatalf("%s: reset-after-abort CPU differs from fresh", name)
+		}
+	}
+
+	if err := limited.Load(p.Org, p.Cells); err != nil {
+		t.Fatal(err)
+	}
+	limited.In = []uint32{7}
+	if err := limited.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCPU(1 << 12)
+	if err := fresh.Load(p.Org, p.Cells); err != nil {
+		t.Fatal(err)
+	}
+	fresh.In = []uint32{7}
+	if err := fresh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !veriscStateEqual(limited, fresh) {
+		t.Fatal("machine reused after a step-limit abort diverged from fresh")
+	}
+}
+
+// TestEnsureMemGrowsAndPreserves covers the grow-only reuse helper.
+func TestEnsureMemGrowsAndPreserves(t *testing.T) {
+	c := NewCPU(64)
+	c.Mem[10] = 42
+	c.EnsureMem(32)
+	if len(c.Mem) != 64 {
+		t.Fatalf("EnsureMem shrank memory to %d", len(c.Mem))
+	}
+	c.EnsureMem(256)
+	if len(c.Mem) != 256 || c.Mem[10] != 42 {
+		t.Fatalf("EnsureMem lost contents: len=%d Mem[10]=%d", len(c.Mem), c.Mem[10])
+	}
+}
+
+// TestAppendOutBytes covers the allocation-free output conversion.
+func TestAppendOutBytes(t *testing.T) {
+	c := NewCPU(64)
+	c.Out = []uint32{0x41, 0x342, 0x43}
+	if got := c.AppendOutBytes([]byte("y:")); string(got) != "y:ABC" {
+		t.Fatalf("AppendOutBytes = %q", got)
+	}
+}

@@ -188,6 +188,19 @@ func TestRunErrorsMatchStepErrors(t *testing.T) {
 	if err := s.Step(); err == nil {
 		t.Fatal("step accepted pc at memory end")
 	}
+	// A computed jump can park PC at 0xFFFFFFFF; the bounds check must
+	// not wrap (pc+1 overflows uint32) — both paths return ErrBadAddress
+	// rather than indexing memory at 2^32-1.
+	for _, exec := range map[string]func(*CPU) error{
+		"run":  (*CPU).Run,
+		"step": (*CPU).Step,
+	} {
+		c := NewCPU(64)
+		c.PC = 0xFFFFFFFF
+		if err := exec(c); err == nil {
+			t.Fatal("wrapped pc accepted")
+		}
+	}
 }
 
 func TestNewCPUDefaults(t *testing.T) {

@@ -89,6 +89,10 @@ type CPU struct {
 	Halted   bool
 	Steps    uint64
 	MaxSteps uint64 // 0 = unlimited
+
+	// dirtyHi is 1 + the highest memory cell written through Load or a
+	// store since the last Reset, so Reset clears only touched memory.
+	dirtyHi int
 }
 
 // NewCPU returns a CPU with the given memory size in cells (0 selects
@@ -106,8 +110,45 @@ func (c *CPU) Load(org uint32, cells []uint32) error {
 		return fmt.Errorf("%w: image of %d cells at %d", ErrBadAddress, len(cells), org)
 	}
 	copy(c.Mem[org:], cells)
+	if hi := int(org) + len(cells); hi > c.dirtyHi {
+		c.dirtyHi = hi
+	}
 	c.PC = org
 	return nil
+}
+
+// Reset returns the CPU to its power-on state while keeping its
+// allocations, so one machine can host many nested-emulation runs
+// without rebuilding the multi-megabyte cell array each time: R, B, PC,
+// the step counter and the input cursor are zeroed; cells written since
+// the last Reset (through Load, Step or Run) are cleared via a dirty
+// high-water mark; and Out is truncated in place so its capacity is
+// reused. A Reset CPU behaves identically to a fresh NewCPU of the same
+// size (reset_test.go pins that, including after an error or step-limit
+// abort). Configuration (MaxSteps) is preserved. Direct writes to Mem
+// bypass the watermark — callers that poke memory themselves must also
+// clear it themselves.
+func (c *CPU) Reset() {
+	c.R, c.B, c.PC = 0, 0, 0
+	clear(c.Mem[:c.dirtyHi])
+	c.dirtyHi = 0
+	c.In = nil
+	c.InPos = 0
+	c.Out = c.Out[:0]
+	c.Halted = false
+	c.Steps = 0
+}
+
+// EnsureMem grows memory to at least memCells cells, preserving
+// contents. It never shrinks, so a reused machine sized for the largest
+// guest seen so far fits every smaller one.
+func (c *CPU) EnsureMem(memCells int) {
+	if memCells <= len(c.Mem) {
+		return
+	}
+	grown := make([]uint32, memCells)
+	copy(grown, c.Mem)
+	c.Mem = grown
 }
 
 // Step executes one instruction.
@@ -205,54 +246,84 @@ func (c *CPU) write(addr, v uint32) error {
 		return fmt.Errorf("%w: store %d", ErrBadAddress, addr)
 	}
 	c.Mem[addr] = v
+	if int(addr) >= c.dirtyHi {
+		c.dirtyHi = int(addr) + 1
+	}
 	return nil
 }
 
 // Run executes until HALT, an error, or the step limit.
 //
-// Run is the throughput path: it inlines instruction dispatch and the
-// common direct-memory case (addr >= ReservedCells), falling back to the
-// memory-mapped handlers only for the low cells. Semantics are identical
-// to calling Step in a loop; dynarisc/verisc differential tests rely on
-// that equivalence.
+// Run is the throughput path: it keeps the whole register state (R, B,
+// PC, the step counter) in locals, inlines instruction dispatch and the
+// common direct-memory case (addr >= ReservedCells), and falls back to
+// the memory-mapped handlers only for the low cells — syncing the locals
+// around those calls, since reads and writes of the mapped cells observe
+// and mutate machine state. The step budget is resolved into a local
+// limit up front. Semantics are identical to calling Step in a loop;
+// step_test.go and the dynarisc/verisc differential tests rely on that
+// equivalence.
 func (c *CPU) Run() error {
+	if c.Halted {
+		return nil
+	}
 	mem := c.Mem
 	memLen := uint32(len(mem))
-	for !c.Halted {
-		if c.MaxSteps > 0 && c.Steps >= c.MaxSteps {
+	limit := ^uint64(0)
+	if c.MaxSteps > 0 {
+		limit = c.MaxSteps
+	}
+	pc, r, borrow := c.PC, c.R, c.B
+	steps := c.Steps
+
+	for {
+		if steps >= limit {
+			c.PC, c.R, c.B, c.Steps = pc, r, borrow, steps
 			return ErrStepLimit
 		}
-		c.Steps++
-		if c.PC+1 >= memLen {
-			return fmt.Errorf("%w: pc=%d", ErrBadAddress, c.PC)
+		steps++
+		// uint64 widening: pc+1 must not wrap at pc == 0xFFFFFFFF (a
+		// guest can store any value to CellPC), mirroring Step's int
+		// comparison.
+		if uint64(pc)+1 >= uint64(memLen) {
+			c.PC, c.R, c.B, c.Steps = pc, r, borrow, steps
+			return fmt.Errorf("%w: pc=%d", ErrBadAddress, pc)
 		}
-		op := mem[c.PC]
-		addr := mem[c.PC+1]
-		c.PC += 2
+		op := mem[pc]
+		addr := mem[pc+1]
+		pc += 2
 
 		// Direct-memory fast path.
 		if addr >= ReservedCells && addr < memLen {
 			switch op {
 			case LD:
-				c.R = mem[addr]
+				r = mem[addr]
 			case ST:
-				mem[addr] = c.R
-			case SBB:
-				t := int64(c.R) - int64(mem[addr]) - int64(c.B)
-				if t < 0 {
-					c.B = 1
-				} else {
-					c.B = 0
+				mem[addr] = r
+				if int(addr) >= c.dirtyHi {
+					c.dirtyHi = int(addr) + 1
 				}
-				c.R = uint32(t)
+			case SBB:
+				t := int64(r) - int64(mem[addr]) - int64(borrow)
+				if t < 0 {
+					borrow = 1
+				} else {
+					borrow = 0
+				}
+				r = uint32(t)
 			case AND:
-				c.R &= mem[addr]
+				r &= mem[addr]
 			default:
-				return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, c.PC-2)
+				c.PC, c.R, c.B, c.Steps = pc, r, borrow, steps
+				return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, pc-2)
 			}
 			continue
 		}
 
+		// Memory-mapped slow path: the handlers observe machine state
+		// (CellPC/CellB reads) and mutate it (CellPC/CellB/CellHalt
+		// writes), so sync the locals across the call.
+		c.PC, c.R, c.B, c.Steps = pc, r, borrow, steps
 		switch op {
 		case LD, SBB, AND:
 			v, err := c.read(addr)
@@ -261,27 +332,32 @@ func (c *CPU) Run() error {
 			}
 			switch op {
 			case LD:
-				c.R = v
+				r = v
 			case SBB:
-				t := int64(c.R) - int64(v) - int64(c.B)
+				t := int64(r) - int64(v) - int64(borrow)
 				if t < 0 {
-					c.B = 1
+					borrow = 1
 				} else {
-					c.B = 0
+					borrow = 0
 				}
-				c.R = uint32(t)
+				r = uint32(t)
+				c.B = borrow
 			case AND:
-				c.R &= v
+				r &= v
 			}
+			c.R = r
 		case ST:
-			if err := c.write(addr, c.R); err != nil {
+			if err := c.write(addr, r); err != nil {
 				return err
 			}
+			pc, borrow = c.PC, c.B // a mapped store may jump or set B
+			if c.Halted {
+				return nil
+			}
 		default:
-			return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, c.PC-2)
+			return fmt.Errorf("%w: %d at pc=%d", ErrBadOpcode, op, pc-2)
 		}
 	}
-	return nil
 }
 
 // SetInBytes loads the input stream from bytes, one per cell — the
@@ -296,9 +372,21 @@ func (c *CPU) SetInBytes(p []byte) {
 
 // OutBytes returns the output stream as bytes (low byte of each word).
 func (c *CPU) OutBytes() []byte {
-	out := make([]byte, len(c.Out))
-	for i, w := range c.Out {
-		out[i] = byte(w)
+	return c.AppendOutBytes(make([]byte, 0, len(c.Out)))
+}
+
+// AppendOutBytes appends the output stream to dst as bytes (low byte of
+// each word) and returns the extended slice — the companion to OutBytes
+// for callers that reuse buffers across runs. Growth happens at most
+// once, sized for the whole stream.
+func (c *CPU) AppendOutBytes(dst []byte) []byte {
+	if need := len(dst) + len(c.Out); cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	for _, w := range c.Out {
+		dst = append(dst, byte(w))
+	}
+	return dst
 }
