@@ -20,6 +20,7 @@
 //	P2  ext.      concurrent frame pipeline: workers sweep (restore ×3 modes)
 //	P3  ext.      concurrent frame pipeline: serial vs parallel per profile
 //	P4  ext.      emulated restore: time and allocations per frame
+//	P5  ext.      archive hot path: time and allocations per frame
 package microlonys_test
 
 import (
@@ -788,6 +789,134 @@ func BenchmarkP4EmulatedRestore(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// ---- P5: archive hot path ------------------------------------------------
+
+// BenchmarkP5ArchiveEncode measures the archive-side hot path: end-to-end
+// CreateArchive with allocation reporting and ms/frame (raw and
+// compressed, serial and default worker counts), the per-frame emblem
+// encode through fresh vs reused scratch (the direct measure of what the
+// per-worker encScratch saves), the place stage's media-writer cost, and
+// the DBCoder depth dial behind Options.CompressDepth. The counterpart of
+// P4 for the write-heavy direction archival systems are built around.
+func BenchmarkP5ArchiveEncode(b *testing.B) {
+	run := func(b *testing.B, data []byte, opts microlonys.Options) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		frames := 0
+		for i := 0; i < b.N; i++ {
+			arch, err := microlonys.Archive(data, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames = arch.Manifest.TotalFrames
+		}
+		b.ReportMetric(float64(frames), "frames")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(frames)/1e6, "ms/frame")
+	}
+
+	// End-to-end archival, frame encode dominated (as in E1/E2/E3).
+	b.Run("raw", func(b *testing.B) {
+		data := tpchDump()[:256*1024]
+		for _, w := range []int{1, 0} {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				opts := microlonys.DefaultOptions(benchProfile())
+				opts.Compress = false
+				opts.Workers = w
+				run(b, data, opts)
+			})
+		}
+	})
+
+	// End-to-end archival with DBCoder in front (the serial split stage
+	// bounds the worker scaling; E6 prices that stage in isolation).
+	b.Run("compressed", func(b *testing.B) {
+		data := tpchDump()[:128*1024]
+		for _, w := range []int{1, 0} {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				opts := microlonys.DefaultOptions(benchProfile())
+				opts.Workers = w
+				run(b, data, opts)
+			})
+		}
+	})
+
+	// The Options.CompressDepth dial: archive speed vs stream density.
+	b.Run("depth", func(b *testing.B) {
+		data := tpchDump()[:256*1024]
+		for _, depth := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				var streamLen int
+				for i := 0; i < b.N; i++ {
+					blob := dbcoder.CompressDepth(data, depth)
+					streamLen = len(blob)
+				}
+				b.ReportMetric(float64(len(data))/float64(streamLen), "ratio")
+			})
+		}
+	})
+
+	// Per-frame encode cost in isolation, one iteration = one frame:
+	// fresh scratch vs a reused Encoder, the archive counterpart of P4's
+	// frame-reuse arm.
+	b.Run("frame-reuse", func(b *testing.B) {
+		l := benchProfile().Layout
+		payload := make([]byte, mocoder.Capacity(l))
+		rand.New(rand.NewSource(6)).Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindRaw}
+		b.Run("fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mocoder.Encode(payload, hdr, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("reused", func(b *testing.B) {
+			b.ReportAllocs()
+			var e mocoder.Encoder
+			if _, err := e.Encode(payload, hdr, l); err != nil {
+				b.Fatal(err) // warm-up sizes the scratch once
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Encode(payload, hdr, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	// The place stage: writer-side quantisation and storage of encoded
+	// frames (the built-in profiles' writers are distortion-free, so this
+	// rides the IsZero fast path).
+	b.Run("place", func(b *testing.B) {
+		prof := benchProfile()
+		prof.WriteBitonal = true
+		l := prof.Layout
+		payload := make([]byte, mocoder.Capacity(l))
+		rand.New(rand.NewSource(7)).Read(payload)
+		var e mocoder.Encoder
+		frames := make([]*raster.Gray, 8)
+		for i := range frames {
+			img, err := e.Encode(payload, emblem.Header{Kind: emblem.KindRaw, Index: uint16(i)}, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames[i] = img
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(frames) * l.ImageW() * l.ImageH()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := media.New(prof)
+			if err := m.Write(frames); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

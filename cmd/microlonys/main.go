@@ -4,7 +4,7 @@
 // Usage:
 //
 //	microlonys -in dump.sql [-profile paper|microfilm|cinema]
-//	           [-mode native|dynarisc|nested] [-raw] [-destroy N]
+//	           [-mode native|dynarisc|nested] [-raw] [-depth N] [-destroy N]
 //	           [-workers N] [-frames out/] [-bootstrap bootstrap.txt]
 //
 // The tool archives the input, optionally destroys N frames, restores
@@ -30,6 +30,7 @@ func main() {
 	profile := flag.String("profile", "paper", "media profile: paper, microfilm, cinema")
 	mode := flag.String("mode", "native", "restore mode: native, dynarisc, nested")
 	raw := flag.Bool("raw", false, "archive without DBCoder compression")
+	depth := flag.Int("depth", 0, "DBCoder match-finder depth: lower is faster, higher packs denser (0 = default)")
 	destroy := flag.Int("destroy", 0, "destroy N random frames before restoring")
 	framesDir := flag.String("frames", "", "write frame PNGs to this directory")
 	bootOut := flag.String("bootstrap", "", "write the Bootstrap document to this file")
@@ -70,6 +71,7 @@ func main() {
 
 	opts := microlonys.DefaultOptions(prof)
 	opts.Compress = !*raw
+	opts.CompressDepth = *depth
 	opts.Workers = *workers
 
 	fmt.Printf("archiving %s (%d bytes) to %s...\n", *in, len(data), prof.Name)

@@ -20,7 +20,6 @@
 package bootstrap
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -82,14 +81,14 @@ const (
 // MarshalVeRisc serialises a VeRisc program (org, length, 32-bit cells,
 // all big endian).
 func MarshalVeRisc(p *verisc.Program) []byte {
-	var b bytes.Buffer
-	b.WriteString(veriscMagic)
-	binary.Write(&b, binary.BigEndian, uint32(p.Org))
-	binary.Write(&b, binary.BigEndian, uint32(len(p.Cells)))
+	out := make([]byte, 0, 12+4*len(p.Cells))
+	out = append(out, veriscMagic...)
+	out = binary.BigEndian.AppendUint32(out, p.Org)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Cells)))
 	for _, c := range p.Cells {
-		binary.Write(&b, binary.BigEndian, c)
+		out = binary.BigEndian.AppendUint32(out, c)
 	}
-	return b.Bytes()
+	return out
 }
 
 // UnmarshalVeRisc parses MarshalVeRisc output.
@@ -111,14 +110,14 @@ func UnmarshalVeRisc(data []byte) (*verisc.Program, error) {
 
 // MarshalDynaRisc serialises a DynaRisc program (16-bit words).
 func MarshalDynaRisc(p *dynarisc.Program) []byte {
-	var b bytes.Buffer
-	b.WriteString(dynariscMagic)
-	binary.Write(&b, binary.BigEndian, uint16(p.Org))
-	binary.Write(&b, binary.BigEndian, uint32(len(p.Words)))
+	out := make([]byte, 0, 10+2*len(p.Words))
+	out = append(out, dynariscMagic...)
+	out = binary.BigEndian.AppendUint16(out, p.Org)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Words)))
 	for _, w := range p.Words {
-		binary.Write(&b, binary.BigEndian, w)
+		out = binary.BigEndian.AppendUint16(out, w)
 	}
-	return b.Bytes()
+	return out
 }
 
 // UnmarshalDynaRisc parses MarshalDynaRisc output.

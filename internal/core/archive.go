@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
 	"microlonys/internal/dbcoder"
 	"microlonys/internal/dynprog"
@@ -12,6 +14,7 @@ import (
 	"microlonys/internal/nested"
 	"microlonys/media"
 	"microlonys/raster"
+	"microlonys/verisc"
 )
 
 // The archival pipeline (Figure 2a), as three explicit stages:
@@ -26,6 +29,35 @@ import (
 // Fixing headers and frame indices during split is what makes the encode
 // fan-out trivially deterministic: workers only rasterize, they never
 // allocate indices or touch shared counters.
+
+// The archived decoder programs and the Bootstrap emulator are
+// deterministic builds of static assembly; build each once per process
+// instead of once per archive (they dominated CreateArchive's fixed cost
+// for small archives). All consumers treat the programs as read-only.
+var (
+	buildOnce sync.Once
+	builtEmu  *verisc.Program
+	builtMO   *dynarisc.Program
+	builtDB   *dynarisc.Program
+	buildErr  error
+)
+
+func archivedPrograms() (*verisc.Program, *dynarisc.Program, *dynarisc.Program, error) {
+	buildOnce.Do(func() {
+		if builtEmu, buildErr = nested.Program(); buildErr != nil {
+			buildErr = fmt.Errorf("core: building emulator: %w", buildErr)
+			return
+		}
+		if builtMO, buildErr = dynprog.MODecode(); buildErr != nil {
+			buildErr = fmt.Errorf("core: assembling MODecode: %w", buildErr)
+			return
+		}
+		if builtDB, buildErr = dynprog.DBDecode(); buildErr != nil {
+			buildErr = fmt.Errorf("core: assembling DBDecode: %w", buildErr)
+		}
+	})
+	return builtEmu, builtMO, builtDB, buildErr
+}
 
 // frameTask is one planned emblem: the padded payload and the fully
 // resolved header the encode stage will rasterize.
@@ -71,13 +103,9 @@ func CreateArchive(data []byte, opts Options) (*Archived, error) {
 	}
 
 	// Step 6: Bootstrap document.
-	emu, err := nested.Program()
+	emu, mo, _, err := archivedPrograms()
 	if err != nil {
-		return nil, fmt.Errorf("core: building emulator: %w", err)
-	}
-	mo, err := dynprog.MODecode()
-	if err != nil {
-		return nil, fmt.Errorf("core: assembling MODecode: %w", err)
+		return nil, err
 	}
 	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
 
@@ -106,7 +134,7 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 	stream := data
 	kind := emblem.KindRaw
 	if opts.Compress {
-		depth := opts.Depth
+		depth := opts.CompressDepth
 		if depth <= 0 {
 			depth = dbcoder.DefaultDepth
 		}
@@ -124,9 +152,9 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 	}
 	sections := []section{{kind, stream}}
 	if opts.Compress {
-		prog, err := dynprog.DBDecode()
+		_, _, prog, err := archivedPrograms()
 		if err != nil {
-			return nil, fmt.Errorf("core: assembling DBDecode: %w", err)
+			return nil, err
 		}
 		sys := bootstrap.MarshalDynaRisc(prog)
 		plan.man.SystemLen = len(sys)
@@ -191,13 +219,24 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 	return plan, nil
 }
 
+// encScratch is one worker's reusable frame-encode state, the archive
+// side's counterpart of restore's emuScratch: the mocoder.Encoder holds
+// the padded-payload, RS-codeword, interleave and bit-stream buffers plus
+// the cached serpentine path. Each worker id owns exactly one goroutine
+// for a run (see forEachFrame), so the scratch is reused serially without
+// locks and a steady-state frame encode allocates only the placed frame.
+type encScratch struct {
+	enc mocoder.Encoder
+}
+
 // encodeStage rasterizes every planned frame. Workers claim frames by
 // index and write only frames[i], so the result order matches the plan
 // regardless of scheduling; the first encode error cancels the rest.
 func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int) ([]*raster.Gray, error) {
 	frames := make([]*raster.Gray, len(tasks))
-	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, _, i int) error {
-		img, err := mocoder.Encode(tasks[i].payload, tasks[i].hdr, layout)
+	scratch := make([]encScratch, resolveWorkers(workers))
+	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, worker, i int) error {
+		img, err := scratch[worker].enc.Encode(tasks[i].payload, tasks[i].hdr, layout)
 		if err != nil {
 			kind := "emblem"
 			if tasks[i].hdr.Kind == emblem.KindParity {

@@ -63,7 +63,12 @@ type Options struct {
 	GroupData   int  // data emblems per outer-code group (default 17)
 	GroupParity int  // parity emblems per group (default 3)
 	Compress    bool // run DBCoder (default); false archives raw payloads
-	Depth       int  // DBCoder match-finder depth (0 = default)
+
+	// CompressDepth is DBCoder's match-finder chain depth (0 selects
+	// dbcoder.DefaultDepth): the archive-speed vs density dial — lower
+	// depths encode faster, higher depths find longer matches and pack
+	// more data per frame. The cmd/microlonys -depth flag sets it.
+	CompressDepth int
 
 	// Workers bounds the frame-encode worker pool: 0 (the default) uses
 	// GOMAXPROCS, 1 forces the serial reference path, larger values cap

@@ -302,11 +302,15 @@ func (m *model) emitToken(e *rangecoder.Encoder, f *lz77.Finder, src []byte, i i
 		m.encodeDistance(e, match.Distance, length)
 		*lastDist = match.Distance
 	}
-	for j := 1; j < length; j++ {
-		f.Insert(i + j)
-	}
+	f.InsertRange(i+1, length-1)
 	return i + length, true
 }
+
+// maxPrealloc caps the output buffer Decompress sizes from the header's
+// (attacker-controlled) raw length; beyond it the buffer grows with the
+// actual output, so a malformed 12-byte blob cannot demand gigabytes
+// up front.
+const maxPrealloc = 1 << 20
 
 // Decompress decodes a DBC1 archive produced by Compress.
 func Decompress(blob []byte) ([]byte, error) {
@@ -327,11 +331,22 @@ func Decompress(blob []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	m := newModel()
-	out := make([]byte, 0, rawLen)
+	hint := rawLen
+	if hint > maxPrealloc {
+		hint = maxPrealloc
+	}
+	out := make([]byte, 0, hint)
 	lastDist := 0
 	prevWasMatch := 0
 
 	for len(out) < rawLen {
+		// A decoder that ran past the end of the stream can only emit
+		// tokens conjured from phantom zero bytes; the blob would be
+		// rejected by the post-loop check regardless, so stop producing
+		// output now instead of decoding up to 4 GiB of it first.
+		if d.Err() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.Err())
+		}
 		if d.DecodeBit(&m.isMatch[prevWasMatch]) == 0 {
 			ctx := 0
 			if len(out) > 0 {

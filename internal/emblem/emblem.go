@@ -172,7 +172,14 @@ const headerMagic = 0xE5
 
 // Marshal serialises the header (big endian) with a trailing CRC-16.
 func (h Header) Marshal() []byte {
-	b := make([]byte, 0, HeaderSize)
+	return h.AppendMarshal(make([]byte, 0, HeaderSize))
+}
+
+// AppendMarshal appends the serialised header to b and returns the
+// extended slice — Marshal for callers assembling a stream in a reused
+// buffer.
+func (h Header) AppendMarshal(b []byte) []byte {
+	start := len(b)
 	b = append(b, headerMagic, h.Version, uint8(h.Kind))
 	b = appendU16(b, h.Index)
 	b = appendU16(b, h.Total)
@@ -180,7 +187,7 @@ func (h Header) Marshal() []byte {
 	b = append(b, h.GroupPos, h.GroupData, h.GroupParity)
 	b = appendU32(b, h.PayloadLen)
 	b = appendU32(b, h.TotalLen)
-	crc := CRC16(b)
+	crc := CRC16(b[start:])
 	b = appendU16(b, crc)
 	return b
 }

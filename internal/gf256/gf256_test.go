@@ -204,3 +204,15 @@ func TestPolyString(t *testing.T) {
 		t.Fatalf("zero poly prints %q", PolyString([]byte{0}))
 	}
 }
+
+func TestMulTable(t *testing.T) {
+	var row [256]byte
+	for c := 0; c < 256; c++ {
+		MulTable(byte(c), &row)
+		for x := 0; x < 256; x++ {
+			if row[x] != Mul(byte(c), byte(x)) {
+				t.Fatalf("MulTable(%d)[%d] = %d, want %d", c, x, row[x], Mul(byte(c), byte(x)))
+			}
+		}
+	}
+}

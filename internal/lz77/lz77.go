@@ -4,6 +4,11 @@
 // stream into bits.
 package lz77
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 const (
 	// MinMatch is the shortest match the finder reports. Shorter rep-matches
 	// are handled by the caller against its last-distance register.
@@ -15,6 +20,12 @@ const (
 
 	hashBits = 16
 	hashSize = 1 << hashBits
+
+	// skipAheadMin/skipAheadStep govern the SkipAhead option: while
+	// stepping over a match longer than skipAheadMin, only every
+	// skipAheadStep-th interior position enters the hash chains.
+	skipAheadMin  = 64
+	skipAheadStep = 4
 )
 
 // Match is a back-reference into the already-emitted stream.
@@ -23,25 +34,56 @@ type Match struct {
 	Length   int
 }
 
-// Finder finds matches in a fixed input buffer using 3-byte hash chains.
+// Config tunes a Finder beyond the chain depth. The zero value selects the
+// reference behaviour (3-byte hash, full insertion), which is what DBC1
+// archival encoding uses — the speed options below trade compression ratio
+// for encode throughput and therefore change the token stream.
+type Config struct {
+	// Depth bounds the chain walk per query; 0 selects the default (64).
+	Depth int
+
+	// HashLen selects how many bytes feed the chain hash: 3 (the default)
+	// or 4. A 4-byte hash sharply cuts chain collisions on long inputs
+	// (fewer false candidates per Find), at the cost of missing 3-byte
+	// matches whose fourth byte differs; positions within 4 bytes of the
+	// end are not indexed.
+	HashLen int
+
+	// SkipAhead makes InsertRange index only every skipAheadStep-th
+	// position inside matches longer than skipAheadMin, the classic
+	// fast-mode trade on highly repetitive inputs.
+	SkipAhead bool
+}
+
+// Finder finds matches in a fixed input buffer using hash chains over
+// 3-byte (default) or 4-byte prefixes.
 type Finder struct {
 	src   []byte
 	head  []int32 // hash -> most recent position
 	prev  []int32 // position -> previous position with same hash
 	depth int     // max chain links to follow
+	hash4 bool    // 4-byte hash instead of 3-byte
+	skip  bool    // skip-ahead insertion inside long matches
 }
 
 // NewFinder returns a finder over src. depth bounds the chain walk per
 // query; 64 is a good speed/ratio compromise, higher favours ratio.
 func NewFinder(src []byte, depth int) *Finder {
-	if depth <= 0 {
-		depth = 64
+	return NewFinderConfig(src, Config{Depth: depth})
+}
+
+// NewFinderConfig returns a finder over src with explicit tuning options.
+func NewFinderConfig(src []byte, cfg Config) *Finder {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 64
 	}
 	f := &Finder{
 		src:   src,
 		head:  make([]int32, hashSize),
 		prev:  make([]int32, len(src)),
-		depth: depth,
+		depth: cfg.Depth,
+		hash4: cfg.HashLen == 4,
+		skip:  cfg.SkipAhead,
 	}
 	for i := range f.head {
 		f.head[i] = -1
@@ -49,8 +91,19 @@ func NewFinder(src []byte, depth int) *Finder {
 	return f
 }
 
+// hashMin returns the number of bytes the configured hash consumes.
+func (f *Finder) hashMin() int {
+	if f.hash4 {
+		return 4
+	}
+	return MinMatch
+}
+
 func (f *Finder) hash(i int) uint32 {
 	s := f.src
+	if f.hash4 {
+		return (binary.LittleEndian.Uint32(s[i:]) * 2654435761) >> (32 - hashBits)
+	}
 	h := uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16
 	return (h * 2654435761) >> (32 - hashBits)
 }
@@ -59,7 +112,7 @@ func (f *Finder) hash(i int) uint32 {
 // inserted in increasing order, and every position the encoder steps past
 // (including those inside emitted matches) should be inserted.
 func (f *Finder) Insert(i int) {
-	if i+MinMatch > len(f.src) {
+	if i+f.hashMin() > len(f.src) {
 		return
 	}
 	h := f.hash(i)
@@ -67,10 +120,36 @@ func (f *Finder) Insert(i int) {
 	f.head[h] = int32(i)
 }
 
+// InsertRange registers positions [i, i+n) — typically the interior of an
+// emitted match the encoder is stepping over. With the SkipAhead option
+// and n above the skip threshold, only every skipAheadStep-th position is
+// indexed; otherwise every position is, exactly as n calls to Insert.
+func (f *Finder) InsertRange(i, n int) {
+	if n <= 0 {
+		return
+	}
+	last := len(f.src) - f.hashMin()
+	if i+n-1 > last {
+		n = last - i + 1
+		if n <= 0 {
+			return
+		}
+	}
+	step := 1
+	if f.skip && n > skipAheadMin {
+		step = skipAheadStep
+	}
+	for j := 0; j < n; j += step {
+		h := f.hash(i + j)
+		f.prev[i+j] = f.head[h]
+		f.head[h] = int32(i + j)
+	}
+}
+
 // Find returns the longest match for position i (without inserting it), or
 // a zero Match if none of at least MinMatch exists.
 func (f *Finder) Find(i int) Match {
-	if i+MinMatch > len(f.src) {
+	if i+f.hashMin() > len(f.src) {
 		return Match{}
 	}
 	limit := len(f.src) - i
@@ -116,8 +195,25 @@ func (f *Finder) ExtendAt(i, dist int) int {
 	return matchLen(f.src, i-dist, i, limit)
 }
 
+// matchLen returns the length of the common prefix of s[a:] and s[b:],
+// capped at limit. Callers guarantee a < b and b+limit <= len(s), so the
+// word loop below never reads past the buffer: while n+8 <= limit, both
+// s[a+n:a+n+8] and s[b+n:b+n+8] are in range.
+//
+// It compares 8 bytes per step and pinpoints the first mismatching byte
+// with TrailingZeros64 — the words are read little-endian, so the lowest
+// differing octet of x^y is the first differing byte. The result is
+// identical to the byte-at-a-time loop (pinned by TestMatchLenDifferential).
 func matchLen(s []byte, a, b, limit int) int {
 	n := 0
+	for n+8 <= limit {
+		x := binary.LittleEndian.Uint64(s[a+n:])
+		y := binary.LittleEndian.Uint64(s[b+n:])
+		if x != y {
+			return n + bits.TrailingZeros64(x^y)>>3
+		}
+		n += 8
+	}
 	for n < limit && s[a+n] == s[b+n] {
 		n++
 	}

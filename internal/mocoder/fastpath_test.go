@@ -1,0 +1,295 @@
+package mocoder
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/bitio"
+	"microlonys/internal/emblem"
+	"microlonys/raster"
+)
+
+// encodeDamagedRef is the reference emblem encoder: the pre-fast-path
+// formulation with per-block EncodeFull allocations, a bitio.Writer for
+// the stream bits and one FillRect call per module. The Encoder fast path
+// must produce byte-identical images.
+func encodeDamagedRef(payload []byte, hdr emblem.Header, l emblem.Layout, corrupt func(stream []byte)) (*raster.Gray, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	capBytes := Capacity(l)
+	if len(payload) > capBytes {
+		return nil, errTest
+	}
+	hdr.Version = emblem.Version
+	hdr.PayloadLen = uint32(len(payload))
+
+	lens := blockLens(codedBytes(l))
+	padded := make([]byte, capBytes)
+	copy(padded, payload)
+	blocks := make([][]byte, len(lens))
+	off := 0
+	for i, n := range lens {
+		blocks[i] = inner.EncodeFull(padded[off : off+n])
+		off += n
+	}
+
+	stream := hdr.Marshal()
+	for c := 1; c < emblem.HeaderCopies; c++ {
+		stream = append(stream, hdr.Marshal()...)
+	}
+	stream = append(stream, interleave(blocks)...)
+	if corrupt != nil {
+		corrupt(stream)
+	}
+
+	w := bitio.NewWriter()
+	w.WriteBytes(stream)
+	for b := 0; w.Len() < l.StreamBits(); b ^= 1 {
+		w.WriteBit(b)
+	}
+	return renderRef(w.Bytes(), l), nil
+}
+
+var errTest = errorString("payload exceeds capacity")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// renderRef paints the emblem module by module through FillRect and a
+// bitio.Reader, exactly as render did before the row-writer rewrite.
+func renderRef(bits []byte, l emblem.Layout) *raster.Gray {
+	px := l.PxPerModule
+	img := raster.New(l.ImageW(), l.ImageH())
+
+	mod := func(mx0, my0, mx1, my1 int, v byte) {
+		img.FillRect(mx0*px, my0*px, mx1*px, my1*px, v)
+	}
+
+	q, b := emblem.QuietModules, emblem.BorderModules
+	fw, fh := l.FullModulesW(), l.FullModulesH()
+	mod(q, q, fw-q, fh-q, 0)
+	mod(q+b, q+b, fw-q-b, fh-q-b, 255)
+	m := emblem.MarginModules
+
+	corners := [4][2]int{
+		{0, 0},
+		{l.DataW - emblem.CornerBox, 0},
+		{l.DataW - emblem.CornerBox, l.DataH - emblem.CornerBox},
+		{0, l.DataH - emblem.CornerBox},
+	}
+	for c, origin := range corners {
+		pat := emblem.CornerPattern(c)
+		for y := 0; y < emblem.CornerBox; y++ {
+			for x := 0; x < emblem.CornerBox; x++ {
+				if pat[y][x] {
+					gx, gy := m+origin[0]+x, m+origin[1]+y
+					mod(gx, gy, gx+1, gy+1, 0)
+				}
+			}
+		}
+	}
+
+	path := l.DataPath()
+	r := bitio.NewReader(bits)
+	level := 0
+	nbits := l.StreamBits()
+	for i := 0; i < nbits; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			bit = i & 1
+		}
+		half1 := 1 - level
+		half2 := half1
+		if bit == 1 {
+			half2 = 1 - half1
+		}
+		level = half2
+		for h, v := range [2]int{half1, half2} {
+			p := path[2*i+h]
+			if v == 1 {
+				gx, gy := m+p.X, m+p.Y
+				mod(gx, gy, gx+1, gy+1, 0)
+			}
+		}
+	}
+	return img
+}
+
+var fastLayouts = []emblem.Layout{
+	{DataW: 80, DataH: 64, PxPerModule: 1},
+	{DataW: 80, DataH: 64, PxPerModule: 2},
+	{DataW: 120, DataH: 90, PxPerModule: 3},
+	{DataW: 101, DataH: 83, PxPerModule: 5}, // odd sizes, odd pitch
+}
+
+// TestEncodeFastRender pins the row-writer render + inline bit streaming
+// to the FillRect/bitio reference, byte for byte, over layouts, payload
+// fills and the damage hook.
+func TestEncodeFastRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, l := range fastLayouts {
+		capacity := Capacity(l)
+		for _, fill := range []int{0, 1, capacity / 2, capacity} {
+			payload := make([]byte, fill)
+			rng.Read(payload)
+			hdr := emblem.Header{Kind: emblem.KindData, Index: 7, GroupID: 3}
+
+			got, err := Encode(payload, hdr, l)
+			if err != nil {
+				t.Fatalf("layout %+v fill %d: %v", l, fill, err)
+			}
+			want, err := encodeDamagedRef(payload, hdr, l, nil)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if !raster.Equal(got, want) {
+				t.Fatalf("layout %+v fill %d: fast render differs from reference (%d pixels)",
+					l, fill, raster.DiffCount(got, want))
+			}
+		}
+
+		// Damage hook: the corrupt callback must see the same stream and
+		// the corrupted image must still match the reference.
+		payload := make([]byte, capacity)
+		rng.Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindRaw}
+		corrupt := func(stream []byte) {
+			for i := 5; i < len(stream); i += 97 {
+				stream[i] ^= 0xA5
+			}
+		}
+		got, err := EncodeDamaged(payload, hdr, l, corrupt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := encodeDamagedRef(payload, hdr, l, corrupt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !raster.Equal(got, want) {
+			t.Fatalf("layout %+v: damaged fast render differs from reference", l)
+		}
+	}
+}
+
+// TestEncoderReuse pins a reused Encoder to fresh package-level Encodes
+// across a frame sequence that changes payload fill and layout mid-run —
+// scratch from one frame must never leak into the next.
+func TestEncoderReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var e Encoder
+	for trial := 0; trial < 30; trial++ {
+		l := fastLayouts[trial%len(fastLayouts)]
+		payload := make([]byte, rng.Intn(Capacity(l)+1))
+		rng.Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindData, Index: uint16(trial)}
+
+		got, err := e.Encode(payload, hdr, l)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := Encode(payload, hdr, l)
+		if err != nil {
+			t.Fatalf("trial %d fresh: %v", trial, err)
+		}
+		if !raster.Equal(got, want) {
+			t.Fatalf("trial %d: reused encoder differs from fresh (%d pixels)",
+				trial, raster.DiffCount(got, want))
+		}
+	}
+}
+
+// TestEncoderRoundTrip decodes emblems produced by a reused Encoder.
+func TestEncoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	l := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 3}
+	var e Encoder
+	for trial := 0; trial < 5; trial++ {
+		payload := make([]byte, Capacity(l))
+		rng.Read(payload)
+		hdr := emblem.Header{Kind: emblem.KindRaw, Index: uint16(trial)}
+		img, err := e.Encode(payload, hdr, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotHdr, _, err := Decode(img, l)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !bytes.Equal(got, payload) || gotHdr.Index != uint16(trial) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+// TestAppendStreamBitsDifferential pins the inline bit serialization to
+// bitio.Writer for every filler length 0..64 bits.
+func TestAppendStreamBitsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, streamLen := range []int{0, 1, 7, 64} {
+		stream := make([]byte, streamLen)
+		rng.Read(stream)
+		for extra := 0; extra <= 64; extra++ {
+			nbits := streamLen*8 + extra
+			w := bitio.NewWriter()
+			w.WriteBytes(stream)
+			for b := 0; w.Len() < nbits; b ^= 1 {
+				w.WriteBit(b)
+			}
+			want := w.Bytes()
+			got := appendStreamBits(nil, stream, nbits)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("streamLen=%d extra=%d: %x vs bitio %x", streamLen, extra, got, want)
+			}
+		}
+	}
+}
+
+// TestEncoderAllocs checks the steady-state claim: with the layout fixed,
+// an Encode through a reused Encoder allocates only the returned image.
+func TestEncoderAllocs(t *testing.T) {
+	l := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 3}
+	payload := make([]byte, Capacity(l))
+	rand.New(rand.NewSource(39)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+	var e Encoder
+	if _, err := e.Encode(payload, hdr, l); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Encode(payload, hdr, l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// raster.New allocates the Gray struct and its Pix buffer.
+	if allocs > 2 {
+		t.Fatalf("steady-state Encode allocates %.0f objects, want ≤ 2 (the placed frame)", allocs)
+	}
+}
+
+func BenchmarkEncoderReuse(b *testing.B) {
+	l := emblem.Layout{DataW: 120, DataH: 90, PxPerModule: 3}
+	payload := make([]byte, Capacity(l))
+	rand.New(rand.NewSource(41)).Read(payload)
+	hdr := emblem.Header{Kind: emblem.KindRaw}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(payload, hdr, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		var e Encoder
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Encode(payload, hdr, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -46,6 +46,7 @@ func GroupParityPayloads(data [][]byte) ([][]byte, error) {
 		parity[i] = make([]byte, maxLen)
 	}
 	col := make([]byte, len(data))
+	par := make([]byte, GroupParity)
 	for j := 0; j < maxLen; j++ {
 		for i, d := range data {
 			if j < len(d) {
@@ -54,7 +55,7 @@ func GroupParityPayloads(data [][]byte) ([][]byte, error) {
 				col[i] = 0
 			}
 		}
-		par := outer.Encode(col)
+		outer.EncodeInto(par, col)
 		for i := range parity {
 			parity[i][j] = par[i]
 		}

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 
-	"microlonys/internal/bitio"
 	"microlonys/internal/emblem"
 	"microlonys/internal/rs"
 	"microlonys/raster"
@@ -37,9 +36,13 @@ var inner = rs.New(rs.InnerParity)
 // blockLens returns the data lengths of the inner RS blocks that fill the
 // coded-byte budget of the layout.
 func blockLens(codedBytes int) []int {
+	return appendBlockLens(nil, codedBytes)
+}
+
+// appendBlockLens is blockLens into a reused buffer.
+func appendBlockLens(lens []int, codedBytes int) []int {
 	full := codedBytes / rs.InnerTotal
 	rem := codedBytes % rs.InnerTotal
-	lens := make([]int, 0, full+1)
 	for i := 0; i < full; i++ {
 		lens = append(lens, rs.InnerData)
 	}
@@ -78,10 +81,47 @@ func Encode(payload []byte, hdr emblem.Header, l emblem.Layout) (*raster.Gray, e
 // through corrupt — the failure-injection hook behind the §3.1 damage
 // experiments (E5). A nil corrupt is a plain Encode.
 func EncodeDamaged(payload []byte, hdr emblem.Header, l emblem.Layout, corrupt func(stream []byte)) (*raster.Gray, error) {
+	return new(Encoder).EncodeDamaged(payload, hdr, l, corrupt)
+}
+
+// Encoder renders emblems through reusable per-frame scratch: the padded
+// payload, the inner-code codeword and interleave buffers, the serialized
+// bit stream and the cached serpentine data path. A zero Encoder is ready
+// to use; it must not be used concurrently. In steady state (same layout
+// frame after frame — the archival encode stage) an Encode allocates only
+// the returned image.
+type Encoder struct {
+	layout emblem.Layout  // layout the cached fields below belong to
+	path   []emblem.Point // cached serpentine data path
+	lens   []int          // inner-code block data lengths
+	padded []byte         // payload padded to capacity
+	cw     []byte         // codewords, back to back
+	blocks [][]byte       // slice views into cw, one per codeword
+	stream []byte         // header copies + interleaved codewords
+	bits   []byte         // serialized stream bits incl. filler
+}
+
+// Encode is the package-level Encode through the encoder's scratch.
+func (e *Encoder) Encode(payload []byte, hdr emblem.Header, l emblem.Layout) (*raster.Gray, error) {
+	return e.EncodeDamaged(payload, hdr, l, nil)
+}
+
+// EncodeDamaged is the package-level EncodeDamaged through the encoder's
+// scratch. The stream passed to corrupt is owned by the encoder and only
+// valid during the call.
+func (e *Encoder) EncodeDamaged(payload []byte, hdr emblem.Header, l emblem.Layout, corrupt func(stream []byte)) (*raster.Gray, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	capBytes := Capacity(l)
+	if e.path == nil || e.layout != l {
+		e.layout = l
+		e.path = l.DataPath()
+	}
+	e.lens = appendBlockLens(e.lens[:0], codedBytes(l))
+	capBytes := 0
+	for _, n := range e.lens {
+		capBytes += n
+	}
 	if capBytes == 0 {
 		return nil, fmt.Errorf("mocoder: layout %dx%d too small for any payload", l.DataW, l.DataH)
 	}
@@ -91,59 +131,96 @@ func EncodeDamaged(payload []byte, hdr emblem.Header, l emblem.Layout, corrupt f
 	hdr.Version = emblem.Version
 	hdr.PayloadLen = uint32(len(payload))
 
-	// Pad payload to capacity and split into inner-code blocks.
-	lens := blockLens(codedBytes(l))
-	padded := make([]byte, capBytes)
-	copy(padded, payload)
-	blocks := make([][]byte, len(lens))
+	// Pad payload to capacity and split into inner-code blocks, encoding
+	// each codeword (data || parity) into the reused back-to-back buffer.
+	e.padded = append(e.padded[:0], payload...)
+	for len(e.padded) < capBytes {
+		e.padded = append(e.padded, 0)
+	}
+	total := 0
+	for _, n := range e.lens {
+		total += n + rs.InnerParity
+	}
+	if cap(e.cw) < total {
+		e.cw = make([]byte, 0, total)
+	} else {
+		e.cw = e.cw[:0]
+	}
+	e.blocks = e.blocks[:0]
 	off := 0
-	for i, n := range lens {
-		blocks[i] = inner.EncodeFull(padded[off : off+n])
+	for _, n := range e.lens {
+		e.cw = append(e.cw, e.padded[off:off+n]...)
+		start := len(e.cw)
+		for i := 0; i < rs.InnerParity; i++ {
+			e.cw = append(e.cw, 0)
+		}
+		inner.EncodeInto(e.cw[start:], e.padded[off:off+n])
+		e.blocks = append(e.blocks, e.cw[start-n:start+rs.InnerParity])
 		off += n
 	}
 
 	// Byte-interleave the codewords so that contiguous damage on the
 	// medium spreads across blocks.
-	stream := hdr.Marshal()
-	for c := 1; c < emblem.HeaderCopies; c++ {
-		stream = append(stream, hdr.Marshal()...)
+	e.stream = e.stream[:0]
+	for c := 0; c < emblem.HeaderCopies; c++ {
+		e.stream = hdr.AppendMarshal(e.stream)
 	}
-	stream = append(stream, interleave(blocks)...)
+	e.stream = appendInterleave(e.stream, e.blocks)
 
 	if corrupt != nil {
-		corrupt(stream)
+		corrupt(e.stream)
 	}
 
 	// Serialize to bits, pad with alternating filler to the full path.
-	w := bitio.NewWriter()
-	w.WriteBytes(stream)
-	for b := 0; w.Len() < l.StreamBits(); b ^= 1 {
-		w.WriteBit(b)
-	}
-	bits := w.Bytes()
+	e.bits = appendStreamBits(e.bits[:0], e.stream, l.StreamBits())
 
-	return render(bits, l), nil
+	return render(e.bits, l, e.path), nil
+}
+
+// appendStreamBits appends stream followed by alternating 0/1 filler bits
+// up to nbits total (MSB-first, the final partial byte zero-padded) — the
+// exact byte sequence bitio.Writer produces for WriteBytes(stream) plus
+// WriteBit(0),WriteBit(1),… (pinned by TestAppendStreamBitsDifferential).
+func appendStreamBits(dst, stream []byte, nbits int) []byte {
+	dst = append(dst, stream...)
+	fill := nbits - len(stream)*8
+	for fill >= 8 {
+		dst = append(dst, 0x55) // 01010101, filler starts at a byte boundary
+		fill -= 8
+	}
+	if fill > 0 {
+		b := byte(0x55 >> (8 - fill))
+		dst = append(dst, b<<(8-fill))
+	}
+	return dst
 }
 
 // interleave merges codewords round-robin by byte index; shorter blocks
 // simply drop out of later rounds.
 func interleave(blocks [][]byte) []byte {
-	maxLen, total := 0, 0
+	total := 0
 	for _, b := range blocks {
 		total += len(b)
+	}
+	return appendInterleave(make([]byte, 0, total), blocks)
+}
+
+// appendInterleave is interleave into a reused buffer.
+func appendInterleave(dst []byte, blocks [][]byte) []byte {
+	maxLen := 0
+	for _, b := range blocks {
 		if len(b) > maxLen {
 			maxLen = len(b)
 		}
 	}
-	out := make([]byte, 0, total)
 	for i := 0; i < maxLen; i++ {
 		for _, b := range blocks {
 			if i < len(b) {
-				out = append(out, b[i])
+				dst = append(dst, b[i])
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // deinterleave reverses interleave given the codeword lengths. It also
@@ -183,20 +260,23 @@ func deinterleave(stream []byte, suspect []bool, lens []int) (blocks [][]byte, e
 }
 
 // render paints the emblem: quiet zone, border ring, separator, corner
-// marks and the Differential-Manchester data modules.
-func render(bits []byte, l emblem.Layout) *raster.Gray {
+// marks and the Differential-Manchester data modules. path must be
+// l.DataPath() (callers cache it across frames). Black data modules are
+// written as pixel rows straight into Pix, and the bit stream is read
+// inline — callers serialize exactly StreamBits bits, so there is no
+// out-of-bits path. The image is byte-identical to the per-module
+// FillRect reference formulation (pinned by TestEncodeFastRender).
+func render(bits []byte, l emblem.Layout, path []emblem.Point) *raster.Gray {
 	px := l.PxPerModule
 	img := raster.New(l.ImageW(), l.ImageH())
-
-	mod := func(mx0, my0, mx1, my1 int, v byte) {
-		img.FillRect(mx0*px, my0*px, mx1*px, my1*px, v)
-	}
+	pix := img.Pix
+	w := img.W
 
 	// Border ring (between quiet zone and separator).
 	q, b := emblem.QuietModules, emblem.BorderModules
 	fw, fh := l.FullModulesW(), l.FullModulesH()
-	mod(q, q, fw-q, fh-q, 0)           // outer black rect
-	mod(q+b, q+b, fw-q-b, fh-q-b, 255) // punch out interior
+	img.FillRect(q*px, q*px, (fw-q)*px, (fh-q)*px, 0)           // outer black rect
+	img.FillRect((q+b)*px, (q+b)*px, (fw-q-b)*px, (fh-q-b)*px, 255) // punch out interior
 	m := emblem.MarginModules
 
 	// Corner marks.
@@ -211,38 +291,47 @@ func render(bits []byte, l emblem.Layout) *raster.Gray {
 		for y := 0; y < emblem.CornerBox; y++ {
 			for x := 0; x < emblem.CornerBox; x++ {
 				if pat[y][x] {
-					gx, gy := m+origin[0]+x, m+origin[1]+y
-					mod(gx, gy, gx+1, gy+1, 0)
+					blackModule(pix, w, (m+origin[0]+x)*px, (m+origin[1]+y)*px, px)
 				}
 			}
 		}
 	}
 
 	// Data stream: differential Manchester along the serpentine path.
-	path := l.DataPath()
-	r := bitio.NewReader(bits)
 	level := 0
 	nbits := l.StreamBits()
 	for i := 0; i < nbits; i++ {
-		bit, err := r.ReadBit()
-		if err != nil {
-			bit = i & 1 // defensive filler; Encode always writes enough
-		}
+		bit := int(bits[i>>3]>>(7-i&7)) & 1
 		half1 := 1 - level
 		half2 := half1
 		if bit == 1 {
 			half2 = 1 - half1
 		}
 		level = half2
-		for h, v := range [2]int{half1, half2} {
-			p := path[2*i+h]
-			if v == 1 {
-				gx, gy := m+p.X, m+p.Y
-				mod(gx, gy, gx+1, gy+1, 0)
-			}
+		if half1 == 1 {
+			p := path[2*i]
+			blackModule(pix, w, (m+p.X)*px, (m+p.Y)*px, px)
+		}
+		if half2 == 1 {
+			p := path[2*i+1]
+			blackModule(pix, w, (m+p.X)*px, (m+p.Y)*px, px)
 		}
 	}
 	return img
+}
+
+// blackModule zeroes the px×px module whose top-left pixel is (x0, y0).
+// Module coordinates are always in bounds by construction (the data
+// region plus margins fits the image), so no clipping is needed.
+func blackModule(pix []byte, w, x0, y0, px int) {
+	base := y0*w + x0
+	for r := 0; r < px; r++ {
+		row := pix[base : base+px]
+		for c := range row {
+			row[c] = 0
+		}
+		base += w
+	}
 }
 
 // ErrNoEmblem reports that no emblem geometry could be located in a scan.

@@ -1,0 +1,118 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/gf256"
+)
+
+// encodeRef is the log/exp reference formulation of the systematic RS
+// encoder: polynomial long division of data·x^parity by the generator,
+// with per-tap gf256.Mul calls. The table-driven Encode must match it
+// exactly for every code and input.
+func encodeRef(c *Code, data []byte) []byte {
+	gen := c.Generator()
+	par := make([]byte, c.Parity())
+	for _, d := range data {
+		factor := d ^ par[0]
+		copy(par, par[1:])
+		par[c.Parity()-1] = 0
+		if factor != 0 {
+			for i := 1; i < len(gen); i++ {
+				par[i-1] ^= gf256.Mul(gen[i], factor)
+			}
+		}
+	}
+	return par
+}
+
+// TestEncodeTableDifferential pins the table-driven Encode to the log/exp
+// reference across the MOCoder code shapes and a sweep of parities,
+// data lengths and contents (including all-zero and single-nonzero data,
+// which exercise the factor==0 shift path).
+func TestEncodeTableDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	parities := []int{1, 2, OuterParity, 5, 16, InnerParity, 64, 254}
+	for _, parity := range parities {
+		c := New(parity)
+		lens := []int{1, 2, parity, 100, c.MaxData()}
+		for _, n := range lens {
+			if n < 1 || n > c.MaxData() {
+				continue
+			}
+			data := make([]byte, n)
+			for trial := 0; trial < 8; trial++ {
+				switch trial {
+				case 0: // all zero
+					for i := range data {
+						data[i] = 0
+					}
+				case 1: // single nonzero byte
+					for i := range data {
+						data[i] = 0
+					}
+					data[rng.Intn(n)] = byte(1 + rng.Intn(255))
+				default:
+					rng.Read(data)
+				}
+				got := c.Encode(data)
+				want := encodeRef(c, data)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("parity=%d len=%d trial=%d: table %x, reference %x", parity, n, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoMatchesEncode pins buffer-reusing EncodeInto to Encode,
+// including across consecutive calls on a dirty buffer.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := New(InnerParity)
+	par := bytes.Repeat([]byte{0xFF}, c.Parity()) // dirty on purpose
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 1+rng.Intn(c.MaxData()))
+		rng.Read(data)
+		c.EncodeInto(par, data)
+		if !bytes.Equal(par, c.Encode(data)) {
+			t.Fatalf("trial %d: EncodeInto diverged from Encode", trial)
+		}
+	}
+}
+
+// TestEncodeIntoBadBuffer checks the buffer-length contract.
+func TestEncodeIntoBadBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeInto with short buffer must panic")
+		}
+	}()
+	New(4).EncodeInto(make([]byte, 3), []byte{1, 2, 3})
+}
+
+func BenchmarkEncodeIntoInner(b *testing.B) {
+	c := New(InnerParity)
+	data := make([]byte, InnerData)
+	rand.New(rand.NewSource(1)).Read(data)
+	par := make([]byte, c.Parity())
+	b.SetBytes(InnerData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(par, data)
+	}
+}
+
+func BenchmarkEncodeIntoOuter(b *testing.B) {
+	c := New(OuterParity)
+	data := make([]byte, OuterData)
+	rand.New(rand.NewSource(1)).Read(data)
+	par := make([]byte, c.Parity())
+	b.SetBytes(OuterData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(par, data)
+	}
+}

@@ -17,6 +17,7 @@
 package rs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,15 @@ import (
 type Code struct {
 	parity int
 	gen    []byte // generator polynomial, highest-degree first, monic
+
+	// enc holds one 256-entry multiplication table per non-leading
+	// generator coefficient — enc[f*parity+k] = gen[k+1]·f — stored
+	// factor-major, so one LFSR step against factor f is a contiguous
+	// parity-byte row. The encoder's feedback becomes a lookup and an XOR
+	// per tap (folded eight taps at a time) instead of log/exp arithmetic
+	// with zero checks; both MOCoder codes (inner per-frame and outer
+	// inter-frame) share this through their Code instances.
+	enc []byte
 }
 
 // Standard code parameters used by MOCoder.
@@ -55,7 +65,15 @@ func New(parity int) *Code {
 	for j := 0; j < parity; j++ {
 		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(j)})
 	}
-	return &Code{parity: parity, gen: gen}
+	c := &Code{parity: parity, gen: gen, enc: make([]byte, 256*parity)}
+	var row [256]byte
+	for k := 0; k < parity; k++ {
+		gf256.MulTable(gen[k+1], &row)
+		for f := 0; f < 256; f++ {
+			c.enc[f*parity+k] = row[f]
+		}
+	}
+	return c
 }
 
 // Parity returns the number of parity symbols.
@@ -71,22 +89,51 @@ func (c *Code) Generator() []byte { return append([]byte(nil), c.gen...) }
 // Encode returns the parity symbols for data. len(data) must be in
 // [1, MaxData]. The systematic codeword is data || parity.
 func (c *Code) Encode(data []byte) []byte {
+	par := make([]byte, c.parity)
+	c.EncodeInto(par, data)
+	return par
+}
+
+// EncodeInto computes the parity symbols for data into par, whose length
+// must equal Parity() — Encode without the allocation, for callers that
+// encode many codewords through a reused buffer. par is fully overwritten.
+func (c *Code) EncodeInto(par, data []byte) {
 	if len(data) == 0 || len(data) > c.MaxData() {
 		panic(fmt.Sprintf("rs: data length %d out of range [1,%d]", len(data), c.MaxData()))
 	}
+	if len(par) != c.parity {
+		panic(fmt.Sprintf("rs: parity buffer length %d, want %d", len(par), c.parity))
+	}
+	for i := range par {
+		par[i] = 0
+	}
 	// Polynomial long division of data·x^parity by gen using an LFSR.
-	par := make([]byte, c.parity)
+	// Each step folds the leading byte through that factor's precomputed
+	// tap row, fusing the register shift with the feedback XOR — eight
+	// taps per word op, the stragglers bytewise; the result is identical
+	// to the log/exp formulation (TestEncodeTableDifferential).
+	p := c.parity
+	last := p - 1
 	for _, d := range data {
 		factor := d ^ par[0]
-		copy(par, par[1:])
-		par[c.parity-1] = 0
-		if factor != 0 {
-			for i := 1; i < len(c.gen); i++ {
-				par[i-1] ^= gf256.Mul(c.gen[i], factor)
-			}
+		if factor == 0 {
+			copy(par, par[1:])
+			par[last] = 0
+			continue
 		}
+		row := c.enc[int(factor)*p : int(factor)*p+p]
+		k := 0
+		for ; k+8 <= last; k += 8 {
+			// Reads par[k+1:k+9] (all still pre-step values: writes trail
+			// reads by one byte) and writes par[k:k+8].
+			x := binary.LittleEndian.Uint64(par[k+1:]) ^ binary.LittleEndian.Uint64(row[k:])
+			binary.LittleEndian.PutUint64(par[k:], x)
+		}
+		for ; k < last; k++ {
+			par[k] = par[k+1] ^ row[k]
+		}
+		par[last] = row[last]
 	}
-	return par
 }
 
 // EncodeFull returns data || parity as a fresh slice.

@@ -44,13 +44,30 @@ type Distortions struct {
 	Scratches     int // thin straight lines across the frame
 }
 
+// IsZero reports whether the distortion model applies nothing at all —
+// Apply would only clone. Seed is ignored: it selects randomness that a
+// zero model never consumes. The writer side of every built-in profile is
+// zero, so the archive place stage rides this fast path.
+func (d Distortions) IsZero() bool {
+	return d.RotationDeg == 0 && d.BarrelK == 0 && d.RowJitterPx == 0 &&
+		d.BlurRadius <= 0 && d.Fade <= 0 && d.Gradient <= 0 && d.Noise <= 0 &&
+		d.DustSpecks <= 0 && d.Scratches <= 0
+}
+
 // Apply returns a distorted copy of img.
 func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
+	if d.IsZero() {
+		return img.Clone()
+	}
 	rng := rand.New(rand.NewSource(d.Seed))
 	out := img
 
 	// Geometric distortions share one inverse mapping so the image is
-	// resampled only once.
+	// resampled only once. The mapping hoists everything row-invariant —
+	// the jitter shift and the rotation terms of the row's y offset — out
+	// of the per-pixel loop; each hoisted value is the same single
+	// operation on the same operands as the per-pixel formulation, so the
+	// resampled image is bit-identical (TestApplyFastPathDifferential).
 	if d.RotationDeg != 0 || d.BarrelK != 0 || d.RowJitterPx != 0 {
 		theta := d.RotationDeg * math.Pi / 180
 		sin, cos := math.Sin(theta), math.Cos(theta)
@@ -58,24 +75,35 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 		rmax := math.Hypot(cx, cy)
 		jitter := rowJitter(rng, out.H, d.RowJitterPx)
 		src := out
-		out = src.Warp(func(x, y float64) (float64, float64) {
+		out = src.WarpRows(func(y float64) func(x float64) (float64, float64) {
+			shift := 0.0
 			if d.RowJitterPx != 0 {
-				yi := int(y)
-				if yi >= 0 && yi < len(jitter) {
-					x += jitter[yi]
+				if yi := int(y); yi >= 0 && yi < len(jitter) {
+					shift = jitter[yi]
 				}
 			}
-			dx, dy := x-cx, y-cy
-			if d.BarrelK != 0 {
-				r := math.Hypot(dx, dy) / rmax
-				s := 1 + d.BarrelK*r*r
-				dx *= s
-				dy *= s
+			dy := y - cy
+			sinDy, cosDy := sin*dy, cos*dy
+			return func(x float64) (float64, float64) {
+				if d.RowJitterPx != 0 {
+					x += shift
+				}
+				dx := x - cx
+				if d.BarrelK != 0 {
+					r := math.Hypot(dx, dy) / rmax
+					s := 1 + d.BarrelK*r*r
+					dx *= s
+					dyb := dy * s
+					if theta != 0 {
+						return cx + (cos*dx - sin*dyb), cy + (sin*dx + cos*dyb)
+					}
+					return cx + dx, cy + dyb
+				}
+				if theta != 0 {
+					return cx + (cos*dx - sinDy), cy + (sin*dx + cosDy)
+				}
+				return cx + dx, cy + dy
 			}
-			if theta != 0 {
-				dx, dy = cos*dx-sin*dy, sin*dx+cos*dy
-			}
-			return cx + dx, cy + dy
 		})
 	}
 
@@ -87,20 +115,22 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 		if out == img {
 			out = img.Clone()
 		}
+		fade := 1 - d.Fade
 		for y := 0; y < out.H; y++ {
 			// Illumination gradient: brighter on one side, as from an
 			// uneven lamp or a hot spot during filming.
 			grad := d.Gradient * 60 * (float64(y)/float64(out.H) - 0.5)
-			for x := 0; x < out.W; x++ {
-				v := float64(out.Pix[y*out.W+x])
+			row := out.Pix[y*out.W : (y+1)*out.W]
+			for x := range row {
+				v := float64(row[x])
 				if d.Fade > 0 {
-					v = 128 + (v-128)*(1-d.Fade)
+					v = 128 + (v-128)*fade
 				}
 				v += grad
 				if d.Noise > 0 {
 					v += rng.NormFloat64() * d.Noise
 				}
-				out.Pix[y*out.W+x] = clamp(v)
+				row[x] = clamp(v)
 			}
 		}
 	}

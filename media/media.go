@@ -130,16 +130,29 @@ func (m *Medium) Profile() Profile { return m.profile }
 // Write appends frames to the medium, applying writer-side quantisation
 // and distortion. Frames must match the profile's frame size.
 func (m *Medium) Write(frames []*raster.Gray) error {
+	writerZero := m.profile.Writer.IsZero()
 	for i, f := range frames {
 		if f.W != m.profile.FrameW || f.H != m.profile.FrameH {
 			return fmt.Errorf("media: frame %d is %dx%d, profile %q wants %dx%d",
 				i, f.W, f.H, m.profile.Name, m.profile.FrameW, m.profile.FrameH)
 		}
-		d := m.profile.Writer
-		d.Seed = int64(len(m.frames))*7919 + 1
-		out := d.Apply(f)
-		if m.profile.WriteBitonal {
-			out = out.Threshold(out.OtsuThreshold())
+		var out *raster.Gray
+		switch {
+		case writerZero && m.profile.WriteBitonal:
+			// No writer distortion (all built-in profiles): quantisation
+			// allocates the stored frame itself, so the distortion pass's
+			// intermediate clone is skipped. Threshold(Clone(f)) and
+			// Threshold(f) are the same bytes.
+			out = f.Threshold(f.OtsuThreshold())
+		case writerZero:
+			out = f.Clone() // the medium owns its pixels
+		default:
+			d := m.profile.Writer
+			d.Seed = int64(len(m.frames))*7919 + 1
+			out = d.Apply(f)
+			if m.profile.WriteBitonal {
+				out = out.Threshold(out.OtsuThreshold())
+			}
 		}
 		m.frames = append(m.frames, out)
 	}

@@ -28,8 +28,11 @@ func New(w, h int) *Gray {
 		panic(fmt.Sprintf("raster: invalid size %dx%d", w, h))
 	}
 	g := &Gray{W: w, H: h, Pix: make([]byte, w*h)}
-	for i := range g.Pix {
-		g.Pix[i] = 255
+	// Doubling copy: memmove-backed white fill (the byte-store loop shows
+	// up on multi-megapixel frames; Go only pattern-matches zero fills).
+	g.Pix[0] = 255
+	for n := 1; n < len(g.Pix); n *= 2 {
+		copy(g.Pix[n:], g.Pix[:n])
 	}
 	return g
 }
@@ -274,6 +277,23 @@ func (g *Gray) Warp(f func(x, y float64) (sx, sy float64)) *Gray {
 		row := out.row(y)
 		for x := 0; x < g.W; x++ {
 			sx, sy := f(float64(x), float64(y))
+			row[x] = clampByte(g.SampleBilinear(sx, sy))
+		}
+	}
+	return out
+}
+
+// WarpRows is Warp with a per-row setup hook: rowf is called once per
+// output row and returns the inverse mapping for that row's pixels.
+// Distortion models hoist row-invariant terms (jitter shift, rotation
+// components of the row's y offset) out of the per-pixel loop this way.
+func (g *Gray) WarpRows(rowf func(y float64) func(x float64) (sx, sy float64)) *Gray {
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		row := out.row(y)
+		f := rowf(float64(y))
+		for x := 0; x < g.W; x++ {
+			sx, sy := f(float64(x))
 			row[x] = clampByte(g.SampleBilinear(sx, sy))
 		}
 	}
