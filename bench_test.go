@@ -21,12 +21,15 @@
 //	P3  ext.      concurrent frame pipeline: serial vs parallel per profile
 //	P4  ext.      emulated restore: time and allocations per frame
 //	P5  ext.      archive hot path: time and allocations per frame
+//	P6  ext.      multi-volume streaming: sheet sweep, sheet-loss restore,
+//	              streaming vs buffered restore allocation
 package microlonys_test
 
 import (
 	"bytes"
 	"compress/flate"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -917,6 +920,120 @@ func BenchmarkP5ArchiveEncode(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// ---- P6: multi-volume streaming archives -------------------------------
+
+// BenchmarkP6Volume measures the multi-volume streaming pipeline at the
+// public API (BENCH_volume.json records the committed baseline): the
+// sheet sweep (the same archive cut across one, two and three carriers,
+// archive + restore), the sheet-loss scenario (destroy one of three
+// carriers, Partial-restore the survivors), and RestoreTo-vs-
+// RestoreVolume on a 3-sheet archive — both public ends stream
+// group-incrementally, so they should differ only by the output buffer.
+// The streaming-vs-seed-buffered peak comparison lives next to the seed
+// reference formulations: BenchmarkP6ArchivePeak and
+// BenchmarkP6ReassemblePeak in internal/core.
+func BenchmarkP6Volume(b *testing.B) {
+	prof := benchProfile()
+	capacity := prof.FrameCapacity()
+	newOpts := func(sheetFrames int) microlonys.Options {
+		opts := microlonys.DefaultOptions(prof)
+		opts.Compress = false // raw keeps the frame count exact and streams end to end
+		opts.SheetFrames = sheetFrames
+		return opts
+	}
+	// 40 capacity-sized chunks = 3 outer-code groups = 49 frames: one
+	// unbounded sheet, three sheets of 20 frames, or two of 40.
+	data := tpchDump()[:40*capacity]
+
+	archive := func(b *testing.B, sheetFrames int) *microlonys.Archived {
+		b.Helper()
+		arch, err := microlonys.ArchiveReader(bytes.NewReader(data), newOpts(sheetFrames))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return arch
+	}
+
+	// The same archive across more, smaller carriers: the frame stream is
+	// identical work, so the sweep prices the sheet bookkeeping itself.
+	b.Run("sheets", func(b *testing.B) {
+		for _, sf := range []int{0, 20, 40} {
+			b.Run(fmt.Sprintf("sheetFrames=%d", sf), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(data)))
+				var sheets int
+				for i := 0; i < b.N; i++ {
+					arch := archive(b, sf)
+					sheets = arch.Volume.Sheets()
+					out, _, err := microlonys.RestoreVolume(arch.Volume, arch.BootstrapText,
+						microlonys.RestoreOptions{Mode: microlonys.RestoreNative})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !bytes.Equal(out, data) {
+						b.Fatal("round trip differs")
+					}
+				}
+				b.ReportMetric(float64(sheets), "sheets")
+			})
+		}
+	})
+
+	// Carrier loss: one of three sheets destroyed, survivors restored in
+	// Partial mode with per-group accounting.
+	b.Run("sheetloss", func(b *testing.B) {
+		b.ReportAllocs()
+		var lostGroups, lostBytes int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			arch := archive(b, 20)
+			if err := arch.Volume.DestroySheet(1); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st, err := microlonys.RestoreTo(io.Discard, arch.Volume, arch.BootstrapText,
+				microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Partial: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lostGroups, lostBytes = st.GroupsLost, st.BytesLost
+		}
+		b.ReportMetric(float64(lostGroups), "groups-lost")
+		b.ReportMetric(float64(lostBytes), "B-lost")
+	})
+
+	// RestoreTo (streamed to io.Discard) vs RestoreVolume (buffered output)
+	// on the 3-sheet archive: same group-incremental decoding, so the
+	// allocation totals isolate what the output buffer costs.
+	b.Run("restore", func(b *testing.B) {
+		arch := archive(b, 20)
+		b.Run("streaming", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := microlonys.RestoreTo(io.Discard, arch.Volume, arch.BootstrapText,
+					microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("buffered", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				out, _, err := microlonys.RestoreVolume(arch.Volume, arch.BootstrapText,
+					microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != len(data) {
+					b.Fatal("short restore")
+				}
+			}
+		})
 	})
 }
 

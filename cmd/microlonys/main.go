@@ -4,18 +4,28 @@
 // Usage:
 //
 //	microlonys -in dump.sql [-profile paper|microfilm|cinema]
-//	           [-mode native|dynarisc|nested] [-raw] [-depth N] [-destroy N]
-//	           [-workers N] [-frames out/] [-bootstrap bootstrap.txt]
+//	           [-mode native|dynarisc|nested] [-raw] [-depth N]
+//	           [-sheet-frames N] [-destroy N] [-destroy-sheet S] [-partial]
+//	           [-workers N] [-frames out/] [-sheets out/] [-out file]
+//	           [-bootstrap bootstrap.txt]
 //
-// The tool archives the input, optionally destroys N frames, restores
-// through the selected mode and verifies bit-exactness, printing the
-// manifest and capacity figures along the way.
+// The tool archives the input (`-in -` streams stdin), optionally
+// destroys N random frames and/or a whole sheet, restores through the
+// selected mode and verifies bit-exactness, printing the manifest,
+// per-sheet statistics and capacity figures along the way. With
+// `-sheet-frames N` the archive is sharded across media sheets of N
+// frames each — an outer-code group never straddles a sheet — and
+// `-sheets dir` writes each sheet's frame scans to its own subdirectory.
+// `-out file` streams the restored archive to a file (`-` for stdout);
+// `-partial` keeps restoring past lost carriers, zero-filling and
+// reporting what the outer code could not bring back.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -26,13 +36,18 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input file to archive (required)")
+	in := flag.String("in", "", "input file to archive (required; - reads stdin)")
 	profile := flag.String("profile", "paper", "media profile: paper, microfilm, cinema")
 	mode := flag.String("mode", "native", "restore mode: native, dynarisc, nested")
 	raw := flag.Bool("raw", false, "archive without DBCoder compression")
 	depth := flag.Int("depth", 0, "DBCoder match-finder depth: lower is faster, higher packs denser (0 = default)")
+	sheetFrames := flag.Int("sheet-frames", 0, "frames per media sheet; 0 = one unbounded sheet")
 	destroy := flag.Int("destroy", 0, "destroy N random frames before restoring")
+	destroySheet := flag.Int("destroy-sheet", -1, "destroy this entire sheet before restoring (carrier loss)")
+	partial := flag.Bool("partial", false, "keep restoring past lost carriers (zero-fill + report)")
 	framesDir := flag.String("frames", "", "write frame PNGs to this directory")
+	sheetsDir := flag.String("sheets", "", "write per-sheet frame PNGs to sheetNN/ under this directory")
+	outPath := flag.String("out", "", "stream the restored archive to this file (- for stdout)")
 	bootOut := flag.String("bootstrap", "", "write the Bootstrap document to this file")
 	seed := flag.Int64("seed", 1, "seed for frame destruction")
 	workers := flag.Int("workers", 0, "frame pipeline workers (0 = GOMAXPROCS, 1 = serial)")
@@ -42,8 +57,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*in)
-	check(err)
 
 	var prof media.Profile
 	switch *profile {
@@ -73,18 +86,33 @@ func main() {
 	opts.Compress = !*raw
 	opts.CompressDepth = *depth
 	opts.Workers = *workers
+	opts.SheetFrames = *sheetFrames
 
-	fmt.Printf("archiving %s (%d bytes) to %s...\n", *in, len(data), prof.Name)
+	// The original bytes are kept only to verify bit-exactness after the
+	// round trip; stdin streams through the pipeline unverified.
+	var source io.Reader
+	var data []byte
+	if *in == "-" {
+		source = os.Stdin
+		fmt.Printf("archiving stdin to %s...\n", prof.Name)
+	} else {
+		var err error
+		data, err = os.ReadFile(*in)
+		check(err)
+		source = bytes.NewReader(data)
+		fmt.Printf("archiving %s (%d bytes) to %s...\n", *in, len(data), prof.Name)
+	}
+
 	t0 := time.Now()
-	arch, err := microlonys.Archive(data, opts)
+	arch, err := microlonys.ArchiveReader(source, opts)
 	check(err)
 	encodeTime := time.Since(t0)
 
 	man := arch.Manifest
 	fmt.Printf("  raw %d B -> stream %d B (ratio %.2fx)\n", man.RawLen, man.StreamLen,
 		float64(man.RawLen)/float64(max(man.StreamLen, 1)))
-	fmt.Printf("  %d data + %d system + %d parity emblems (%d frames, %d groups)\n",
-		man.DataEmblems, man.SystemEmblems, man.ParityEmblems, man.TotalFrames, man.Groups)
+	fmt.Printf("  %d data + %d system + %d parity emblems (%d frames, %d groups, %d sheets)\n",
+		man.DataEmblems, man.SystemEmblems, man.ParityEmblems, man.TotalFrames, man.Groups, man.Sheets)
 	fmt.Printf("  frame capacity %d B; encode time %v\n", prof.FrameCapacity(), encodeTime)
 
 	if *bootOut != "" {
@@ -93,40 +121,98 @@ func main() {
 	}
 	if *framesDir != "" {
 		check(os.MkdirAll(*framesDir, 0o755))
-		for i := 0; i < arch.Medium.FrameCount(); i++ {
-			img, err := arch.Medium.ScanFrame(i)
+		for i := 0; i < arch.Volume.FrameCount(); i++ {
+			img, err := arch.Volume.ScanFrame(i)
 			check(err)
-			f, err := os.Create(filepath.Join(*framesDir, fmt.Sprintf("frame%03d.png", i)))
-			check(err)
-			check(img.EncodePNG(f))
-			f.Close()
+			writePNG(filepath.Join(*framesDir, fmt.Sprintf("frame%03d.png", i)), img)
 		}
-		fmt.Printf("  %d frame scans -> %s/\n", arch.Medium.FrameCount(), *framesDir)
+		fmt.Printf("  %d frame scans -> %s/\n", arch.Volume.FrameCount(), *framesDir)
+	}
+	if *sheetsDir != "" {
+		for s := 0; s < arch.Volume.Sheets(); s++ {
+			sheet, err := arch.Volume.Sheet(s)
+			check(err)
+			dir := filepath.Join(*sheetsDir, fmt.Sprintf("sheet%02d", s))
+			check(os.MkdirAll(dir, 0o755))
+			for i := 0; i < sheet.FrameCount(); i++ {
+				img, err := sheet.ScanFrame(i)
+				check(err)
+				writePNG(filepath.Join(dir, fmt.Sprintf("frame%03d.png", i)), img)
+			}
+		}
+		fmt.Printf("  %d sheets -> %s/sheetNN/\n", arch.Volume.Sheets(), *sheetsDir)
 	}
 
+	if *destroySheet >= 0 {
+		check(arch.Volume.DestroySheet(*destroySheet))
+		fmt.Printf("  destroyed sheet %d entirely (simulated carrier loss)\n", *destroySheet)
+	}
 	if *destroy > 0 {
 		rng := rand.New(rand.NewSource(*seed))
 		for i := 0; i < *destroy; i++ {
-			idx := rng.Intn(arch.Medium.FrameCount())
-			check(arch.Medium.Destroy(idx))
-			fmt.Printf("  destroyed frame %d\n", idx)
+			idx := rng.Intn(arch.Volume.FrameCount())
+			s, j, err := arch.Volume.Locate(idx)
+			check(err)
+			check(arch.Volume.Destroy(s, j))
+			fmt.Printf("  destroyed frame %d (sheet %d #%d)\n", idx, s, j)
 		}
 	}
 
+	// Restore: stream to -out when given, otherwise into memory for the
+	// bit-exactness check.
 	fmt.Printf("restoring (mode %s)...\n", m)
+	ro := microlonys.RestoreOptions{Mode: m, Workers: *workers, Partial: *partial}
 	t0 = time.Now()
-	got, st, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
-		microlonys.RestoreOptions{Mode: m, Workers: *workers})
-	check(err)
+	var got []byte
+	var st *microlonys.RestoreStats
+	switch {
+	case *outPath == "-":
+		st, err = microlonys.RestoreTo(os.Stdout, arch.Volume, arch.BootstrapText, ro)
+		check(err)
+	case *outPath != "":
+		f, ferr := os.Create(*outPath)
+		check(ferr)
+		st, err = microlonys.RestoreTo(f, arch.Volume, arch.BootstrapText, ro)
+		check(err)
+		check(f.Close())
+		fmt.Printf("  restored archive -> %s\n", *outPath)
+	default:
+		got, st, err = microlonys.RestoreVolume(arch.Volume, arch.BootstrapText, ro)
+		check(err)
+	}
 	fmt.Printf("  %d frames scanned, %d failed, %d groups recovered, %d bytes corrected\n",
 		st.FramesScanned, st.FramesFailed, st.GroupsRecovered, st.BytesCorrected)
+	if st.GroupsLost > 0 || st.FramesLost > 0 {
+		fmt.Printf("  LOST: %d groups, %d unidentifiable frames, %d bytes zero-filled\n",
+			st.GroupsLost, st.FramesLost, st.BytesLost)
+	}
+	for s, sh := range st.Sheets {
+		if sh.FramesFailed > 0 || sh.GroupsRecovered > 0 || sh.GroupsLost > 0 {
+			fmt.Printf("  sheet %d: %d frames, %d failed, %d lost; %d groups, %d recovered, %d lost\n",
+				s, sh.Frames, sh.FramesFailed, sh.FramesLost, sh.Groups, sh.GroupsRecovered, sh.GroupsLost)
+		}
+	}
 	fmt.Printf("  decode time %v\n", time.Since(t0))
 
-	if bytes.Equal(got, data) {
+	switch {
+	case got == nil:
+		fmt.Println("restored (streaming; no in-memory copy to verify)")
+	case data == nil:
+		fmt.Println("restored (stdin input; nothing to verify against)")
+	case bytes.Equal(got, data):
 		fmt.Println("RESTORED BIT-EXACT")
-	} else {
+	case *partial && st.BytesLost > 0:
+		fmt.Printf("restored with losses (%d of %d bytes zero-filled)\n", st.BytesLost, len(data))
+	default:
 		fatal("restored data differs from input")
 	}
+}
+
+func writePNG(path string, img interface{ EncodePNG(w io.Writer) error }) {
+	f, err := os.Create(path)
+	check(err)
+	check(img.EncodePNG(f))
+	check(f.Close())
 }
 
 func check(err error) {

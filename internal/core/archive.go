@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"math"
 	"sync"
 
 	"microlonys/dynarisc"
@@ -19,14 +22,18 @@ import (
 
 // The archival pipeline (Figure 2a), as three explicit stages:
 //
-//	split:  DBCoder + system stream → chunks → outer-code groups → a
-//	        frame plan fixing every header and payload (serial; owns all
-//	        cross-frame state)
-//	encode: frame plan → rasterized emblems (parallel per frame)
-//	place:  emblems → written medium, in frame order (serial; the medium
-//	        applies per-frame-index writer distortion)
+//	plan:   DBCoder + system stream → an io.Reader per section → fixed-size
+//	        outer-code group plans, one at a time (serial; owns all
+//	        cross-frame state: chunking, parity, header and index fixup)
+//	encode: group plan → rasterized emblems (parallel per frame)
+//	place:  emblems → the volume's sheets, in frame order, one whole group
+//	        per write (serial; a group never straddles a sheet)
 //
-// Fixing headers and frame indices during split is what makes the encode
+// The planner streams: it reads one group's worth of payload bytes at a
+// time and hands the group to encode + place before cutting the next, so
+// peak memory is bounded by one group of rasterized frames (plus whatever
+// the medium itself retains), not the whole archive's frame list. Fixing
+// headers and frame indices at planning time is what keeps the encode
 // fan-out trivially deterministic: workers only rasterize, they never
 // allocate indices or touch shared counters.
 
@@ -59,22 +66,39 @@ func archivedPrograms() (*verisc.Program, *dynarisc.Program, *dynarisc.Program, 
 	return builtEmu, builtMO, builtDB, buildErr
 }
 
-// frameTask is one planned emblem: the padded payload and the fully
-// resolved header the encode stage will rasterize.
+// frameTask is one planned emblem: the payload and the fully resolved
+// header the encode stage will rasterize.
 type frameTask struct {
 	payload []byte
 	hdr     emblem.Header
 }
 
-// framePlan is the output of the split stage.
-type framePlan struct {
+// groupPlan is one outer-code group's worth of planned frames — data
+// emblems first, then parity — the unit the planner emits and the place
+// stage writes atomically onto a sheet.
+type groupPlan struct {
 	tasks []frameTask
-	man   Manifest
 }
 
-// CreateArchive runs the archival pipeline (Figure 2a): db_dump output in,
-// written medium + Bootstrap out.
+// CreateArchive runs the archival pipeline (Figure 2a) over an in-memory
+// archive: db_dump output in, written volume + Bootstrap out. It is
+// CreateArchiveStream over a bytes.Reader.
 func CreateArchive(data []byte, opts Options) (*Archived, error) {
+	return CreateArchiveStream(bytes.NewReader(data), opts)
+}
+
+// CreateArchiveStream runs the archival pipeline over an io.Reader,
+// planning, encoding and placing one outer-code group at a time.
+//
+// Every frame header carries its section's TotalLen, so the planner needs
+// each section's byte length before the first group is cut: compressed
+// archives learn it from DBCoder's output (DBCoder is a whole-stream
+// compressor, so the input is buffered regardless), raw archives read it
+// from the reader's Len or Seek end without buffering, falling back to
+// buffering only for unsized streams (pipes). The rasterized frames —
+// three orders of magnitude larger than the payload bytes — are never
+// materialized beyond the group in flight.
+func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	if opts.GroupData <= 0 {
 		opts.GroupData = mocoder.GroupData
 	}
@@ -84,23 +108,85 @@ func CreateArchive(data []byte, opts Options) (*Archived, error) {
 	if opts.GroupData > mocoder.GroupData || opts.GroupParity != mocoder.GroupParity {
 		return nil, fmt.Errorf("core: unsupported group shape %d+%d", opts.GroupData, opts.GroupParity)
 	}
+	if opts.SheetFrames > 0 && opts.SheetFrames < opts.GroupData+opts.GroupParity {
+		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d",
+			opts.SheetFrames, opts.GroupData, opts.GroupParity)
+	}
 	layout := opts.Profile.Layout
 	capacity := mocoder.Capacity(layout)
 	if capacity <= 0 {
 		return nil, fmt.Errorf("core: profile %q has zero emblem capacity", opts.Profile.Name)
 	}
 
-	// Stage 1: split the streams into a frame plan.
-	plan, err := splitStage(data, opts, capacity)
-	if err != nil {
-		return nil, err
+	// Resolve the sections: the (possibly compressed) data stream, then
+	// the archived DBDecode instruction stream (system emblems).
+	type section struct {
+		kind  emblem.Kind
+		r     io.Reader
+		total int
+	}
+	p := &planner{opts: opts, capacity: capacity}
+	var sections []section
+	if opts.Compress {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading input: %w", err)
+		}
+		depth := opts.CompressDepth
+		if depth <= 0 {
+			depth = dbcoder.DefaultDepth
+		}
+		stream := dbcoder.CompressDepth(data, depth)
+		p.man.RawLen = len(data)
+		p.man.StreamLen = len(stream)
+
+		_, _, prog, err := archivedPrograms()
+		if err != nil {
+			return nil, err
+		}
+		sys := bootstrap.MarshalDynaRisc(prog)
+		p.man.SystemLen = len(sys)
+		sections = []section{
+			{emblem.KindData, bytes.NewReader(stream), len(stream)},
+			{emblem.KindSystem, bytes.NewReader(sys), len(sys)},
+		}
+	} else {
+		total, rr, err := readerLen(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: sizing input: %w", err)
+		}
+		p.man.RawLen = total
+		p.man.StreamLen = total
+		sections = []section{{emblem.KindRaw, rr, total}}
+	}
+	for _, sec := range sections {
+		if int64(sec.total) > math.MaxUint32 {
+			return nil, fmt.Errorf("core: section of %d bytes exceeds the 4 GiB header limit", sec.total)
+		}
 	}
 
-	// Stage 2: encode every planned frame, fanning out across workers.
-	frames, err := encodeStage(context.Background(), plan.tasks, layout, opts.Workers)
-	if err != nil {
-		return nil, err
+	// Plan → encode → place, one group at a time.
+	vol := media.NewVolume(opts.Profile, opts.SheetFrames)
+	scratch := make([]encScratch, resolveWorkers(opts.Workers))
+	ctx := context.Background()
+	emit := func(gp groupPlan) error {
+		frames, err := encodeFrames(ctx, gp.tasks, layout, opts.Workers, scratch)
+		if err != nil {
+			return err
+		}
+		if err := vol.WriteGroup(frames); err != nil {
+			return fmt.Errorf("core: writing medium: %w", err)
+		}
+		return nil
 	}
+	for _, sec := range sections {
+		if err := p.section(sec.kind, sec.r, sec.total, emit); err != nil {
+			return nil, err
+		}
+	}
+	p.man.Groups = p.groupID
+	p.man.TotalFrames = p.frameIdx
+	p.man.Sheets = vol.Sheets()
 
 	// Step 6: Bootstrap document.
 	emu, mo, _, err := archivedPrograms()
@@ -109,114 +195,140 @@ func CreateArchive(data []byte, opts Options) (*Archived, error) {
 	}
 	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
 
-	// Stage 3: place the frames on the medium.
-	m := media.New(opts.Profile)
-	if err := m.Write(frames); err != nil {
-		return nil, fmt.Errorf("core: writing medium: %w", err)
-	}
-
-	return &Archived{
-		Medium:        m,
+	arch := &Archived{
+		Volume:        vol,
 		Bootstrap:     doc,
 		BootstrapText: doc.Render(),
-		Manifest:      plan.man,
+		Manifest:      p.man,
 		Options:       opts,
-	}, nil
+	}
+	if vol.Sheets() == 1 {
+		arch.Medium, _ = vol.Sheet(0)
+	}
+	return arch, nil
 }
 
-// splitStage runs DBCoder, splits the data and system streams into
-// capacity-sized chunks, forms outer-code groups and computes their parity
-// payloads, and assigns every frame its header and index. All cross-frame
-// bookkeeping lives here, so the stages after it treat frames as fully
-// independent.
-func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
-	// Step 2: DBCoder.
-	stream := data
-	kind := emblem.KindRaw
-	if opts.Compress {
-		depth := opts.CompressDepth
-		if depth <= 0 {
-			depth = dbcoder.DefaultDepth
+// planner owns the archive side's cross-frame state: global frame and
+// group counters and the manifest tallies. Section by section it cuts the
+// stream into capacity-sized chunks, forms outer-code groups, computes
+// their parity payloads and fixes every frame's header and index — then
+// hands each group to the emit callback and forgets it.
+type planner struct {
+	opts     Options
+	capacity int
+	groupID  int
+	frameIdx int
+	man      Manifest
+}
+
+// section plans one section's groups, reading exactly total bytes from r
+// one group at a time. An empty section still occupies one empty chunk,
+// so every section produces at least one emblem carrying its TotalLen.
+func (p *planner) section(kind emblem.Kind, r io.Reader, total int, emit func(groupPlan) error) error {
+	totalChunks := (total + p.capacity - 1) / p.capacity
+	if totalChunks == 0 {
+		totalChunks = 1
+	}
+	for chunk := 0; chunk < totalChunks; {
+		g := p.opts.GroupData
+		if g > totalChunks-chunk {
+			g = totalChunks - chunk
 		}
-		stream = dbcoder.CompressDepth(data, depth)
-		kind = emblem.KindData
-	}
 
-	plan := &framePlan{man: Manifest{RawLen: len(data), StreamLen: len(stream)}}
-
-	// Steps 3+5: emblems for the data stream, then for the archived
-	// DBDecode instruction stream (system emblems).
-	type section struct {
-		kind   emblem.Kind
-		stream []byte
-	}
-	sections := []section{{kind, stream}}
-	if opts.Compress {
-		_, _, prog, err := archivedPrograms()
+		group := make([][]byte, g)
+		padded := make([][]byte, g)
+		for i := range group {
+			n := p.capacity
+			if chunk+i == totalChunks-1 {
+				n = total - (totalChunks-1)*p.capacity
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return fmt.Errorf("core: reading section stream: %w", err)
+			}
+			group[i] = buf
+			pd := make([]byte, p.capacity)
+			copy(pd, buf)
+			padded[i] = pd
+		}
+		parity, err := mocoder.GroupParityPayloads(padded)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: group parity: %w", err)
 		}
-		sys := bootstrap.MarshalDynaRisc(prog)
-		plan.man.SystemLen = len(sys)
-		sections = append(sections, section{emblem.KindSystem, sys})
+
+		// The emblem header stores frame indices and group ids as uint16;
+		// reject archives that would wrap instead of corrupting silently
+		// (the restore side's loss arithmetic depends on monotonic ids).
+		if p.groupID > math.MaxUint16 || p.frameIdx+g+len(parity) > math.MaxUint16+1 {
+			return fmt.Errorf("core: archive exceeds the header's 65536-frame/group limit (frame %d, group %d); split the input across volumes",
+				p.frameIdx, p.groupID)
+		}
+
+		gp := groupPlan{tasks: make([]frameTask, 0, g+len(parity))}
+		add := func(payload []byte, k emblem.Kind, pos int) {
+			gp.tasks = append(gp.tasks, frameTask{
+				payload: payload,
+				hdr: emblem.Header{
+					Kind:        k,
+					Index:       uint16(p.frameIdx),
+					GroupID:     uint16(p.groupID),
+					GroupPos:    uint8(pos),
+					GroupData:   uint8(g),
+					GroupParity: uint8(p.opts.GroupParity),
+					TotalLen:    uint32(total),
+				},
+			})
+			p.frameIdx++
+		}
+		for i, c := range group {
+			add(c, kind, i)
+			if kind == emblem.KindSystem {
+				p.man.SystemEmblems++
+			} else {
+				p.man.DataEmblems++
+			}
+		}
+		for i, par := range parity {
+			add(par, emblem.KindParity, g+i)
+			p.man.ParityEmblems++
+		}
+		p.groupID++
+		chunk += g
+
+		if err := emit(gp); err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
-	groupID := 0
-	frameIdx := 0
-	for _, sec := range sections {
-		chunks := splitChunks(sec.stream, capacity)
-		for len(chunks) > 0 {
-			g := opts.GroupData
-			if g > len(chunks) {
-				g = len(chunks)
-			}
-			group := chunks[:g]
-			chunks = chunks[g:]
-
-			padded := make([][]byte, g)
-			for i, c := range group {
-				p := make([]byte, capacity)
-				copy(p, c)
-				padded[i] = p
-			}
-			parity, err := mocoder.GroupParityPayloads(padded)
+// readerLen determines how many bytes r will deliver without consuming
+// it: Len (bytes.Reader, strings.Reader, bytes.Buffer), Seek-to-end
+// arithmetic (files), or full buffering as a last resort for unsized
+// streams. The planner needs each section's length before the first group
+// is cut, because every frame header carries the section TotalLen.
+func readerLen(r io.Reader) (int, io.Reader, error) {
+	if v, ok := r.(interface{ Len() int }); ok {
+		return v.Len(), r, nil
+	}
+	if s, ok := r.(io.Seeker); ok {
+		cur, err := s.Seek(0, io.SeekCurrent)
+		if err == nil {
+			end, err := s.Seek(0, io.SeekEnd)
 			if err != nil {
-				return nil, fmt.Errorf("core: group parity: %w", err)
+				return 0, nil, err
 			}
-
-			emit := func(payload []byte, k emblem.Kind, pos int) {
-				plan.tasks = append(plan.tasks, frameTask{
-					payload: payload,
-					hdr: emblem.Header{
-						Kind:        k,
-						Index:       uint16(frameIdx),
-						GroupID:     uint16(groupID),
-						GroupPos:    uint8(pos),
-						GroupData:   uint8(g),
-						GroupParity: uint8(opts.GroupParity),
-						TotalLen:    uint32(len(sec.stream)),
-					},
-				})
-				frameIdx++
+			if _, err := s.Seek(cur, io.SeekStart); err != nil {
+				return 0, nil, err
 			}
-			for i, c := range group {
-				emit(c, sec.kind, i)
-				if sec.kind == emblem.KindSystem {
-					plan.man.SystemEmblems++
-				} else {
-					plan.man.DataEmblems++
-				}
-			}
-			for i, p := range parity {
-				emit(p, emblem.KindParity, g+i)
-				plan.man.ParityEmblems++
-			}
-			groupID++
+			return int(end - cur), r, nil
 		}
 	}
-	plan.man.Groups = groupID
-	plan.man.TotalFrames = len(plan.tasks)
-	return plan, nil
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return len(data), bytes.NewReader(data), nil
 }
 
 // encScratch is one worker's reusable frame-encode state, the archive
@@ -225,16 +337,17 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 // the cached serpentine path. Each worker id owns exactly one goroutine
 // for a run (see forEachFrame), so the scratch is reused serially without
 // locks and a steady-state frame encode allocates only the placed frame.
+// The scratch slice outlives the per-group encode calls, so the reuse
+// carries across groups.
 type encScratch struct {
 	enc mocoder.Encoder
 }
 
-// encodeStage rasterizes every planned frame. Workers claim frames by
-// index and write only frames[i], so the result order matches the plan
+// encodeFrames rasterizes one group plan's frames. Workers claim frames
+// by index and write only frames[i], so the result order matches the plan
 // regardless of scheduling; the first encode error cancels the rest.
-func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int) ([]*raster.Gray, error) {
+func encodeFrames(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int, scratch []encScratch) ([]*raster.Gray, error) {
 	frames := make([]*raster.Gray, len(tasks))
-	scratch := make([]encScratch, resolveWorkers(workers))
 	err := forEachFrame(ctx, workers, len(tasks), func(_ context.Context, worker, i int) error {
 		img, err := scratch[worker].enc.Encode(tasks[i].payload, tasks[i].hdr, layout)
 		if err != nil {
@@ -251,23 +364,4 @@ func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, w
 		return nil, err
 	}
 	return frames, nil
-}
-
-// splitChunks cuts a stream into capacity-sized chunks (the last may be
-// short). An empty stream still occupies one empty chunk, so every
-// section produces at least one emblem carrying its TotalLen.
-func splitChunks(stream []byte, capacity int) [][]byte {
-	var out [][]byte
-	for len(stream) > 0 {
-		n := capacity
-		if n > len(stream) {
-			n = len(stream)
-		}
-		out = append(out, stream[:n])
-		stream = stream[n:]
-	}
-	if len(out) == 0 {
-		out = [][]byte{{}}
-	}
-	return out
 }

@@ -74,6 +74,14 @@ type Options struct {
 	// GOMAXPROCS, 1 forces the serial reference path, larger values cap
 	// the fan-out. Output is byte-identical at any setting.
 	Workers int
+
+	// SheetFrames caps the frames per media sheet (a page bundle, a film
+	// reel): the place stage cuts a new sheet whenever the next
+	// outer-code group would not fit, so a group never straddles a
+	// carrier and losing a whole sheet costs only that sheet's groups.
+	// 0 (the default) writes one unbounded sheet — the single-medium
+	// layout, byte-identical to the pre-Volume pipeline.
+	SheetFrames int
 }
 
 // DefaultOptions returns the paper's configuration for a profile.
@@ -93,6 +101,13 @@ type RestoreOptions struct {
 	// Workers bounds the frame scan/decode worker pool, with the same
 	// semantics as Options.Workers: 0 = GOMAXPROCS, 1 = serial.
 	Workers int
+
+	// Partial keeps restoring past unrecoverable groups instead of
+	// aborting: the lost groups' data bytes are zero-filled in the output
+	// (offsets stay aligned) and reported in RestoreStats. Most useful
+	// for raw archives after carrier loss — a compressed stream with a
+	// hole still fails at DBDecode.
+	Partial bool
 }
 
 // Manifest records what was written.
@@ -105,15 +120,44 @@ type Manifest struct {
 	ParityEmblems int
 	TotalFrames   int
 	Groups        int
+	Sheets        int // media sheets the place stage cut
 }
 
 // Archived is the result of CreateArchive.
 type Archived struct {
+	// Volume holds every written sheet. Medium aliases the first sheet
+	// when the archive fits one sheet (always true with
+	// Options.SheetFrames == 0, the default) and is nil for multi-sheet
+	// archives — medium-level callers keep working unchanged, volume-aware
+	// callers use Volume.
+	Volume        *media.Volume
 	Medium        *media.Medium
 	Bootstrap     *bootstrap.Document
 	BootstrapText string
 	Manifest      Manifest
 	Options       Options
+}
+
+// SheetReport is one sheet's slice of RestoreStats.
+type SheetReport struct {
+	Frames          int // frames consumed from this sheet
+	FramesFailed    int // frames that did not decode
+	FramesLost      int // frames in wholly-unidentifiable runs (Partial mode)
+	Groups          int // groups identified on this sheet
+	GroupsRecovered int // groups the outer code repaired
+	GroupsLost      int // groups lost beyond parity (Partial mode)
+}
+
+// GroupReport is one outer-code group's slice of RestoreStats, in group
+// order.
+type GroupReport struct {
+	ID        int    // header GroupID
+	Sheet     int    // sheet holding the group (groups never straddle)
+	Kind      string // data, system, parity... the group's section kind
+	Frames    int    // data + parity frames
+	Missing   int    // frames the outer code had to supply
+	Recovered bool   // outer code ran and succeeded
+	Lost      bool   // beyond parity; zero-filled (Partial mode only)
 }
 
 // RestoreStats reports how restoration went.
@@ -122,7 +166,15 @@ type RestoreStats struct {
 	FramesFailed    int
 	BytesCorrected  int // inner-code corrections (native mode only)
 	GroupsRecovered int // groups that needed the outer code
+	GroupsLost      int // identified groups beyond parity (Partial mode)
+	FramesLost      int // frames in wholly-unidentifiable runs (Partial mode)
+	BytesLost       int // output bytes zero-filled for lost groups (Partial mode)
 	Mode            Mode
+
+	// Per-sheet and per-group recovery detail, indexed by sheet and in
+	// group order respectively. Identical at any worker count.
+	Sheets []SheetReport
+	Groups []GroupReport
 }
 
 // ErrRestore wraps restoration failures.

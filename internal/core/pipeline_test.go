@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -234,7 +235,7 @@ func TestRestoreParallelMatchesSerial(t *testing.T) {
 		if !bytes.Equal(out, serialOut) {
 			t.Fatalf("workers=%d: restored bytes differ from serial", workers)
 		}
-		if *st != *serialSt {
+		if !reflect.DeepEqual(st, serialSt) {
 			t.Fatalf("workers=%d: stats %+v != serial %+v", workers, st, serialSt)
 		}
 	}

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"io"
 
 	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
@@ -19,17 +20,21 @@ import (
 
 // The restoration pipeline (Figure 2b), as three explicit stages:
 //
-//	scan:       medium → per-frame scans (the simulated scanner)
+//	scan:       volume → per-frame scans (the simulated scanner)
 //	decode:     scan → header + payload, natively or under emulation
 //	reassemble: decoded frames → outer-code groups → streams → DBDecode
 //
 // Scan and decode are fused into one parallel per-frame stage — a scan
 // feeds exactly one decode, so splitting them would only add a buffer of
 // full-resolution frame images between two stages of the same fan-out.
-// Reassemble is serial: it owns the cross-frame state (group membership,
-// recovery, stream order). A frame that fails to decode is not an error —
-// that is what the outer code is for — but a frame that cannot even be
-// scanned aborts the run.
+// Reassembly is group-incremental: a serial consumer walks the frames in
+// global index order as the workers finish them, and the moment a group's
+// last frame is consumed the group is outer-recovered, trimmed and
+// flushed — raw archives stream straight to the caller's io.Writer, and a
+// frame's payload is released as soon as its group closes, so peak memory
+// is bounded by the groups in flight instead of the whole archive. A
+// frame that fails to decode is not an error — that is what the outer
+// code is for — but a frame that cannot even be scanned aborts the run.
 
 // frameResult is the decode stage's per-frame slot.
 type frameResult struct {
@@ -47,61 +52,108 @@ func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *Restore
 	return RestoreWithOptions(m, bootstrapText, RestoreOptions{Mode: mode})
 }
 
-// RestoreWithOptions is Restore with an explicit worker-pool size. The
-// restored bytes and stats are identical at any worker count.
+// RestoreWithOptions is Restore with explicit options. The restored bytes
+// and stats are identical at any worker count.
 func RestoreWithOptions(m *media.Medium, bootstrapText string, ro RestoreOptions) ([]byte, *RestoreStats, error) {
+	return RestoreVolume(media.VolumeOf(m), bootstrapText, ro)
+}
+
+// RestoreVolume restores a multi-sheet volume into memory: RestoreToWriter
+// over a bytes.Buffer.
+func RestoreVolume(v *media.Volume, bootstrapText string, ro RestoreOptions) ([]byte, *RestoreStats, error) {
+	var buf bytes.Buffer
+	st, err := RestoreToWriter(&buf, v, bootstrapText, ro)
+	if err != nil {
+		return nil, st, err
+	}
+	return buf.Bytes(), st, nil
+}
+
+// RestoreToWriter runs the restoration pipeline against a volume and the
+// Bootstrap text, writing the restored archive bytes to w. Raw archives
+// stream group by group as their frames decode; compressed archives
+// accumulate only the (small) compressed stream before DBDecode runs. On
+// error, w may already have received a prefix of the output.
+func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro RestoreOptions) (*RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		return nil, fmt.Errorf("%w: %v", ErrRestore, err)
 	}
 	layout := doc.Layout
 	capacity := mocoder.Capacity(layout)
-	st := &RestoreStats{Mode: ro.Mode}
+	st := &RestoreStats{Mode: ro.Mode, Sheets: make([]SheetReport, v.Sheets())}
 
 	var moProg *dynarisc.Program
 	if ro.Mode != RestoreNative {
 		if moProg, err = doc.MODecodeProgram(); err != nil {
-			return nil, st, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
+			return st, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
 		}
 	}
 
-	// Stages 1+2: scan and decode every frame on the worker pool.
-	results, err := decodeStage(context.Background(), m, layout, ro, moProg)
-	for i := range results {
-		if results[i].scanned {
-			st.FramesScanned++
+	n := v.FrameCount()
+	if n == 0 {
+		return st, fmt.Errorf("%w: no readable frames", ErrRestore)
+	}
+
+	// Global frame index → sheet, for per-sheet stats and loss reports.
+	sheetOf := make([]int, n)
+	for s, i := 0, 0; s < v.Sheets(); s++ {
+		m, _ := v.Sheet(s)
+		for j := 0; j < m.FrameCount(); j++ {
+			sheetOf[i] = s
+			i++
 		}
 	}
-	if err != nil {
-		return nil, st, err
+
+	asm := &assembler{
+		st:          st,
+		capacity:    capacity,
+		groupParity: doc.GroupParity,
+		partial:     ro.Partial,
+		out:         w,
+		sinks:       map[emblem.Kind]*kindSink{},
+		sheetOf:     sheetOf,
+		zeros:       make([]byte, capacity),
+		lastClosed:  -1,
 	}
 
-	// Stage 3: reassemble the streams from the decoded frames.
-	return reassembleStage(results, capacity, ro.Mode, st)
-}
-
-// emuScratch is one worker's reusable emulator state for the emulated
-// restore modes: the DynaRisc reference CPU (RestoreDynaRisc), the
-// VeRisc-hosted runner (RestoreNested) and the input framing buffer.
-// Each worker id owns exactly one goroutine for a run (see
-// forEachFrame), so the scratch is reused serially without locks and a
-// frame decode allocates its payload and nothing else — not the
-// multi-megawords machine image it used to build per frame.
-type emuScratch struct {
-	cpu    *dynarisc.CPU
-	nested *nested.Runner
-	in     []uint16
-}
-
-// decodeStage scans and decodes each frame of the medium into an
-// index-addressed result slice. Decode failures are recorded in the slot
-// (the outer code recovers them later); scan failures are fatal and cancel
-// the remaining frames.
-func decodeStage(ctx context.Context, m *media.Medium, layout emblem.Layout, ro RestoreOptions, moProg *dynarisc.Program) ([]frameResult, error) {
-	results := make([]frameResult, m.FrameCount())
+	// Stages 1+2 feed stage 3 incrementally: workers scan and decode
+	// frames in any order; the consumer goroutine advances a frontier in
+	// strict index order, handing each frame to the group assembler and
+	// releasing its payload. The completion channel is sized so workers
+	// never block on a momentarily busy consumer.
+	results := make([]frameResult, n)
 	scratch := make([]emuScratch, resolveWorkers(ro.Workers))
-	err := forEachFrame(ctx, ro.Workers, len(results), func(_ context.Context, worker, i int) error {
-		scan, err := m.ScanFrame(i)
+	completed := make(chan int, 2*resolveWorkers(ro.Workers)+doc.GroupData+doc.GroupParity)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	consumerErr := make(chan error, 1)
+	go func() {
+		ready := make([]bool, n)
+		frontier := 0
+		var cerr error
+		for i := range completed {
+			ready[i] = true
+			for frontier < n && ready[frontier] {
+				if cerr == nil {
+					if cerr = asm.consume(frontier, &results[frontier]); cerr != nil {
+						cancel() // stop decoding frames the assembler will never use
+					}
+				}
+				results[frontier] = frameResult{} // release the payload
+				frontier++
+			}
+		}
+		if cerr == nil && frontier == n { // decode completed; close the books
+			cerr = asm.finish()
+		}
+		consumerErr <- cerr
+	}()
+
+	decErr := forEachFrame(ctx, ro.Workers, n, func(_ context.Context, worker, i int) error {
+		scan, err := v.ScanFrame(i)
 		if err != nil {
 			return fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, i, err)
 		}
@@ -118,139 +170,450 @@ func decodeStage(ctx context.Context, m *media.Medium, layout emblem.Layout, ro 
 			res.payload, res.hdr, err = decodeFrameEmulated(&scratch[worker], moProg, scan, layout, ro.Mode)
 		}
 		res.decoded = err == nil
+		completed <- i
 		return nil
 	})
-	return results, err
-}
-
-// reassembleStage groups the decoded payloads, runs outer-code recovery
-// where frames are missing, concatenates the per-kind streams and — for
-// compressed archives — decompresses, natively or by executing the
-// archived DBDecode program.
-func reassembleStage(results []frameResult, capacity int, mode Mode, st *RestoreStats) ([]byte, *RestoreStats, error) {
-	type groupState struct {
-		members map[int][]byte // GroupPos → payload (padded to capacity)
-		data    int
-		parity  int
-		kind    emblem.Kind
-		total   uint32
+	close(completed)
+	cerr := <-consumerErr
+	if cerr != nil {
+		return st, cerr
 	}
-	groups := map[int]*groupState{}
-	decoded := 0
-	for i := range results {
-		fp := &results[i]
-		if !fp.decoded {
-			st.FramesFailed++
-			continue
-		}
-		decoded++
-		st.BytesCorrected += fp.corrected
-		gid := int(fp.hdr.GroupID)
-		g := groups[gid]
-		if g == nil {
-			g = &groupState{members: map[int][]byte{}}
-			groups[gid] = g
-		}
-		padded := make([]byte, capacity)
-		copy(padded, fp.payload)
-		g.members[int(fp.hdr.GroupPos)] = padded
-		if int(fp.hdr.GroupData) > 0 {
-			g.data = int(fp.hdr.GroupData)
-			g.parity = int(fp.hdr.GroupParity)
-		}
-		if fp.hdr.Kind != emblem.KindParity {
-			g.kind = fp.hdr.Kind
-			g.total = fp.hdr.TotalLen
-		}
-	}
-	if decoded == 0 {
-		return nil, st, fmt.Errorf("%w: no readable frames", ErrRestore)
+	if decErr != nil {
+		return st, decErr
 	}
 
-	gids := make([]int, 0, len(groups))
-	for gid := range groups {
-		gids = append(gids, gid)
-	}
-	sort.Ints(gids)
-
-	streams := map[emblem.Kind][]byte{}
-	totals := map[emblem.Kind]uint32{}
-	for _, gid := range gids {
-		g := groups[gid]
-		if g.kind == 0 {
-			return nil, st, fmt.Errorf("%w: group %d has no readable data emblems", ErrRestore, gid)
-		}
-		full := make([][]byte, g.data+g.parity)
-		missing := 0
-		for pos := range full {
-			if p, ok := g.members[pos]; ok {
-				full[pos] = p
-			} else {
-				missing++
-			}
-		}
-		if missing > 0 {
-			if err := mocoder.RecoverGroup(full); err != nil {
-				return nil, st, fmt.Errorf("%w: group %d: %v", ErrRestore, gid, err)
-			}
-			st.GroupsRecovered++
-		}
-		for pos := 0; pos < g.data; pos++ {
-			streams[g.kind] = append(streams[g.kind], full[pos]...)
-		}
-		totals[g.kind] = g.total
+	// The raw section streamed directly to w as its groups closed.
+	if asm.sinks[emblem.KindRaw] != nil {
+		return st, nil
 	}
 
-	finish := func(k emblem.Kind) ([]byte, bool) {
-		s, ok := streams[k]
-		if !ok {
-			return nil, false
-		}
-		t := int(totals[k])
-		if t > len(s) {
-			return nil, false
-		}
-		return s[:t], true
+	// Compressed archive: decompress the assembled stream, natively or by
+	// executing the archived DBDecode program from the system emblems.
+	if asm.dataBuf == nil {
+		return st, fmt.Errorf("%w: no data stream recovered", ErrRestore)
 	}
-
-	if raw, ok := finish(emblem.KindRaw); ok {
-		return raw, st, nil
-	}
-	blob, ok := finish(emblem.KindData)
-	if !ok {
-		return nil, st, fmt.Errorf("%w: no data stream recovered", ErrRestore)
-	}
-
-	switch mode {
+	blob := asm.dataBuf.Bytes()
+	var out []byte
+	switch ro.Mode {
 	case RestoreNative:
-		out, err := dbcoder.Decompress(blob)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
+		if out, err = dbcoder.Decompress(blob); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrRestore, err)
 		}
-		return out, st, nil
 	default:
-		sys, ok := finish(emblem.KindSystem)
-		if !ok {
-			return nil, st, fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
+		if asm.sysBuf == nil {
+			return st, fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
 		}
-		dbProg, err := bootstrap.UnmarshalDynaRisc(sys)
+		dbProg, err := bootstrap.UnmarshalDynaRisc(asm.sysBuf.Bytes())
 		if err != nil {
-			return nil, st, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
+			return st, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
 		}
-		out, err := runDBDecode(dbProg, blob, mode)
-		if err != nil {
-			return nil, st, fmt.Errorf("%w: %v", ErrRestore, err)
+		if out, err = runDBDecode(dbProg, blob, ro.Mode); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrRestore, err)
 		}
 		// The archived decoder skips the trailing CRC; check its output
 		// against the length and checksum in the archive header — a
-		// mismatch is a restoration failure, never data to hand back,
-		// and the header check costs one CRC pass instead of the full
-		// native decompression it used to duplicate.
+		// mismatch is a restoration failure, never data to hand back.
 		if err := verifyDBDecodeOutput(blob, out); err != nil {
-			return nil, st, err
+			return st, err
 		}
-		return out, st, nil
 	}
+	if _, err := w.Write(out); err != nil {
+		return st, fmt.Errorf("%w: writing output: %v", ErrRestore, err)
+	}
+	return st, nil
+}
+
+// kindSink accumulates one section's recovered stream, trimming at the
+// header-declared TotalLen. The raw section's sink is the caller's writer;
+// the data and system sections buffer (DBDecode needs the whole stream).
+type kindSink struct {
+	w       io.Writer
+	total   int // section TotalLen from the headers; -1 until known
+	written int
+}
+
+// write appends b to the sink, trimmed so the section never exceeds its
+// TotalLen (frame payloads are padded to emblem capacity).
+func (s *kindSink) write(b []byte) (int, error) {
+	rem := s.total - s.written
+	if rem > len(b) {
+		rem = len(b)
+	}
+	if rem <= 0 {
+		return 0, nil
+	}
+	if _, err := s.w.Write(b[:rem]); err != nil {
+		return 0, fmt.Errorf("%w: writing output: %v", ErrRestore, err)
+	}
+	s.written += rem
+	return rem, nil
+}
+
+// assembler is the group-incremental reassemble stage. It consumes frames
+// in strict global index order and reconstructs the outer-code groups
+// from their headers: a decoded frame at index i with group position p
+// places its group's frames at indices [i-p, i-p+data+parity) — the place
+// stage wrote groups contiguously, so the range is exact, and failed
+// frames inside it are the group's missing members. A run of failed
+// frames no decoded header claims is a wholly-lost range (a destroyed
+// carrier): fatal normally, counted and zero-filled in Partial mode.
+type assembler struct {
+	st          *RestoreStats
+	capacity    int
+	groupParity int // the Bootstrap's parity-per-group (loss arithmetic)
+	partial     bool
+	out         io.Writer
+	dataBuf     *bytes.Buffer
+	sysBuf      *bytes.Buffer
+	sinks       map[emblem.Kind]*kindSink
+	sheetOf     []int
+	zeros       []byte
+
+	cur struct {
+		known   bool
+		id      int
+		start   int
+		data    int
+		parity  int
+		kind    emblem.Kind // from data members; 0 if only parity decoded
+		total   uint32
+		members map[int][]byte
+	}
+	runStart, runLen int // consumed failed frames no group has claimed
+	lastClosed       int // group id of the last closed group (-1 initially)
+	decoded          int
+
+	// pendingZeroFrames is Partial-mode fill owed before the next group
+	// flushes: a lost range (or a kind-unknown lost group) with no
+	// section sink open yet cannot be placed until the next surviving
+	// group reveals the section — the fill happens in closeGroup, ahead
+	// of that group's own bytes, so output offsets hold.
+	pendingZeroFrames int
+}
+
+// consume feeds the frame at global index i (frames arrive in strictly
+// increasing order) into the group state machine.
+func (a *assembler) consume(i int, res *frameResult) error {
+	sh := &a.st.Sheets[a.sheetOf[i]]
+	sh.Frames++
+	if res.scanned {
+		a.st.FramesScanned++
+	}
+	ok := res.decoded
+	if ok {
+		a.decoded++
+		a.st.BytesCorrected += res.corrected
+	} else {
+		a.st.FramesFailed++
+		sh.FramesFailed++
+	}
+
+	if a.cur.known {
+		end := a.cur.start + a.cur.data + a.cur.parity
+		if ok {
+			pos := i - a.cur.start
+			if int(res.hdr.GroupID) != a.cur.id || int(res.hdr.GroupPos) != pos {
+				// Header disagrees with the group's placement: the frame
+				// decoded but contributes nothing — count it failed so
+				// the loss arithmetic stays consistent.
+				a.st.FramesFailed++
+				sh.FramesFailed++
+			} else {
+				padded := make([]byte, a.capacity)
+				copy(padded, res.payload)
+				a.cur.members[pos] = padded
+				if res.hdr.Kind != emblem.KindParity {
+					a.cur.kind = res.hdr.Kind
+					a.cur.total = res.hdr.TotalLen
+				}
+			}
+		}
+		if i == end-1 {
+			return a.closeGroup()
+		}
+		return nil
+	}
+
+	if !ok {
+		if a.runLen == 0 {
+			a.runStart = i
+		}
+		a.runLen++
+		return nil
+	}
+
+	// A decoded frame opens (and locates) a new group.
+	start := i - int(res.hdr.GroupPos)
+	size := int(res.hdr.GroupData) + int(res.hdr.GroupParity)
+	if res.hdr.GroupData == 0 || start < 0 || i >= start+size {
+		// A header that cannot describe a group; treat the frame as failed.
+		a.st.FramesFailed++
+		sh.FramesFailed++
+		if a.runLen == 0 {
+			a.runStart = i
+		}
+		a.runLen++
+		return nil
+	}
+	if a.runLen > 0 {
+		if a.runStart < start {
+			// Failed frames before this group's start belong to groups no
+			// surviving frame identifies — carrier loss beyond the outer code.
+			if err := a.lostRange(a.runStart, start-a.runStart, int(res.hdr.GroupID)); err != nil {
+				return err
+			}
+		}
+		// Failed frames inside [start, i) are this group's missing members;
+		// closeGroup counts them as size - len(members).
+		a.runLen = 0
+	}
+	a.cur.known = true
+	a.cur.id = int(res.hdr.GroupID)
+	a.cur.start = start
+	a.cur.data = int(res.hdr.GroupData)
+	a.cur.parity = int(res.hdr.GroupParity)
+	a.cur.kind = 0
+	a.cur.total = 0
+	a.cur.members = map[int][]byte{}
+	pos := i - start
+	padded := make([]byte, a.capacity)
+	copy(padded, res.payload)
+	a.cur.members[pos] = padded
+	if res.hdr.Kind != emblem.KindParity {
+		a.cur.kind = res.hdr.Kind
+		a.cur.total = res.hdr.TotalLen
+	}
+	if i == start+size-1 {
+		return a.closeGroup()
+	}
+	return nil
+}
+
+// closeGroup recovers and flushes the current group the moment its last
+// frame index has been consumed.
+func (a *assembler) closeGroup() error {
+	size := a.cur.data + a.cur.parity
+	sheet := a.sheetOf[a.cur.start]
+	sh := &a.st.Sheets[sheet]
+	sh.Groups++
+	missing := size - len(a.cur.members)
+	rep := GroupReport{ID: a.cur.id, Sheet: sheet, Frames: size, Missing: missing}
+	defer func() {
+		a.st.Groups = append(a.st.Groups, rep)
+		a.lastClosed = a.cur.id
+		a.cur.known = false
+		a.cur.members = nil
+	}()
+
+	if a.cur.kind == 0 {
+		// Only parity members decoded: the section kind and stream totals
+		// are unknowable, so the group's bytes cannot be recovered — in
+		// Partial mode its data frames still owe zero-fill so later
+		// groups keep their offsets.
+		if !a.partial {
+			return fmt.Errorf("%w: group %d has no readable data emblems", ErrRestore, a.cur.id)
+		}
+		rep.Lost = true
+		a.st.GroupsLost++
+		sh.GroupsLost++
+		return a.fillLost(a.cur.data)
+	}
+	rep.Kind = a.cur.kind.String()
+	sink := a.sink(a.cur.kind)
+	if sink.total < 0 {
+		sink.total = int(a.cur.total)
+	}
+	// Fill owed for losses that preceded this section's first surviving
+	// group, before this group's own bytes.
+	if err := a.fillLost(0); err != nil {
+		return err
+	}
+
+	full := make([][]byte, size)
+	for pos, p := range a.cur.members {
+		full[pos] = p
+	}
+	if missing > 0 {
+		if err := mocoder.RecoverGroup(full); err != nil {
+			if !a.partial {
+				return fmt.Errorf("%w: group %d: %v", ErrRestore, a.cur.id, err)
+			}
+			// Beyond parity: zero-fill the group's data bytes so every
+			// later group's output offset stays where the archive put it.
+			rep.Lost = true
+			a.st.GroupsLost++
+			sh.GroupsLost++
+			for pos := 0; pos < a.cur.data; pos++ {
+				n, err := sink.write(a.zeros)
+				if err != nil {
+					return err
+				}
+				a.st.BytesLost += n
+			}
+			return nil
+		}
+		rep.Recovered = true
+		a.st.GroupsRecovered++
+		sh.GroupsRecovered++
+	}
+	for pos := 0; pos < a.cur.data; pos++ {
+		if _, err := sink.write(full[pos]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lostRange handles frames [start, start+n) that failed to decode and
+// that no surviving frame's header claims: whole groups — typically a
+// whole carrier — are gone. nextID is the group id that ends the range
+// (the id of the group whose decoded frame exposed it), so the group
+// arithmetic is exact: the range holds nextID-lastClosed-1 groups, each
+// carrying groupParity parity frames, and the rest of its frames are data.
+func (a *assembler) lostRange(start, n, nextID int) error {
+	if !a.partial {
+		return fmt.Errorf("%w: frames %d..%d unreadable and no group identifiable (carrier loss beyond parity)",
+			ErrRestore, start, start+n-1)
+	}
+	a.st.FramesLost += n
+	for i := start; i < start+n; i++ {
+		a.st.Sheets[a.sheetOf[i]].FramesLost++
+	}
+	lostGroups := nextID - a.lastClosed - 1
+	if lostGroups <= 0 {
+		return nil // incoherent ids; the frames are already counted
+	}
+	a.st.GroupsLost += lostGroups
+	a.st.Sheets[a.sheetOf[start]].GroupsLost += lostGroups
+	// Report the lost groups so st.Groups stays complete in group order.
+	// Their individual shapes are unknowable (the range may hold a
+	// section's short final group), so each report carries the range's
+	// even share.
+	share := n / lostGroups
+	for g := 0; g < lostGroups; g++ {
+		a.st.Groups = append(a.st.Groups, GroupReport{
+			ID:      a.lastClosed + 1 + g,
+			Sheet:   a.sheetOf[start],
+			Frames:  share,
+			Missing: share,
+			Lost:    true,
+		})
+	}
+	// Zero-fill the lost data bytes so later groups stay at their archive
+	// offsets: the range held lostGroups*groupParity parity frames, the
+	// rest were data. When the range spans a section boundary the fill
+	// past the section's TotalLen is trimmed away and finish pads the
+	// following section instead.
+	return a.fillLost(n - lostGroups*a.groupParity)
+}
+
+// fillLost zero-fills n lost data frames — plus any fill already owed —
+// into the first open section sink. When no section is open yet (the loss
+// precedes the section's first surviving group), the fill is deferred
+// until closeGroup resolves the next group's sink, so output offsets
+// hold; anything still owed at the end is covered by finish's pad.
+func (a *assembler) fillLost(n int) error {
+	n += a.pendingZeroFrames
+	a.pendingZeroFrames = 0
+	if n <= 0 {
+		return nil
+	}
+	var sink *kindSink
+	for _, k := range sectionKinds {
+		if s := a.sinks[k]; s != nil && s.total >= 0 && s.written < s.total {
+			sink = s
+			break
+		}
+	}
+	if sink == nil {
+		a.pendingZeroFrames = n
+		return nil
+	}
+	for f := 0; f < n; f++ {
+		w, err := sink.write(a.zeros)
+		if err != nil {
+			return err
+		}
+		a.st.BytesLost += w
+	}
+	return nil
+}
+
+// finish closes the books once every frame has been consumed.
+func (a *assembler) finish() error {
+	if a.cur.known {
+		// The volume ended inside a group's claimed range (truncated
+		// carrier); close it with what decoded.
+		if err := a.closeGroup(); err != nil {
+			return err
+		}
+	}
+	if a.runLen > 0 {
+		// Trailing failed frames no group claims: there is no next group
+		// id, so the group arithmetic is unavailable; the per-sink pad
+		// below restores the output length.
+		if !a.partial {
+			return fmt.Errorf("%w: frames %d..%d unreadable and no group identifiable (carrier loss beyond parity)",
+				ErrRestore, a.runStart, a.runStart+a.runLen-1)
+		}
+		a.st.FramesLost += a.runLen
+		for i := a.runStart; i < a.runStart+a.runLen; i++ {
+			a.st.Sheets[a.sheetOf[i]].FramesLost++
+		}
+		a.runLen = 0
+	}
+	if a.decoded == 0 {
+		return fmt.Errorf("%w: no readable frames", ErrRestore)
+	}
+	for _, k := range sectionKinds {
+		s := a.sinks[k]
+		if s == nil || s.total < 0 || s.written >= s.total {
+			continue
+		}
+		if !a.partial {
+			return fmt.Errorf("%w: no data stream recovered (%d of %d bytes)", ErrRestore, s.written, s.total)
+		}
+		for s.written < s.total {
+			n, err := s.write(a.zeros)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			a.st.BytesLost += n
+		}
+	}
+	return nil
+}
+
+// sectionKinds is the archive's section emission order — the order loss
+// arithmetic and padding walk the sinks, so results are deterministic.
+var sectionKinds = []emblem.Kind{emblem.KindRaw, emblem.KindData, emblem.KindSystem}
+
+// sink returns (creating on first use) the destination for a section
+// kind: the raw section streams to the caller's writer, the data and
+// system sections buffer for DBDecode.
+func (a *assembler) sink(k emblem.Kind) *kindSink {
+	if s := a.sinks[k]; s != nil {
+		return s
+	}
+	var w io.Writer
+	switch k {
+	case emblem.KindRaw:
+		w = a.out
+	case emblem.KindData:
+		a.dataBuf = &bytes.Buffer{}
+		w = a.dataBuf
+	case emblem.KindSystem:
+		a.sysBuf = &bytes.Buffer{}
+		w = a.sysBuf
+	default:
+		w = io.Discard // unknown section kinds are dropped
+	}
+	s := &kindSink{w: w, total: -1}
+	a.sinks[k] = s
+	return s
 }
 
 // verifyDBDecodeOutput validates the emulated decompressor's output
@@ -262,6 +625,19 @@ func verifyDBDecodeOutput(blob, out []byte) error {
 		return fmt.Errorf("%w: emulated DBDecode output: %v", ErrRestore, err)
 	}
 	return nil
+}
+
+// emuScratch is one worker's reusable emulator state for the emulated
+// restore modes: the DynaRisc reference CPU (RestoreDynaRisc), the
+// VeRisc-hosted runner (RestoreNested) and the input framing buffer.
+// Each worker id owns exactly one goroutine for a run (see
+// forEachFrame), so the scratch is reused serially without locks and a
+// frame decode allocates its payload and nothing else — not the
+// multi-megawords machine image it used to build per frame.
+type emuScratch struct {
+	cpu    *dynarisc.CPU
+	nested *nested.Runner
+	in     []uint16
 }
 
 // decodeFrameEmulated runs the archived MODecode program on a scan,

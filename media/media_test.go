@@ -3,6 +3,7 @@ package media
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"microlonys/internal/emblem"
@@ -123,8 +124,22 @@ func TestMediumWriteScanRoundTrip(t *testing.T) {
 
 func TestMediumRejectsWrongFrameSize(t *testing.T) {
 	m := New(tinyProfile())
-	if err := m.Write([]*raster.Gray{raster.New(10, 10)}); err == nil {
+	err := m.Write([]*raster.Gray{raster.New(10, 10)})
+	if err == nil {
 		t.Fatal("wrong frame size accepted")
+	}
+	// The error must say which frame, what it measured and what the
+	// profile wants — the dimensions are the whole diagnosis.
+	for _, want := range []string{"frame 0", "10x10", "tiny"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("dimension error %q does not mention %q", err, want)
+		}
+	}
+	// A mismatched frame after valid ones reports its own index.
+	img, _ := encodeFrame(t, tinyProfile(), 8, 0.5)
+	err = m.Write([]*raster.Gray{img, raster.New(3, 7)})
+	if err == nil || !strings.Contains(err.Error(), "frame 1") {
+		t.Fatalf("second-frame mismatch: %v", err)
 	}
 }
 

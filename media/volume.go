@@ -1,0 +1,189 @@
+package media
+
+import (
+	"fmt"
+
+	"microlonys/raster"
+)
+
+// Volume is an ordered set of Medium sheets — the multi-carrier archive of
+// the paper's §5 arithmetic, where terabytes spread over thousands of film
+// reels and paper pages. Each sheet is one physical carrier (a page bundle,
+// a film reel) cut to a per-carrier frame capacity; frames are addressed
+// globally in write order, `(sheet, index)` locally. A Volume with one
+// unbounded sheet behaves exactly like a bare Medium, which remains the
+// single-carrier special case throughout the API.
+//
+// Damage models extend from frames to carriers: Damage and Destroy act on
+// one frame of one sheet, DestroySheet loses an entire carrier — the
+// failure mode (a burnt reel, a lost folder) the archive-side group
+// sharding exists for, since the place stage never lets an outer-code
+// group straddle a sheet boundary.
+type Volume struct {
+	profile     Profile
+	sheetFrames int // frames per sheet; 0 = one unbounded sheet
+	sheets      []*Medium
+}
+
+// NewVolume returns an empty volume whose sheets hold at most sheetFrames
+// frames each. sheetFrames <= 0 selects one unbounded sheet — the
+// single-Medium layout every pre-Volume archive used.
+func NewVolume(p Profile, sheetFrames int) *Volume {
+	if sheetFrames < 0 {
+		sheetFrames = 0
+	}
+	return &Volume{profile: p, sheetFrames: sheetFrames}
+}
+
+// VolumeOf wraps an existing medium as a single-sheet volume, so
+// medium-level callers can use the volume-level pipelines unchanged.
+func VolumeOf(m *Medium) *Volume {
+	return &Volume{profile: m.Profile(), sheets: []*Medium{m}}
+}
+
+// Profile returns the volume's media profile.
+func (v *Volume) Profile() Profile { return v.profile }
+
+// SheetFrames returns the per-sheet frame capacity (0 = unbounded).
+func (v *Volume) SheetFrames() int { return v.sheetFrames }
+
+// Sheets returns the number of sheets written so far.
+func (v *Volume) Sheets() int { return len(v.sheets) }
+
+// Sheet returns sheet s.
+func (v *Volume) Sheet(s int) (*Medium, error) {
+	if s < 0 || s >= len(v.sheets) {
+		return nil, fmt.Errorf("media: sheet %d out of range (%d sheets)", s, len(v.sheets))
+	}
+	return v.sheets[s], nil
+}
+
+// FrameCount returns the total frames across all sheets.
+func (v *Volume) FrameCount() int {
+	n := 0
+	for _, s := range v.sheets {
+		n += s.FrameCount()
+	}
+	return n
+}
+
+// Locate maps a global frame index to its (sheet, local index) address.
+func (v *Volume) Locate(i int) (sheet, index int, err error) {
+	if i >= 0 {
+		rest := i
+		for s, m := range v.sheets {
+			if rest < m.FrameCount() {
+				return s, rest, nil
+			}
+			rest -= m.FrameCount()
+		}
+	}
+	return 0, 0, fmt.Errorf("media: frame %d out of range (%d frames)", i, v.FrameCount())
+}
+
+// SheetStart returns the global index of sheet s's first frame.
+func (v *Volume) SheetStart(s int) (int, error) {
+	if s < 0 || s >= len(v.sheets) {
+		return 0, fmt.Errorf("media: sheet %d out of range (%d sheets)", s, len(v.sheets))
+	}
+	start := 0
+	for _, m := range v.sheets[:s] {
+		start += m.FrameCount()
+	}
+	return start, nil
+}
+
+// room returns the open sheet's remaining capacity, cutting the first
+// sheet on an empty volume. With unbounded sheets the room is unlimited.
+func (v *Volume) room() int {
+	if len(v.sheets) == 0 {
+		v.sheets = append(v.sheets, New(v.profile))
+	}
+	if v.sheetFrames <= 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	return v.sheetFrames - v.sheets[len(v.sheets)-1].FrameCount()
+}
+
+// Write appends frames in order, filling the open sheet and cutting a new
+// one whenever it reaches the per-sheet capacity. Frame dimensions are
+// validated against the profile by the underlying Medium.Write.
+func (v *Volume) Write(frames []*raster.Gray) error {
+	for len(frames) > 0 {
+		room := v.room()
+		if room == 0 {
+			v.sheets = append(v.sheets, New(v.profile))
+			continue
+		}
+		n := len(frames)
+		if n > room {
+			n = room
+		}
+		if err := v.sheets[len(v.sheets)-1].Write(frames[:n]); err != nil {
+			return err
+		}
+		frames = frames[n:]
+	}
+	return nil
+}
+
+// WriteGroup writes frames as one indivisible run on a single sheet,
+// cutting a new sheet first if the open one lacks room. This is the
+// carrier-loss guarantee of the place stage: an outer-code group never
+// straddles a sheet, so losing a whole carrier costs only the groups on
+// it.
+func (v *Volume) WriteGroup(frames []*raster.Gray) error {
+	if v.sheetFrames > 0 && len(frames) > v.sheetFrames {
+		return fmt.Errorf("media: group of %d frames exceeds sheet capacity %d", len(frames), v.sheetFrames)
+	}
+	if v.room() < len(frames) {
+		v.sheets = append(v.sheets, New(v.profile))
+	}
+	return v.sheets[len(v.sheets)-1].Write(frames)
+}
+
+// ScanFrame scans the frame at global index i. Each sheet seeds its
+// scanner distortion by local frame index, so a single-sheet volume scans
+// exactly like the bare medium it wraps.
+func (v *Volume) ScanFrame(i int) (*raster.Gray, error) {
+	s, idx, err := v.Locate(i)
+	if err != nil {
+		return nil, err
+	}
+	return v.sheets[s].ScanFrame(idx)
+}
+
+// Damage applies additional distortion to one frame of one sheet.
+func (v *Volume) Damage(sheet, index int, d Distortions) error {
+	m, err := v.Sheet(sheet)
+	if err != nil {
+		return err
+	}
+	return m.Damage(index, d)
+}
+
+// Destroy makes one frame of one sheet unreadable.
+func (v *Volume) Destroy(sheet, index int) error {
+	m, err := v.Sheet(sheet)
+	if err != nil {
+		return err
+	}
+	return m.Destroy(index)
+}
+
+// DestroySheet loses an entire carrier: every frame on the sheet becomes
+// unreadable, the way a burnt reel or a lost page bundle takes all its
+// emblems at once. The sheet still scans (fogged frames), so restoration
+// sees the loss as decode failures to recover from — or report.
+func (v *Volume) DestroySheet(sheet int) error {
+	m, err := v.Sheet(sheet)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.FrameCount(); i++ {
+		if err := m.Destroy(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

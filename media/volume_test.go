@@ -1,0 +1,247 @@
+package media
+
+import (
+	"testing"
+
+	"microlonys/internal/mocoder"
+	"microlonys/raster"
+)
+
+// blankFrames returns n profile-sized frames (solid mid-gray is fine for
+// placement tests — only geometry matters here).
+func blankFrames(p Profile, n int) []*raster.Gray {
+	out := make([]*raster.Gray, n)
+	for i := range out {
+		img := raster.New(p.FrameW, p.FrameH)
+		for j := range img.Pix {
+			img.Pix[j] = 200
+		}
+		out[i] = img
+	}
+	return out
+}
+
+func TestVolumeWriteCutsSheets(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 4)
+	if err := v.Write(blankFrames(p, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Sheets() != 3 {
+		t.Fatalf("sheets = %d, want 3 (4+4+2)", v.Sheets())
+	}
+	if v.FrameCount() != 10 {
+		t.Fatalf("frames = %d, want 10", v.FrameCount())
+	}
+	wants := []int{4, 4, 2}
+	for s, want := range wants {
+		m, err := v.Sheet(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FrameCount() != want {
+			t.Fatalf("sheet %d holds %d frames, want %d", s, m.FrameCount(), want)
+		}
+	}
+	if _, err := v.Sheet(3); err == nil {
+		t.Fatal("out-of-range sheet accepted")
+	}
+}
+
+func TestVolumeUnboundedSingleSheet(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 0)
+	if err := v.Write(blankFrames(p, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Sheets() != 1 || v.FrameCount() != 25 {
+		t.Fatalf("sheets=%d frames=%d, want one sheet of 25", v.Sheets(), v.FrameCount())
+	}
+}
+
+func TestVolumeWriteGroupNeverStraddles(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 5)
+	// 3 frames fit sheet 0; the next group of 4 would straddle, so it
+	// must open sheet 1 whole.
+	if err := v.WriteGroup(blankFrames(p, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteGroup(blankFrames(p, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Sheets() != 2 {
+		t.Fatalf("sheets = %d, want 2", v.Sheets())
+	}
+	s0, _ := v.Sheet(0)
+	s1, _ := v.Sheet(1)
+	if s0.FrameCount() != 3 || s1.FrameCount() != 4 {
+		t.Fatalf("sheet frames = %d,%d; want 3,4", s0.FrameCount(), s1.FrameCount())
+	}
+	// A group larger than a whole sheet can never be placed.
+	if err := v.WriteGroup(blankFrames(p, 6)); err == nil {
+		t.Fatal("oversized group accepted")
+	}
+}
+
+func TestVolumeLocateAndScan(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 3)
+	if err := v.Write(blankFrames(p, 7)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ global, sheet, index int }{
+		{0, 0, 0}, {2, 0, 2}, {3, 1, 0}, {5, 1, 2}, {6, 2, 0},
+	}
+	for _, c := range cases {
+		s, i, err := v.Locate(c.global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != c.sheet || i != c.index {
+			t.Fatalf("Locate(%d) = (%d,%d), want (%d,%d)", c.global, s, i, c.sheet, c.index)
+		}
+	}
+	if _, _, err := v.Locate(7); err == nil {
+		t.Fatal("out-of-range frame located")
+	}
+	if _, _, err := v.Locate(-1); err == nil {
+		t.Fatal("negative frame located")
+	}
+	for s, want := range []int{0, 3, 6} {
+		got, err := v.SheetStart(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("SheetStart(%d) = %d, want %d", s, got, want)
+		}
+	}
+	if _, err := v.ScanFrame(4); err != nil {
+		t.Fatalf("global scan: %v", err)
+	}
+	if _, err := v.ScanFrame(7); err == nil {
+		t.Fatal("out-of-range scan accepted")
+	}
+}
+
+// TestVolumeSingleSheetScansLikeMedium pins the Medium-compatibility
+// contract: a single-sheet volume and a bare medium written with the same
+// frames scan back byte-identically (scanner distortion seeds by local
+// frame index).
+func TestVolumeSingleSheetScansLikeMedium(t *testing.T) {
+	p := tinyProfile()
+	img, _ := encodeFrame(t, p, 9, 0.7)
+	frames := []*raster.Gray{img, img.Clone(), img.Clone()}
+
+	m := New(p)
+	if err := m.Write(frames); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVolume(p, 0)
+	if err := v.Write([]*raster.Gray{img, img.Clone(), img.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, err := m.ScanFrame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := v.ScanFrame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !raster.Equal(a, b) {
+			t.Fatalf("frame %d: volume scan differs from medium scan", i)
+		}
+	}
+}
+
+func TestVolumeOfWrapsExistingMedium(t *testing.T) {
+	p := tinyProfile()
+	m := New(p)
+	if err := m.Write(blankFrames(p, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v := VolumeOf(m)
+	if v.Sheets() != 1 || v.FrameCount() != 2 {
+		t.Fatalf("wrap: sheets=%d frames=%d", v.Sheets(), v.FrameCount())
+	}
+	s, err := v.Sheet(0)
+	if err != nil || s != m {
+		t.Fatal("wrapped volume must alias the medium")
+	}
+	if v.Profile().Name != p.Name {
+		t.Fatal("profile not carried through")
+	}
+}
+
+func TestVolumeRejectsWrongFrameSize(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 4)
+	if err := v.Write([]*raster.Gray{raster.New(10, 10)}); err == nil {
+		t.Fatal("wrong frame size accepted by volume write")
+	}
+	if err := v.WriteGroup([]*raster.Gray{raster.New(10, 10)}); err == nil {
+		t.Fatal("wrong frame size accepted by group write")
+	}
+}
+
+func TestVolumeDamageDestroyAddressing(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 2)
+	img, _ := encodeFrame(t, p, 11, 0.6)
+	frames := []*raster.Gray{img, img.Clone(), img.Clone(), img.Clone()}
+	if err := v.Write(frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Damage(1, 0, Distortions{Seed: 5, DustSpecks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Destroy(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Destroy(2, 0); err == nil {
+		t.Fatal("destroy on missing sheet accepted")
+	}
+	if err := v.Damage(0, 5, Distortions{}); err == nil {
+		t.Fatal("damage on missing frame accepted")
+	}
+}
+
+func TestVolumeDestroySheet(t *testing.T) {
+	p := tinyProfile()
+	v := NewVolume(p, 2)
+	img, payload := encodeFrame(t, p, 12, 0.6)
+	if err := v.Write([]*raster.Gray{img, img.Clone(), img.Clone(), img.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DestroySheet(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DestroySheet(9); err == nil {
+		t.Fatal("destroying a missing sheet accepted")
+	}
+	// Sheet 0's frames still scan (fogged) but carry no payload; sheet 1
+	// is untouched and still decodes.
+	for i := 0; i < 2; i++ {
+		scan, err := v.ScanFrame(i)
+		if err != nil {
+			t.Fatalf("destroyed frame must still scan: %v", err)
+		}
+		if _, _, _, err := mocoder.Decode(scan, p.Layout); err == nil {
+			t.Fatalf("frame %d decoded after sheet destruction", i)
+		}
+	}
+	scan, err := v.ScanFrame(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := mocoder.Decode(scan, p.Layout)
+	if err != nil {
+		t.Fatalf("surviving sheet frame: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("surviving payload mismatch")
+	}
+}

@@ -29,12 +29,21 @@
 // pool (0 = GOMAXPROCS, 1 = serial); results are byte-identical at any
 // setting.
 //
+// Archives are multi-volume and streaming: ArchiveReader plans, encodes
+// and places one outer-code group at a time onto a media.Volume — an
+// ordered set of sheets (pages, reels) cut to Options.SheetFrames, with a
+// group never straddling a carrier — and RestoreTo flushes each group to
+// an io.Writer as soon as its frames decode. The []byte APIs are thin
+// wrappers over the streaming ends.
+//
 // Subpackages: media (analog media simulation and capacity models), raster
 // (images), dynarisc and verisc (the two virtual processors), tpch (the
 // evaluation workload generator).
 package microlonys
 
 import (
+	"io"
+
 	"microlonys/internal/core"
 	"microlonys/media"
 )
@@ -64,8 +73,15 @@ type Manifest = core.Manifest
 // document text and the manifest.
 type Archived = core.Archived
 
-// RestoreStats reports restoration diagnostics.
+// RestoreStats reports restoration diagnostics, including per-sheet and
+// per-group recovery detail.
 type RestoreStats = core.RestoreStats
+
+// SheetReport is one media sheet's slice of RestoreStats.
+type SheetReport = core.SheetReport
+
+// GroupReport is one outer-code group's slice of RestoreStats.
+type GroupReport = core.GroupReport
 
 // DefaultOptions returns the paper's configuration (17+3 outer code,
 // DBCoder compression) for a media profile.
@@ -79,6 +95,16 @@ func Archive(data []byte, opts Options) (*Archived, error) {
 	return core.CreateArchive(data, opts)
 }
 
+// ArchiveReader is Archive over an io.Reader: the pipeline plans, encodes
+// and places one outer-code group at a time, so the rasterized frames are
+// never materialized beyond the group in flight. With Options.SheetFrames
+// set, the place stage shards groups across media sheets — a group never
+// straddles a carrier — and the result's Volume holds every sheet
+// (Medium aliases the single sheet when only one was cut).
+func ArchiveReader(r io.Reader, opts Options) (*Archived, error) {
+	return core.CreateArchiveStream(r, opts)
+}
+
 // Restore runs the restoration pipeline of Figure 2(b) against a medium
 // and the Bootstrap text, returning the original archive bytes.
 func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *RestoreStats, error) {
@@ -90,4 +116,21 @@ func Restore(m *media.Medium, bootstrapText string, mode Mode) ([]byte, *Restore
 // any worker count.
 func RestoreWith(m *media.Medium, bootstrapText string, opts RestoreOptions) ([]byte, *RestoreStats, error) {
 	return core.RestoreWithOptions(m, bootstrapText, opts)
+}
+
+// RestoreVolume restores a multi-sheet volume into memory.
+func RestoreVolume(v *media.Volume, bootstrapText string, opts RestoreOptions) ([]byte, *RestoreStats, error) {
+	return core.RestoreVolume(v, bootstrapText, opts)
+}
+
+// RestoreTo runs the restoration pipeline group-incrementally against a
+// volume, writing the restored bytes to w: each 17+3 group is
+// outer-recovered and flushed as soon as its frames decode, bounding peak
+// memory to the groups in flight instead of the whole archive (raw
+// archives stream end to end; compressed archives buffer only the small
+// compressed stream for DBDecode). RestoreOptions.Partial keeps going
+// past lost carriers, zero-filling and reporting what could not be
+// recovered.
+func RestoreTo(w io.Writer, v *media.Volume, bootstrapText string, opts RestoreOptions) (*RestoreStats, error) {
+	return core.RestoreToWriter(w, v, bootstrapText, opts)
 }

@@ -46,6 +46,60 @@ func TestFacadeArchiveRestore(t *testing.T) {
 	}
 }
 
+// TestFacadeStreamingEnds drives the io.Reader/io.Writer pipeline ends
+// through the public API: a multi-sheet raw archive from a stream,
+// restored to a writer, with a carrier lost in between and Partial mode
+// reporting the damage.
+func TestFacadeStreamingEnds(t *testing.T) {
+	prof := facadeProfile()
+	data := []byte(strings.Repeat("INSERT INTO region VALUES (2, 'ASIA');\n", 500))
+	opts := microlonys.DefaultOptions(prof)
+	opts.Compress = false
+	opts.SheetFrames = 20
+
+	arch, err := microlonys.ArchiveReader(bytes.NewReader(data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Volume == nil || arch.Volume.Sheets() < 2 {
+		t.Fatalf("want a multi-sheet volume, got %+v", arch.Manifest)
+	}
+	if arch.Manifest.Sheets != arch.Volume.Sheets() {
+		t.Fatal("manifest sheet count")
+	}
+
+	// Streamed restore equals the input bit-exactly.
+	var buf bytes.Buffer
+	st, err := microlonys.RestoreTo(&buf, arch.Volume, arch.BootstrapText,
+		microlonys.RestoreOptions{Mode: microlonys.RestoreNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("streamed restore differs from input")
+	}
+	if len(st.Sheets) != arch.Volume.Sheets() || len(st.Groups) != arch.Manifest.Groups {
+		t.Fatalf("stats shape: %d sheet and %d group reports", len(st.Sheets), len(st.Groups))
+	}
+
+	// Lose the last carrier; the survivors restore in Partial mode.
+	lost := arch.Volume.Sheets() - 1
+	if err := arch.Volume.DestroySheet(lost); err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := microlonys.RestoreVolume(arch.Volume, arch.BootstrapText,
+		microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("partial output %d bytes, want %d", len(out), len(data))
+	}
+	if st.BytesLost == 0 || st.Sheets[lost].FramesFailed == 0 {
+		t.Fatalf("carrier loss not reported: %+v", st)
+	}
+}
+
 func TestFacadeModesAreDistinct(t *testing.T) {
 	modes := map[microlonys.Mode]string{
 		microlonys.RestoreNative:   "native",
