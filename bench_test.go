@@ -23,6 +23,9 @@
 //	P5  ext.      archive hot path: time and allocations per frame
 //	P6  ext.      multi-volume streaming: sheet sweep, sheet-loss restore,
 //	              streaming vs buffered restore allocation
+//	P7  ext.      restore scan hot path: per-frame decode, RS decode
+//	              (clean/damaged/erasures), group recovery, serial native
+//	              restore
 package microlonys_test
 
 import (
@@ -44,6 +47,7 @@ import (
 	"microlonys/internal/mocoder"
 	"microlonys/internal/nested"
 	"microlonys/internal/qrbase"
+	"microlonys/internal/rs"
 	"microlonys/internal/sqldump"
 	"microlonys/media"
 	"microlonys/raster"
@@ -1034,6 +1038,168 @@ func BenchmarkP6Volume(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// ---- P7: restore scan hot path -------------------------------------------
+
+// BenchmarkP7RestoreScan measures the native restore scan leg this repo's
+// scan-path work targets (BENCH_scan.json records the committed
+// baseline): the end-to-end serial native restore of a 256 KB raw archive
+// (the read-side counterpart of P5/raw/workers=1 — scan + demodulate +
+// inner RS dominate), the per-frame emblem decode through fresh vs reused
+// scratch (the direct measure of what the per-worker scanScratch saves),
+// the Reed-Solomon decode on clean, damaged and erased words (clean is
+// the dominant undamaged case the syndrome tables exist for), and the
+// outer-code group recovery (the once-per-group erasure solve).
+func BenchmarkP7RestoreScan(b *testing.B) {
+	// End-to-end serial restore, in two scanner regimes: the bench
+	// profile's full distortion model (rotation, blur, noise, dust — the
+	// scanner simulation is roughly half the work and is identity-bound),
+	// and a pristine scan-back (the archival-writer best case), which
+	// isolates the decode leg this PR rebuilds.
+	serial := func(b *testing.B, prof media.Profile) {
+		data := tpchDump()[:256*1024]
+		opts := microlonys.DefaultOptions(prof)
+		opts.Compress = false
+		arch, err := microlonys.Archive(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := arch.Manifest.TotalFrames
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, _, err := microlonys.RestoreWith(arch.Medium, arch.BootstrapText,
+				microlonys.RestoreOptions{Mode: microlonys.RestoreNative, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				b.Fatal("restore mismatch")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(frames)/1e6, "ms/frame")
+	}
+	b.Run("serial-native/distorted", func(b *testing.B) { serial(b, benchProfile()) })
+	b.Run("serial-native/clean", func(b *testing.B) {
+		prof := benchProfile()
+		prof.Scanner = media.Distortions{}
+		serial(b, prof)
+	})
+
+	// Per-frame emblem decode on a clean rendered frame, one iteration =
+	// one frame: fresh scratch vs a reused DecodeScratch.
+	b.Run("frame-decode", func(b *testing.B) {
+		l := benchProfile().Layout
+		payload := make([]byte, mocoder.Capacity(l))
+		rand.New(rand.NewSource(11)).Read(payload)
+		img, err := mocoder.Encode(payload, emblem.Header{Kind: emblem.KindRaw}, l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := mocoder.Decode(img, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("reused", func(b *testing.B) {
+			b.ReportAllocs()
+			var s mocoder.DecodeScratch
+			if _, _, _, err := mocoder.DecodeWith(&s, img, l); err != nil {
+				b.Fatal(err) // warm-up sizes the scratch once
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := mocoder.DecodeWith(&s, img, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	// The inner RS(255,223) decode: the clean word every undamaged block
+	// hits, and a 16-error word at the correction limit.
+	b.Run("rs-decode", func(b *testing.B) {
+		c := rs.New(rs.InnerParity)
+		rng := rand.New(rand.NewSource(12))
+		data := make([]byte, rs.InnerData)
+		rng.Read(data)
+		clean := c.EncodeFull(data)
+		damaged := append([]byte(nil), clean...)
+		for _, p := range rng.Perm(len(damaged))[:16] {
+			damaged[p] ^= 0xA5
+		}
+		buf := make([]byte, len(clean))
+		b.Run("clean", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(rs.InnerData)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(clean, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("damaged", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(rs.InnerData)
+			for i := 0; i < b.N; i++ {
+				copy(buf, damaged)
+				if _, err := c.Decode(buf, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Hoisted out of the sub-benchmark so the workload is identical
+		// across calibration rounds (the closure reruns with growing b.N
+		// and must not re-draw from the shared rng).
+		eras := rng.Perm(len(clean))[:rs.InnerParity]
+		erased := append([]byte(nil), clean...)
+		for _, p := range eras {
+			erased[p] = 0
+		}
+		b.Run("erasures", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(rs.InnerData)
+			for i := 0; i < b.N; i++ {
+				copy(buf, erased)
+				if _, err := c.Decode(buf, eras); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	// Outer-code group recovery: 3 of 20 emblem payloads missing, at the
+	// bench profile's frame capacity.
+	b.Run("group-recover", func(b *testing.B) {
+		capacity := benchProfile().FrameCapacity()
+		rng := rand.New(rand.NewSource(13))
+		data := make([][]byte, mocoder.GroupData)
+		for i := range data {
+			data[i] = make([]byte, capacity)
+			rng.Read(data[i])
+		}
+		parity, err := mocoder.GroupParityPayloads(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		group := append(append([][]byte(nil), data...), parity...)
+		broken := make([][]byte, len(group))
+		b.ReportAllocs()
+		b.SetBytes(int64(mocoder.GroupData * capacity))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(broken, group)
+			broken[1], broken[8], broken[19] = nil, nil, nil
+			if err := mocoder.RecoverGroup(broken); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -123,7 +123,7 @@ func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	// releasing its payload. The completion channel is sized so workers
 	// never block on a momentarily busy consumer.
 	results := make([]frameResult, n)
-	scratch := make([]emuScratch, resolveWorkers(ro.Workers))
+	scratch := make([]scanScratch, resolveWorkers(ro.Workers))
 	completed := make(chan int, 2*resolveWorkers(ro.Workers)+doc.GroupData+doc.GroupParity)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -153,7 +153,8 @@ func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	}()
 
 	decErr := forEachFrame(ctx, ro.Workers, n, func(_ context.Context, worker, i int) error {
-		scan, err := v.ScanFrame(i)
+		sc := &scratch[worker]
+		scan, err := v.ScanFrameInto(&sc.scan, i)
 		if err != nil {
 			return fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, i, err)
 		}
@@ -162,12 +163,12 @@ func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		switch ro.Mode {
 		case RestoreNative:
 			var stats *mocoder.Stats
-			res.payload, res.hdr, stats, err = mocoder.Decode(scan, layout)
+			res.payload, res.hdr, stats, err = mocoder.DecodeWith(&sc.dec, scan, layout)
 			if stats != nil {
 				res.corrected = stats.BytesCorrected
 			}
 		default:
-			res.payload, res.hdr, err = decodeFrameEmulated(&scratch[worker], moProg, scan, layout, ro.Mode)
+			res.payload, res.hdr, err = decodeFrameEmulated(&sc.emu, moProg, scan, layout, ro.Mode)
 		}
 		res.decoded = err == nil
 		completed <- i
@@ -625,6 +626,22 @@ func verifyDBDecodeOutput(blob, out []byte) error {
 		return fmt.Errorf("%w: emulated DBDecode output: %v", ErrRestore, err)
 	}
 	return nil
+}
+
+// scanScratch is one restore worker's reusable state for the fused
+// scan+decode stage: the media scan buffers (the full-resolution frame
+// images the scanner simulation renders through), the native decoder's
+// per-frame scratch, and the emulated modes' machine state. Each worker
+// id owns exactly one goroutine for a run (see forEachFrame), so the
+// scratch is reused serially without locks — a steady-state native frame
+// decode allocates only its payload and stats, and the scan stage is down
+// to a handful of small per-frame allocations (the distortion RNG and the
+// blur/warp lookup tables) instead of two or three full-resolution
+// images.
+type scanScratch struct {
+	scan media.ScanScratch
+	dec  mocoder.DecodeScratch
+	emu  emuScratch
 }
 
 // emuScratch is one worker's reusable emulator state for the emulated

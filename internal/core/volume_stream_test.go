@@ -253,6 +253,53 @@ func TestRestoreStreamMatchesReference(t *testing.T) {
 	}
 }
 
+// TestRestoreDamagedFramesMatchesReference pins the fast scan path on
+// frames that are damaged but recoverable — heavy jitter and noise drive
+// the inner code through corrections, clock-violation erasure hints and
+// the errors-only retry — against the seed reference restore, bytes and
+// stats, per worker count.
+func TestRestoreDamagedFramesMatchesReference(t *testing.T) {
+	data := testPayload(30000)
+	arch, err := CreateArchive(data, DefaultOptions(tinyProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade a few frames short of destruction, and destroy one outright
+	// so the group recovery runs too.
+	for _, f := range []int{0, 3} {
+		if err := arch.Medium.Damage(f, media.Distortions{RowJitterPx: 2.2, Noise: 14, DustSpecks: 25, Seed: int64(f) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arch.Medium.Destroy(5); err != nil {
+		t.Fatal(err)
+	}
+
+	want, wantSt, err := referenceRestore(arch.Medium, arch.BootstrapText, RestoreOptions{Mode: RestoreNative, Workers: 1})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if !bytes.Equal(want, data) {
+		t.Fatal("reference restore differs from input")
+	}
+	if wantSt.BytesCorrected == 0 {
+		t.Fatal("damage produced no inner-code corrections; the scenario is too gentle to pin anything")
+	}
+	for _, workers := range []int{1, 4} {
+		got, st, err := RestoreWithOptions(arch.Medium, arch.BootstrapText, RestoreOptions{Mode: RestoreNative, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: restore differs from reference", workers)
+		}
+		if st.FramesScanned != wantSt.FramesScanned || st.FramesFailed != wantSt.FramesFailed ||
+			st.GroupsRecovered != wantSt.GroupsRecovered || st.BytesCorrected != wantSt.BytesCorrected {
+			t.Fatalf("workers=%d: stats %+v != reference %+v", workers, st, wantSt)
+		}
+	}
+}
+
 // TestRestoreToMatchesRestore pins the two public ends against each other
 // on a multi-sheet archive: RestoreTo's streamed bytes equal
 // RestoreVolume's buffered bytes, and the stats — including the per-sheet

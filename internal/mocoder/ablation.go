@@ -115,22 +115,24 @@ func DecodeAbsolute(img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *
 	st := &Stats{}
 	st.Threshold = img.OtsuThreshold()
 
-	corners, err := findFrame(img, st.Threshold, l)
+	ds := &DecodeScratch{}
+	corners, err := findFrame(ds, img, st.Threshold, l)
 	if err != nil {
 		return nil, emblem.Header{}, st, err
 	}
-	rot, mapper, err := orient(img, st.Threshold, corners, l)
+	rot, mapper, err := orient(ds, img, st.Threshold, corners, l)
 	if err != nil {
 		return nil, emblem.Header{}, st, err
 	}
 	st.Rotation = rot * 90
 
+	sm := newModuleSampler(img, mapper, ds, l)
 	path := l.DataPath()
 	nbits := l.StreamBits()
 	stream := make([]byte, (nbits+7)/8)
 	for i := 0; i < nbits; i++ {
 		p := path[i]
-		if sampleModule(img, mapper, p.X, p.Y, l) < float64(st.Threshold) {
+		if sm.sample(p.X, p.Y) < float64(st.Threshold) {
 			stream[i/8] |= 1 << uint(7-i%8)
 		}
 	}

@@ -3,6 +3,7 @@ package mocoder
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"microlonys/internal/emblem"
 	"microlonys/internal/rs"
@@ -21,45 +22,269 @@ type Stats struct {
 
 type point struct{ x, y float64 }
 
+// bilinearMapper maps emblem-relative (u, v) grid coordinates into image
+// space by bilinear interpolation between the four detected frame
+// corners. It is a concrete value — not a closure — so mapUV inlines
+// into the sampling loops that call it tens of thousands of times per
+// frame.
+type bilinearMapper struct {
+	p00, p10, p01, p11 point
+}
+
+// mapperFor builds the mapper for a rotation: corner order is the
+// detected [TL, TR, BR, BL] in image space; the emblem's own TL sits at
+// detected index rot.
+func mapperFor(corners [4]point, rot int) bilinearMapper {
+	c := corners
+	return bilinearMapper{
+		p00: c[rot%4],
+		p10: c[(rot+1)%4],
+		p11: c[(rot+2)%4],
+		p01: c[(rot+3)%4],
+	}
+}
+
+func (m *bilinearMapper) mapUV(u, v float64) point {
+	x := (1-u)*(1-v)*m.p00.x + u*(1-v)*m.p10.x + (1-u)*v*m.p01.x + u*v*m.p11.x
+	y := (1-u)*(1-v)*m.p00.y + u*(1-v)*m.p10.y + (1-u)*v*m.p01.y + u*v*m.p11.y
+	return point{x, y}
+}
+
+// moduleSampler samples data-region modules through a mapper with the
+// grid constants (border offset, grid span) hoisted once per decode and
+// the per-module grid coordinates u, v precomputed per tap (uTab/vTab,
+// cached per layout in the scratch) — ten divisions per module in the
+// demodulation loop become two table loads.
+type moduleSampler struct {
+	img        *raster.Gray
+	m          bilinearMapper
+	bm, gw, gh float64
+	uTab, vTab []float64 // [tap*DataW+mx], [tap*DataH+my]
+	dw, dh     int
+}
+
+func newModuleSampler(img *raster.Gray, m bilinearMapper, s *DecodeScratch, l emblem.Layout) moduleSampler {
+	s.ensureSampleTabs(l)
+	return moduleSampler{
+		img:  img,
+		m:    m,
+		bm:   float64(emblem.BorderModules + emblem.SeparatorModules),
+		gw:   float64(l.GridW()),
+		gh:   float64(l.GridH()),
+		uTab: s.uTab,
+		vTab: s.vTab,
+		dw:   l.DataW,
+		dh:   l.DataH,
+	}
+}
+
+// moduleOffsets are the five supersampling taps that ride out noise and
+// sub-pixel grid error.
+var moduleOffsets = [5][2]float64{{0, 0}, {-0.22, -0.22}, {0.22, -0.22}, {-0.22, 0.22}, {0.22, 0.22}}
+
+// sampleOff returns the mean intensity of data module (mx, my),
+// supersampled at five points, with an additional image-horizontal offset
+// (pixels) — the per-row correction recovered from the clock signal.
+//
+// The mapper and the interior bilinear sample are expanded inline — the
+// same expressions mapUV and raster.SampleBilinear evaluate, in the same
+// order, so the result is bit-identical (TestDecodeWithDifferential pins
+// this against the closure/SampleBilinear reference) — because this loop
+// runs five times per module across every data module of every frame.
+func (sm *moduleSampler) sampleOff(mx, my int, off float64) float64 {
+	img := sm.img
+	w, h := img.W, img.H
+	pix := img.Pix
+	var sum float64
+	for k := range moduleOffsets {
+		u := sm.uTab[k*sm.dw+mx]
+		v := sm.vTab[k*sm.dh+my]
+		sx := (1-u)*(1-v)*sm.m.p00.x + u*(1-v)*sm.m.p10.x + (1-u)*v*sm.m.p01.x + u*v*sm.m.p11.x
+		sy := (1-u)*(1-v)*sm.m.p00.y + u*(1-v)*sm.m.p10.y + (1-u)*v*sm.m.p01.y + u*v*sm.m.p11.y
+		sx += off
+		x0 := int(math.Floor(sx))
+		y0 := int(math.Floor(sy))
+		if x0 >= 0 && y0 >= 0 && x0+1 < w && y0+1 < h {
+			fx := sx - float64(x0)
+			fy := sy - float64(y0)
+			i := y0*w + x0
+			p00 := float64(pix[i])
+			p10 := float64(pix[i+1])
+			p01 := float64(pix[i+w])
+			p11 := float64(pix[i+w+1])
+			sum += p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+		} else {
+			sum += img.SampleBilinear(sx, sy)
+		}
+	}
+	return sum / float64(len(moduleOffsets))
+}
+
+// sample is sampleOff with no horizontal correction.
+func (sm *moduleSampler) sample(mx, my int) float64 { return sm.sampleOff(mx, my, 0) }
+
+// clockPair is one guaranteed Differential-Manchester boundary: the
+// second half-module of a bit and the first half-module of the next, on
+// the same serpentine row.
+type clockPair struct{ a, b emblem.Point }
+
+// mappedClockPair is a clock boundary's two module centres mapped into
+// image space — the offset search shifts these horizontally, so the
+// mapping is hoisted out of the per-offset contrast loop.
+type mappedClockPair struct{ ax, ay, bx, by float64 }
+
+// DecodeScratch carries the decoder's reusable per-frame state: the
+// demodulation buffers (half-module levels, stream bytes, suspicion
+// flags, per-row clock offsets), the deinterleave codeword storage, the
+// inner-code decode scratch, the frame-detection point buffers, and —
+// cached per layout, since they are pure geometry — the serpentine data
+// path and the per-row clock-boundary pairs (the path alone is megabytes
+// per frame at paper scale). A zero DecodeScratch is ready to use; it
+// must not be shared between concurrent decodes. In steady state (same
+// layout frame after frame — the restore scan stage) a DecodeWith
+// allocates only the returned payload and Stats.
+type DecodeScratch struct {
+	layout     emblem.Layout // layout the cached geometry belongs to
+	path       []emblem.Point
+	pairsByRow [][]clockPair
+
+	// Per-tap module grid coordinates, cached under their own layout key
+	// (geometry consumers like Rectify need these without paying for the
+	// data-path cache).
+	tabLayout  emblem.Layout
+	uTab, vTab []float64
+
+	lens     []int
+	levels   []bool
+	stream   []byte
+	suspect  []bool
+	offs     []float64
+	clockQ   []mappedClockPair
+	cw       []byte   // deinterleaved codewords, back to back
+	blocks   [][]byte // slice views into cw
+	erasures [][]int
+	rss      rs.DecodeScratch
+
+	// findFrame edge-point buffers (left, right, top, bottom) and the
+	// line-fit residual/inlier scratch.
+	pts   [4][]point
+	resid []float64
+	kept  []point
+}
+
+// ensureLayout refreshes the cached geometry when the layout changes.
+func (s *DecodeScratch) ensureLayout(l emblem.Layout) {
+	if s.path != nil && s.layout == l {
+		return
+	}
+	s.layout = l
+	s.path = l.DataPath()
+	// Differential Manchester places a level transition between the
+	// second half-module of each bit and the first half-module of the
+	// next, i.e. between consecutive even/odd positions of the serpentine
+	// path; serpentine turns (row changes) are skipped.
+	s.pairsByRow = make([][]clockPair, l.DataH)
+	for i := 1; i+1 < len(s.path); i += 2 {
+		a, b := s.path[i], s.path[i+1]
+		if a.Y == b.Y {
+			s.pairsByRow[a.Y] = append(s.pairsByRow[a.Y], clockPair{a, b})
+		}
+	}
+}
+
+// ensureSampleTabs refreshes the per-tap u/v coordinate tables: entry
+// [k*DataW+mx] (resp. [k*DataH+my]) holds exactly the grid coordinate
+// sampleOff computed inline before — (bm + m + 0.5 + tap)/gridSpan — so
+// the demodulation loop replaces its per-sample divisions with loads.
+func (s *DecodeScratch) ensureSampleTabs(l emblem.Layout) {
+	if s.uTab != nil && s.tabLayout == l {
+		return
+	}
+	s.tabLayout = l
+	bm := float64(emblem.BorderModules + emblem.SeparatorModules)
+	gw, gh := float64(l.GridW()), float64(l.GridH())
+	if cap(s.uTab) < len(moduleOffsets)*l.DataW {
+		s.uTab = make([]float64, len(moduleOffsets)*l.DataW)
+	}
+	s.uTab = s.uTab[:len(moduleOffsets)*l.DataW]
+	if cap(s.vTab) < len(moduleOffsets)*l.DataH {
+		s.vTab = make([]float64, len(moduleOffsets)*l.DataH)
+	}
+	s.vTab = s.vTab[:len(moduleOffsets)*l.DataH]
+	for k, o := range moduleOffsets {
+		for mx := 0; mx < l.DataW; mx++ {
+			s.uTab[k*l.DataW+mx] = (bm + float64(mx) + 0.5 + o[0]) / gw
+		}
+		for my := 0; my < l.DataH; my++ {
+			s.vTab[k*l.DataH+my] = (bm + float64(my) + 0.5 + o[1]) / gh
+		}
+	}
+}
+
 // Decode locates the emblem in a scanned image, demodulates the data
 // stream and runs the inner Reed-Solomon correction. The caller supplies
 // the layout the emblem was produced with (recorded in the Bootstrap
 // document); the scan may be at any resolution or mild distortion.
 func Decode(img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *Stats, error) {
+	return DecodeWith(&DecodeScratch{}, img, l)
+}
+
+// DecodeWith is Decode through reusable scratch, for callers decoding
+// many frames in a loop (the restore scan stage threads one per worker).
+// Results are identical to Decode.
+func DecodeWith(s *DecodeScratch, img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *Stats, error) {
 	if err := l.Validate(); err != nil {
 		return nil, emblem.Header{}, nil, err
 	}
+	s.ensureLayout(l)
 	st := &Stats{}
 	st.Threshold = img.OtsuThreshold()
 
-	corners, err := findFrame(img, st.Threshold, l)
+	corners, err := findFrame(s, img, st.Threshold, l)
 	if err != nil {
 		return nil, emblem.Header{}, st, err
 	}
 
-	rot, mapper, err := orient(img, st.Threshold, corners, l)
+	rot, mapper, err := orient(s, img, st.Threshold, corners, l)
 	if err != nil {
 		return nil, emblem.Header{}, st, err
 	}
 	st.Rotation = rot * 90
 
+	sm := newModuleSampler(img, mapper, s, l)
+
 	// Local clock recovery (§3.1): Differential Manchester guarantees a
 	// transition at every bit boundary, so each data row's sampling phase
 	// can be re-locked against scanner transport jitter before the row is
 	// demodulated — the self-clocking advantage over absolute grids.
-	offs := clockOffsets(img, mapper, l)
+	offs := clockOffsets(s, &sm, l)
 
 	// Sample the data path and demodulate.
-	path := l.DataPath()
+	path := s.path
 	nbits := l.StreamBits()
-	levels := make([]bool, 2*nbits)
+	if cap(s.levels) < 2*nbits {
+		s.levels = make([]bool, 2*nbits)
+	}
+	levels := s.levels[:2*nbits]
+	thr := float64(st.Threshold)
 	for i := 0; i < 2*nbits; i++ {
 		p := path[i]
-		levels[i] = sampleModuleOff(img, mapper, p.X, p.Y, l, offs[p.Y]) < float64(st.Threshold)
+		levels[i] = sm.sampleOff(p.X, p.Y, offs[p.Y]) < thr
 	}
 
-	stream := make([]byte, (nbits+7)/8)
-	suspect := make([]bool, len(stream))
+	nStream := (nbits + 7) / 8
+	if cap(s.stream) < nStream {
+		s.stream = make([]byte, nStream)
+	}
+	stream := s.stream[:nStream]
+	if cap(s.suspect) < nStream {
+		s.suspect = make([]bool, nStream)
+	}
+	suspect := s.suspect[:nStream]
+	for i := range stream {
+		stream[i] = 0
+		suspect[i] = false
+	}
 	prev := false
 	for i := 0; i < nbits; i++ {
 		h1, h2 := levels[2*i], levels[2*i+1]
@@ -86,27 +311,31 @@ func Decode(img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *Stats, e
 	if len(coded) > cb {
 		coded = coded[:cb]
 	}
-	lens := blockLens(cb)
-	blocks, erasures := deinterleave(coded, codedSuspect, lens)
+	s.lens = appendBlockLens(s.lens[:0], cb)
+	blocks, erasures := deinterleaveInto(s, coded, codedSuspect)
 
-	payload := make([]byte, 0, Capacity(l))
+	capacity := 0
+	for _, n := range s.lens {
+		capacity += n
+	}
+	payload := make([]byte, 0, capacity)
 	for i, cw := range blocks {
 		eras := erasures[i]
 		if len(eras) > rs.InnerParity {
 			eras = nil // too many hints to be useful; rely on error decoding
 		}
-		n, err := inner.Decode(cw, eras)
+		n, err := inner.DecodeWith(&s.rss, cw, eras)
 		if err != nil && len(eras) > 0 {
 			// Erasure hints can be wrong (clock violations from damage
 			// that did not corrupt the byte); retry errors-only.
-			n, err = inner.Decode(cw, nil)
+			n, err = inner.DecodeWith(&s.rss, cw, nil)
 		}
 		if err != nil {
 			return nil, hdr, st, fmt.Errorf("%w: block %d/%d: %v", ErrUncorrectable, i+1, len(blocks), err)
 		}
 		st.BytesCorrected += n
 		st.BlocksDecoded++
-		payload = append(payload, cw[:lens[i]]...)
+		payload = append(payload, cw[:s.lens[i]]...)
 	}
 
 	if int(hdr.PayloadLen) > len(payload) {
@@ -115,81 +344,85 @@ func Decode(img *raster.Gray, l emblem.Layout) ([]byte, emblem.Header, *Stats, e
 	return payload[:hdr.PayloadLen], hdr, st, nil
 }
 
-// sampleModule returns the mean intensity of a data module, supersampled
-// at five points to ride out noise and sub-pixel grid error.
-func sampleModule(img *raster.Gray, mapper func(u, v float64) point, mx, my int, l emblem.Layout) float64 {
-	return sampleModuleOff(img, mapper, mx, my, l, 0)
-}
-
-// sampleModuleOff samples a module with an additional image-horizontal
-// offset (pixels) — the per-row correction recovered from the clock
-// signal.
-func sampleModuleOff(img *raster.Gray, mapper func(u, v float64) point, mx, my int, l emblem.Layout, off float64) float64 {
-	bm := float64(emblem.BorderModules + emblem.SeparatorModules)
-	gw, gh := float64(l.GridW()), float64(l.GridH())
-	var sum float64
-	offs := [5][2]float64{{0, 0}, {-0.22, -0.22}, {0.22, -0.22}, {-0.22, 0.22}, {0.22, 0.22}}
-	for _, o := range offs {
-		u := (bm + float64(mx) + 0.5 + o[0]) / gw
-		v := (bm + float64(my) + 0.5 + o[1]) / gh
-		p := mapper(u, v)
-		sum += img.SampleBilinear(p.x+off, p.y)
-	}
-	return sum / float64(len(offs))
-}
-
 // clockOffsets estimates, for every data row, the image-horizontal
 // sampling offset that re-locks the grid on that row's clock signal.
 //
-// Differential Manchester places a level transition between the second
-// half-module of each bit and the first half-module of the next, i.e.
-// between consecutive even/odd positions of the serpentine path. The
-// offset that maximises the summed contrast across those guaranteed
-// boundaries is the row's local clock phase. Scanner transport jitter is
-// smooth, so each row's search window is centred on the previous row's
-// estimate (a first-order tracking loop, as in floppy-disk data
-// separators).
-func clockOffsets(img *raster.Gray, mapper func(u, v float64) point, l emblem.Layout) []float64 {
-	type pair struct{ a, b emblem.Point }
-	path := l.DataPath()
-	pairsByRow := make([][]pair, l.DataH)
-	for i := 1; i+1 < len(path); i += 2 {
-		a, b := path[i], path[i+1] // boundary: second half of bit ↔ first half of next
-		if a.Y == b.Y {            // skip serpentine turns
-			pairsByRow[a.Y] = append(pairsByRow[a.Y], pair{a, b})
-		}
-	}
+// The offset that maximises the summed contrast across the guaranteed
+// bit-boundary transitions (cached per layout in the scratch) is the
+// row's local clock phase. Scanner transport jitter is smooth, so each
+// row's search window is centred on the previous row's estimate (a
+// first-order tracking loop, as in floppy-disk data separators).
+func clockOffsets(s *DecodeScratch, sm *moduleSampler, l emblem.Layout) []float64 {
+	pairsByRow := s.pairsByRow
 
 	// Image pixels per module, for scaling the search window.
-	bm := float64(emblem.BorderModules + emblem.SeparatorModules)
-	gw := float64(l.GridW())
-	p0 := mapper(bm/gw, 0.5)
-	p1 := mapper((bm+1)/gw, 0.5)
+	p0 := sm.m.mapUV(sm.bm/sm.gw, 0.5)
+	p1 := sm.m.mapUV((sm.bm+1)/sm.gw, 0.5)
 	pxPerModule := math.Hypot(p1.x-p0.x, p1.y-p0.y)
 	if pxPerModule <= 0 {
 		pxPerModule = float64(l.PxPerModule)
 	}
 	maxStep := 0.45 * pxPerModule // per-row drift bound (half a module)
 
-	sampleAt := func(p emblem.Point, off float64) float64 {
-		u := (bm + float64(p.X) + 0.5) / gw
-		v := (bm + float64(p.Y) + 0.5) / float64(l.GridH())
-		q := mapper(u, v)
-		return img.SampleBilinear(q.x+off, q.y)
+	// mapPoint is sampleAt's position arithmetic without the sample: the
+	// module centre mapped into image space, identical to mapUV on
+	// ((bm + p + 0.5)/grid) — the offset search only shifts the result
+	// horizontally, so each strided boundary is mapped once per row
+	// instead of once per contrast probe.
+	mapPoint := func(p emblem.Point) point {
+		u := (sm.bm + float64(p.X) + 0.5) / sm.gw
+		v := (sm.bm + float64(p.Y) + 0.5) / sm.gh
+		return sm.m.mapUV(u, v)
 	}
-	contrast := func(pairs []pair, off float64) float64 {
-		// A few dozen boundaries fix the phase; subsample wide rows so the
-		// tracking cost stays proportional to row count, not area.
-		stride := 1 + len(pairs)/48
+	img := sm.img
+	w, h := img.W, img.H
+	pix := img.Pix
+	// The contrast probe inlines raster.SampleBilinear's exact interior
+	// expression (same loads, same order — bit-identical; border samples
+	// fall back): it runs for every boundary at every probed offset.
+	contrast := func(q []mappedClockPair, off float64) float64 {
 		var s float64
-		for i := 0; i < len(pairs); i += stride {
-			pr := pairs[i]
-			s += math.Abs(sampleAt(pr.a, off) - sampleAt(pr.b, off))
+		for _, pr := range q {
+			var va, vb float64
+			sx, sy := pr.ax+off, pr.ay
+			x0 := int(math.Floor(sx))
+			y0 := int(math.Floor(sy))
+			if x0 >= 0 && y0 >= 0 && x0+1 < w && y0+1 < h {
+				fx := sx - float64(x0)
+				fy := sy - float64(y0)
+				i := y0*w + x0
+				p00 := float64(pix[i])
+				p10 := float64(pix[i+1])
+				p01 := float64(pix[i+w])
+				p11 := float64(pix[i+w+1])
+				va = p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+			} else {
+				va = img.SampleBilinear(sx, sy)
+			}
+			sx, sy = pr.bx+off, pr.by
+			x0 = int(math.Floor(sx))
+			y0 = int(math.Floor(sy))
+			if x0 >= 0 && y0 >= 0 && x0+1 < w && y0+1 < h {
+				fx := sx - float64(x0)
+				fy := sy - float64(y0)
+				i := y0*w + x0
+				p00 := float64(pix[i])
+				p10 := float64(pix[i+1])
+				p01 := float64(pix[i+w])
+				p11 := float64(pix[i+w+1])
+				vb = p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+			} else {
+				vb = img.SampleBilinear(sx, sy)
+			}
+			s += math.Abs(va - vb)
 		}
 		return s
 	}
 
-	offs := make([]float64, l.DataH)
+	if cap(s.offs) < l.DataH {
+		s.offs = make([]float64, l.DataH)
+	}
+	offs := s.offs[:l.DataH]
 	prev := 0.0
 	for y := 0; y < l.DataH; y++ {
 		pairs := pairsByRow[y]
@@ -197,16 +430,26 @@ func clockOffsets(img *raster.Gray, mapper func(u, v float64) point, l emblem.La
 			offs[y] = prev
 			continue
 		}
+		// A few dozen boundaries fix the phase; subsample wide rows so the
+		// tracking cost stays proportional to row count, not area.
+		stride := 1 + len(pairs)/48
+		q := s.clockQ[:0]
+		for i := 0; i < len(pairs); i += stride {
+			pr := pairs[i]
+			a, b := mapPoint(pr.a), mapPoint(pr.b)
+			q = append(q, mappedClockPair{a.x, a.y, b.x, b.y})
+		}
+		s.clockQ = q
 		// Coarse search around the previous row's phase, then refine.
-		best, bestScore := prev, contrast(pairs, prev)
+		best, bestScore := prev, contrast(q, prev)
 		step := maxStep / 3
 		for d := -maxStep; d <= maxStep; d += step {
-			if s := contrast(pairs, prev+d); s > bestScore {
+			if s := contrast(q, prev+d); s > bestScore {
 				best, bestScore = prev+d, s
 			}
 		}
 		for _, d := range []float64{-step / 2, -step / 4, step / 4, step / 2} {
-			if s := contrast(pairs, best+d); s > bestScore {
+			if s := contrast(q, best+d); s > bestScore {
 				best, bestScore = best+d, s
 			}
 		}
@@ -216,11 +459,70 @@ func clockOffsets(img *raster.Gray, mapper func(u, v float64) point, l emblem.La
 	return offs
 }
 
+// Edge-scan directions for findFrame: which border the scan walks toward.
+const (
+	edgeLeft = iota
+	edgeRight
+	edgeTop
+	edgeBottom
+)
+
+// edgeScan walks inward from one side of the image along sampled scan
+// lines, recording the subpixel position where the black border begins on
+// each. Points are appended to pts as (lineCoord, edgeCoord).
+func edgeScan(pts []point, img *raster.Gray, thr byte, side, n, limit, run int) []point {
+	pts = pts[:0]
+	// Every scanned coordinate is in bounds by construction (lines run
+	// over the middle 70% of one axis, depth over at most half the
+	// other), so the intensity reads index Pix directly — the same bytes
+	// raster.At returns for in-range positions.
+	pix, w, h := img.Pix, img.W, img.H
+	at := func(i, j int) byte {
+		switch side {
+		case edgeLeft:
+			return pix[i*w+j]
+		case edgeRight:
+			return pix[i*w+(w-1-j)]
+		case edgeTop:
+			return pix[j*w+i]
+		default: // edgeBottom
+			return pix[(h-1-j)*w+i]
+		}
+	}
+	lo, hi := n*15/100, n*85/100
+	step := maxInt(1, (hi-lo)/160)
+	for i := lo; i < hi; i += step {
+		streak := 0
+		for j := 0; j < limit; j++ {
+			if at(i, j) < thr {
+				streak++
+				if streak >= run {
+					j0 := j - streak + 1
+					// Subpixel refinement: interpolate where the
+					// intensity profile crosses the threshold.
+					edge := float64(j0) - 0.5
+					if j0 > 0 {
+						a := float64(at(i, j0-1))
+						b := float64(at(i, j0))
+						if a > b {
+							edge = float64(j0) - 1 + (a-float64(thr))/(a-b)
+						}
+					}
+					pts = append(pts, point{float64(i), edge})
+					break
+				}
+			} else {
+				streak = 0
+			}
+		}
+	}
+	return pts
+}
+
 // findFrame locates the outer corners of the black border by fitting lines
 // to its four edges.
-func findFrame(img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
+func findFrame(s *DecodeScratch, img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
 	var corners [4]point
-	dark := func(x, y int) bool { return img.At(x, y) < thr }
 
 	// Expected border thickness in pixels, scale-free.
 	approxPxX := float64(img.W) / float64(l.FullModulesW())
@@ -228,44 +530,11 @@ func findFrame(img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
 	runX := maxInt(2, int(approxPxX*float64(emblem.BorderModules)/2))
 	runY := maxInt(2, int(approxPxY*float64(emblem.BorderModules)/2))
 
-	scan := func(n int, intensity func(i, j int) byte, limit int, run int) []point {
-		var pts []point
-		lo, hi := n*15/100, n*85/100
-		step := maxInt(1, (hi-lo)/160)
-		for i := lo; i < hi; i += step {
-			streak := 0
-			for j := 0; j < limit; j++ {
-				if intensity(i, j) < thr {
-					streak++
-					if streak >= run {
-						j0 := j - streak + 1
-						// Subpixel refinement: interpolate where the
-						// intensity profile crosses the threshold.
-						edge := float64(j0) - 0.5
-						if j0 > 0 {
-							a := float64(intensity(i, j0-1))
-							b := float64(intensity(i, j0))
-							if a > b {
-								edge = float64(j0) - 1 + (a-float64(thr))/(a-b)
-							}
-						}
-						pts = append(pts, point{float64(i), edge})
-						break
-					}
-				} else {
-					streak = 0
-				}
-			}
-		}
-		return pts
-	}
-	_ = dark
-
-	// Each scan returns points as (lineCoord, edgeCoord).
-	left := scan(img.H, func(y, x int) byte { return img.At(x, y) }, img.W/2, runX)
-	right := scan(img.H, func(y, x int) byte { return img.At(img.W-1-x, y) }, img.W/2, runX)
-	top := scan(img.W, func(x, y int) byte { return img.At(x, y) }, img.H/2, runY)
-	bottom := scan(img.W, func(x, y int) byte { return img.At(x, img.H-1-y) }, img.H/2, runY)
+	s.pts[0] = edgeScan(s.pts[0], img, thr, edgeLeft, img.H, img.W/2, runX)
+	s.pts[1] = edgeScan(s.pts[1], img, thr, edgeRight, img.H, img.W/2, runX)
+	s.pts[2] = edgeScan(s.pts[2], img, thr, edgeTop, img.W, img.H/2, runY)
+	s.pts[3] = edgeScan(s.pts[3], img, thr, edgeBottom, img.W, img.H/2, runY)
+	left, right, top, bottom := s.pts[0], s.pts[1], s.pts[2], s.pts[3]
 
 	minPts := 8
 	if len(left) < minPts || len(right) < minPts || len(top) < minPts || len(bottom) < minPts {
@@ -273,10 +542,10 @@ func findFrame(img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
 	}
 
 	// Robust fits: edge = a·line + b.
-	la, lb, ok1 := fitLine(left)
-	ra, rbI, ok2 := fitLine(right)
-	ta, tb, ok3 := fitLine(top)
-	ba, bb, ok4 := fitLine(bottom)
+	la, lb, ok1 := fitLine(s, left)
+	ra, rbI, ok2 := fitLine(s, right)
+	ta, tb, ok3 := fitLine(s, top)
+	ba, bb, ok4 := fitLine(s, bottom)
 	if !ok1 || !ok2 || !ok3 || !ok4 {
 		return corners, ErrNoEmblem
 	}
@@ -315,102 +584,98 @@ func findFrame(img *raster.Gray, thr byte, l emblem.Layout) ([4]point, error) {
 	return corners, nil
 }
 
+// fitLS least-squares fits edge = a·line + b.
+func fitLS(ps []point) (float64, float64, bool) {
+	n := float64(len(ps))
+	if n < 4 {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range ps {
+		sx += p.x
+		sy += p.y
+		sxx += p.x * p.x
+		sxy += p.x * p.y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-9 {
+		return 0, 0, false
+	}
+	a := (n*sxy - sx*sy) / den
+	return a, (sy - a*sx) / n, true
+}
+
 // fitLine least-squares fits edge = a·line + b with one outlier-rejection
 // pass (dust in the quiet zone produces spurious early edges).
-func fitLine(pts []point) (a, b float64, ok bool) {
-	fit := func(ps []point) (float64, float64, bool) {
-		n := float64(len(ps))
-		if n < 4 {
-			return 0, 0, false
-		}
-		var sx, sy, sxx, sxy float64
-		for _, p := range ps {
-			sx += p.x
-			sy += p.y
-			sxx += p.x * p.x
-			sxy += p.x * p.y
-		}
-		den := n*sxx - sx*sx
-		if math.Abs(den) < 1e-9 {
-			return 0, 0, false
-		}
-		a := (n*sxy - sx*sy) / den
-		return a, (sy - a*sx) / n, true
-	}
-	a, b, ok = fit(pts)
+func fitLine(s *DecodeScratch, pts []point) (a, b float64, ok bool) {
+	a, b, ok = fitLS(pts)
 	if !ok {
 		return
 	}
 	// Reject points deviating by more than max(2px, 3·MAD) and refit.
-	resid := make([]float64, len(pts))
-	for i, p := range pts {
-		resid[i] = math.Abs(p.y - (a*p.x + b))
+	s.resid = s.resid[:0]
+	for _, p := range pts {
+		s.resid = append(s.resid, math.Abs(p.y-(a*p.x+b)))
 	}
-	mad := median(resid)
+	mad := median(s.resid)
 	tol := math.Max(2, 3*mad)
-	var kept []point
-	for i, p := range pts {
-		if resid[i] <= tol {
-			kept = append(kept, p)
+	s.kept = s.kept[:0]
+	for _, p := range pts {
+		if math.Abs(p.y-(a*p.x+b)) <= tol {
+			s.kept = append(s.kept, p)
 		}
 	}
-	if len(kept) >= 4 && len(kept) < len(pts) {
-		if a2, b2, ok2 := fit(kept); ok2 {
+	if len(s.kept) >= 4 && len(s.kept) < len(pts) {
+		if a2, b2, ok2 := fitLS(s.kept); ok2 {
 			return a2, b2, true
 		}
 	}
 	return a, b, true
 }
 
+// median returns the median of v, reordering v in place — callers pass
+// scratch whose order they no longer need, so the old per-call copy (and
+// its O(n²) insertion sort, ~3% of a frame decode) is gone. Any sort
+// yields the same order statistic, so the value is unchanged.
 func median(v []float64) float64 {
 	if len(v) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), v...)
-	for i := 1; i < len(s); i++ { // insertion sort; n is small
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	return s[len(s)/2]
+	sort.Float64s(v)
+	return v[len(v)/2]
 }
 
 // orient determines the emblem rotation by matching the four corner marks
 // under each of the four possible rotations, returning the rotation index
 // (multiples of 90° clockwise) and the grid→image mapper.
-func orient(img *raster.Gray, thr byte, corners [4]point, l emblem.Layout) (int, func(u, v float64) point, error) {
-	mapperFor := func(rot int) func(u, v float64) point {
-		// corner order: detected [TL, TR, BR, BL] in image space; the
-		// emblem's own TL sits at detected index rot.
-		c := corners
-		p00 := c[rot%4]
-		p10 := c[(rot+1)%4]
-		p11 := c[(rot+2)%4]
-		p01 := c[(rot+3)%4]
-		return func(u, v float64) point {
-			x := (1-u)*(1-v)*p00.x + u*(1-v)*p10.x + (1-u)*v*p01.x + u*v*p11.x
-			y := (1-u)*(1-v)*p00.y + u*(1-v)*p10.y + (1-u)*v*p01.y + u*v*p11.y
-			return point{x, y}
-		}
-	}
-
+func orient(s *DecodeScratch, img *raster.Gray, thr byte, corners [4]point, l emblem.Layout) (int, bilinearMapper, error) {
 	boxOrigins := [4][2]int{
 		{0, 0},
 		{l.DataW - emblem.CornerBox, 0},
 		{l.DataW - emblem.CornerBox, l.DataH - emblem.CornerBox},
 		{0, l.DataH - emblem.CornerBox},
 	}
+	var pats [4][emblem.CornerBox][emblem.CornerBox]bool
+	for c := range pats {
+		pats[c] = emblem.CornerPattern(c)
+	}
 
+	fthr := float64(thr)
 	bestRot, bestScore := -1, 1<<30
 	for rot := 0; rot < 4; rot++ {
-		m := mapperFor(rot)
+		sm := newModuleSampler(img, mapperFor(corners, rot), s, l)
 		score := 0
-		for c := 0; c < 4; c++ {
-			pat := emblem.CornerPattern(c)
-			for y := 0; y < emblem.CornerBox; y++ {
+		// The mismatch count only grows, so a rotation that has already
+		// exceeded the best score cannot win (ties keep scoring, so the
+		// strict < pick below sees the same scores) — wrong rotations
+		// abandon after a handful of modules instead of sampling all four
+		// corner marks.
+		for c := 0; c < 4 && score <= bestScore; c++ {
+			pat := &pats[c]
+			for y := 0; y < emblem.CornerBox && score <= bestScore; y++ {
 				for x := 0; x < emblem.CornerBox; x++ {
-					v := sampleModule(img, m, boxOrigins[c][0]+x, boxOrigins[c][1]+y, l)
-					got := v < float64(thr)
+					v := sm.sample(boxOrigins[c][0]+x, boxOrigins[c][1]+y)
+					got := v < fthr
 					if got != pat[y][x] {
 						score++
 					}
@@ -423,9 +688,9 @@ func orient(img *raster.Gray, thr byte, corners [4]point, l emblem.Layout) (int,
 	}
 	totalModules := 4 * emblem.CornerBox * emblem.CornerBox
 	if bestScore > totalModules/4 {
-		return 0, nil, fmt.Errorf("%w: corner marks unreadable (best score %d/%d)", ErrNoEmblem, bestScore, totalModules)
+		return 0, bilinearMapper{}, fmt.Errorf("%w: corner marks unreadable (best score %d/%d)", ErrNoEmblem, bestScore, totalModules)
 	}
-	return bestRot, mapperFor(bestRot), nil
+	return bestRot, mapperFor(corners, bestRot), nil
 }
 
 func maxInt(a, b int) int {

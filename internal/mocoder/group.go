@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"microlonys/internal/gf256"
 	"microlonys/internal/rs"
 )
 
@@ -99,12 +100,102 @@ func RecoverGroup(payloads [][]byte) error {
 	for _, i := range missing {
 		payloads[i] = make([]byte, length)
 	}
+
+	// Every payload byte column is the same erasure pattern — the missing
+	// emblem positions — so the column erasure solve is computed once per
+	// group and applied row-major: each missing payload accumulates each
+	// present payload scaled by its solve coefficient, one contiguous
+	// table-lookup pass per (missing, present) pair, instead of
+	// re-deriving locator, evaluator and Forney magnitudes for every one
+	// of the (typically tens of thousands of) byte columns. Output bytes
+	// are identical to the per-column rs Decode (the erasure correction is
+	// linear in the received column; pinned by TestRecoverGroupFastSolve).
+	coef, err := outer.ErasureSolve(n, missing)
+	if err != nil {
+		return fmt.Errorf("recovering group: %w", err)
+	}
+	var tab [256]byte
+	for mi, m := range missing {
+		out := payloads[m]
+		row := coef[mi]
+		for k, src := range payloads {
+			if row[k] == 0 || k == m {
+				continue
+			}
+			gf256.MulTable(row[k], &tab)
+			for j, v := range src {
+				out[j] ^= tab[v]
+			}
+		}
+	}
+
+	// The solve assumed every present byte is correct. With parity-many
+	// emblems missing that assumption is free: the solve consumes all
+	// parity equations, so it lands on a codeword column for column —
+	// exactly where the reference per-column decode lands (neither can
+	// see a corrupted present byte). With spare parity, though, the
+	// reference decoder would have *used* it — correcting a present error
+	// within capacity or rejecting the column — so verify the
+	// reconstruction: a column containing a present error cannot be a
+	// codeword (it would sit within distance parity of the true word),
+	// and a non-codeword column sends the whole group down the reference
+	// formulation.
+	if len(missing) < GroupParity && !groupColumnsClean(payloads) {
+		for _, i := range missing {
+			clear(payloads[i])
+		}
+		return recoverGroupColumns(payloads, missing)
+	}
+	return nil
+}
+
+// groupColumnsClean reports whether every byte column of the group is a
+// valid outer-code codeword, computed row-major: the k-th syndrome of
+// column j is Σ_i α^{k·deg(i)}·payloads[i][j], so each syndrome row
+// accumulates one table-lookup pass per payload (a plain XOR pass for
+// k = 0) instead of gathering every column.
+func groupColumnsClean(payloads [][]byte) bool {
+	n := len(payloads)
+	length := len(payloads[0])
+	acc := make([]byte, length)
+	var tab [256]byte
+	for k := 0; k < GroupParity; k++ {
+		clear(acc)
+		for i, p := range payloads {
+			if k == 0 { // α^0 = 1: plain XOR
+				for j, v := range p {
+					acc[j] ^= v
+				}
+				continue
+			}
+			gf256.MulTable(gf256.Exp(k*(n-1-i)), &tab)
+			for j, v := range p {
+				acc[j] ^= tab[v]
+			}
+		}
+		for _, v := range acc {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// recoverGroupColumns is the reference formulation: one full
+// errors-and-erasures decode per byte column. RecoverGroup falls back to
+// it when a present payload byte is corrupted, so error correction and
+// rejection behave exactly as they always did.
+func recoverGroupColumns(payloads [][]byte, missing []int) error {
+	n := len(payloads)
+	length := len(payloads[0])
 	cw := make([]byte, n)
+	var s rs.DecodeScratch
 	for j := 0; j < length; j++ {
 		for i, p := range payloads {
 			cw[i] = p[j]
 		}
-		if _, err := outer.Decode(cw, missing); err != nil {
+		if _, err := outer.DecodeWith(&s, cw, missing); err != nil {
 			return fmt.Errorf("recovering column %d: %w", j, err)
 		}
 		for _, i := range missing {

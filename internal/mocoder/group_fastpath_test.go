@@ -1,0 +1,245 @@
+package mocoder
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/rs"
+)
+
+// recoverGroupRef is the pre-fast-path RecoverGroup formulation, kept
+// verbatim: one full errors-and-erasures rs Decode per payload byte
+// column. The once-per-group erasure solve must produce byte-identical
+// payloads and the same error behaviour.
+func recoverGroupRef(payloads [][]byte) error {
+	n := len(payloads)
+	nd := n - GroupParity
+	if n < GroupParity+1 || nd > GroupData {
+		return fmt.Errorf("%w: group of %d", ErrGroupSize, n)
+	}
+	var missing []int
+	length := -1
+	for i, p := range payloads {
+		if p == nil {
+			missing = append(missing, i)
+			continue
+		}
+		if length == -1 {
+			length = len(p)
+		} else if len(p) != length {
+			return fmt.Errorf("%w: payload length mismatch (%d vs %d)", ErrGroupSize, len(p), length)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > GroupParity {
+		return fmt.Errorf("%w: %d missing, parity covers %d", ErrGroupUnrecoverable, len(missing), GroupParity)
+	}
+	if length <= 0 {
+		return fmt.Errorf("%w: no intact payloads", ErrGroupUnrecoverable)
+	}
+	for _, i := range missing {
+		payloads[i] = make([]byte, length)
+	}
+	cw := make([]byte, n)
+	for j := 0; j < length; j++ {
+		for i, p := range payloads {
+			cw[i] = p[j]
+		}
+		if _, err := outer.Decode(cw, missing); err != nil {
+			return fmt.Errorf("recovering column %d: %w", j, err)
+		}
+		for _, i := range missing {
+			payloads[i][j] = cw[i]
+		}
+	}
+	return nil
+}
+
+// cloneGroup deep-copies a group, preserving nils.
+func cloneGroup(g [][]byte) [][]byte {
+	out := make([][]byte, len(g))
+	for i, p := range g {
+		if p != nil {
+			out[i] = append([]byte(nil), p...)
+		}
+	}
+	return out
+}
+
+// TestRecoverGroupFastSolve pins the once-per-group erasure solve to the
+// per-column reference across group shapes (full and shortened), missing
+// counts 0..3 over data and parity positions, and payload lengths down to
+// a single byte.
+func TestRecoverGroupFastSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, nData := range []int{1, 2, 5, GroupData} {
+		for _, length := range []int{1, 7, 300} {
+			data := make([][]byte, nData)
+			for i := range data {
+				data[i] = make([]byte, length)
+				rng.Read(data[i])
+			}
+			parity, err := GroupParityPayloads(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			group := append(append([][]byte(nil), data...), parity...)
+			size := len(group)
+
+			for trial := 0; trial < 40; trial++ {
+				k := rng.Intn(GroupParity + 1) // 0..3 missing
+				killed := rng.Perm(size)[:k]
+				broken := cloneGroup(group)
+				for _, i := range killed {
+					broken[i] = nil
+				}
+				got := cloneGroup(broken)
+				want := cloneGroup(broken)
+				gotErr := RecoverGroup(got)
+				wantErr := recoverGroupRef(want)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("nData=%d len=%d killed=%v: fast err %v, reference err %v",
+						nData, length, killed, gotErr, wantErr)
+				}
+				if gotErr != nil {
+					continue
+				}
+				for i := range got {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("nData=%d len=%d killed=%v: payload %d differs from reference",
+							nData, length, killed, i)
+					}
+					if !bytes.Equal(got[i], group[i]) {
+						t.Fatalf("nData=%d len=%d killed=%v: payload %d not bit-exact",
+							nData, length, killed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverGroupCorruptedPresentPayload pins the fall-back path: when a
+// *present* payload byte is wrong (an inner-code miscorrection slipping a
+// bad frame payload into the group), the erasure solve's clean-column
+// verification must detect it and defer to the reference per-column
+// decode — correcting within capacity, rejecting beyond it, and matching
+// the reference byte for byte either way. With parity-many emblems
+// missing there is no spare capacity and both formulations are equally
+// blind, so they must still agree exactly.
+func TestRecoverGroupCorruptedPresentPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, nData := range []int{2, 5, GroupData} {
+		length := 64
+		data := make([][]byte, nData)
+		for i := range data {
+			data[i] = make([]byte, length)
+			rng.Read(data[i])
+		}
+		parity, err := GroupParityPayloads(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group := append(append([][]byte(nil), data...), parity...)
+		size := len(group)
+
+		for missingCount := 1; missingCount <= GroupParity; missingCount++ {
+			for nErr := 1; nErr <= 2; nErr++ {
+				for trial := 0; trial < 20; trial++ {
+					perm := rng.Perm(size)
+					killed := perm[:missingCount]
+					broken := cloneGroup(group)
+					for _, i := range killed {
+						broken[i] = nil
+					}
+					// Corrupt nErr bytes spread over surviving payloads.
+					for e := 0; e < nErr; e++ {
+						p := perm[missingCount+e] // distinct, surviving
+						broken[p][rng.Intn(length)] ^= byte(1 + rng.Intn(255))
+					}
+					got := cloneGroup(broken)
+					want := cloneGroup(broken)
+					gotErr := RecoverGroup(got)
+					wantErr := recoverGroupRef(want)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("nData=%d missing=%d errs=%d trial=%d: fast err %v, reference err %v",
+							nData, missingCount, nErr, trial, gotErr, wantErr)
+					}
+					if gotErr != nil {
+						if gotErr.Error() != wantErr.Error() {
+							t.Fatalf("nData=%d missing=%d errs=%d trial=%d: fast err %q, reference %q",
+								nData, missingCount, nErr, trial, gotErr, wantErr)
+						}
+						continue
+					}
+					for i := range got {
+						if !bytes.Equal(got[i], want[i]) {
+							t.Fatalf("nData=%d missing=%d errs=%d trial=%d: payload %d differs from reference",
+								nData, missingCount, nErr, trial, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverGroupFastSolveErrors pins the validation paths: bad shapes,
+// too many missing, mismatched lengths — same errors as the reference.
+func TestRecoverGroupFastSolveErrors(t *testing.T) {
+	cases := [][][]byte{
+		{{1}, {2}},                               // too small a group
+		{nil, nil, nil, nil, {5}},                // 4 missing > parity
+		{{1, 2}, {3}, nil, {4, 5}, {6, 7}},       // length mismatch
+		{nil, nil, nil, make([]byte, 0), {0, 0}}, // mismatch with empty
+	}
+	for ci, g := range cases {
+		gotErr := RecoverGroup(cloneGroup(g))
+		wantErr := recoverGroupRef(cloneGroup(g))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("case %d: fast err %v, reference err %v", ci, gotErr, wantErr)
+		}
+		if gotErr != nil && wantErr != nil && gotErr.Error() != wantErr.Error() {
+			// The solve reports unrecoverable shapes before touching
+			// columns, so only the wrapping may differ — the sentinel must
+			// not.
+			t.Logf("case %d: fast %q vs reference %q", ci, gotErr, wantErr)
+		}
+	}
+	// All payloads nil but within parity budget: no intact payloads.
+	g := [][]byte{nil, nil, nil, nil}
+	if err := RecoverGroup(g); err == nil {
+		t.Fatal("group with no intact payloads accepted")
+	}
+}
+
+func BenchmarkRecoverGroup(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	length := 4096
+	data := make([][]byte, GroupData)
+	for i := range data {
+		data[i] = make([]byte, length)
+		rng.Read(data[i])
+	}
+	parity, err := GroupParityPayloads(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	group := append(append([][]byte(nil), data...), parity...)
+	b.SetBytes(int64(GroupData * length))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		broken := cloneGroup(group)
+		broken[0], broken[9], broken[rs.OuterTotal-1] = nil, nil, nil
+		b.StartTimer()
+		if err := RecoverGroup(broken); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

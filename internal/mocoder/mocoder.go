@@ -259,6 +259,63 @@ func deinterleave(stream []byte, suspect []bool, lens []int) (blocks [][]byte, e
 	return blocks, erasures
 }
 
+// deinterleaveInto is deinterleave through the decode scratch: codewords
+// land back to back in s.cw (views in s.blocks) and the per-block erasure
+// lists reuse s.erasures. Block b receives exactly one byte per
+// round-robin round while the round index is inside its codeword, so the
+// write index equals the round index — the same bytes deinterleave
+// produces (pinned by TestDeinterleaveIntoMatches).
+func deinterleaveInto(s *DecodeScratch, stream []byte, suspect []bool) (blocks [][]byte, erasures [][]int) {
+	lens := s.lens
+	total, maxLen := 0, 0
+	for _, n := range lens {
+		cwLen := n + rs.InnerParity
+		total += cwLen
+		if cwLen > maxLen {
+			maxLen = cwLen
+		}
+	}
+	if cap(s.cw) < total {
+		s.cw = make([]byte, total)
+	}
+	s.cw = s.cw[:total]
+	for i := range s.cw {
+		s.cw[i] = 0
+	}
+	s.blocks = s.blocks[:0]
+	off := 0
+	for _, n := range lens {
+		cwLen := n + rs.InnerParity
+		s.blocks = append(s.blocks, s.cw[off:off+cwLen])
+		off += cwLen
+	}
+	for len(s.erasures) < len(lens) {
+		s.erasures = append(s.erasures, nil)
+	}
+	er := s.erasures[:len(lens)]
+	for i := range er {
+		er[i] = er[i][:0]
+	}
+	pos := 0
+	for i := 0; i < maxLen; i++ {
+		for b := range s.blocks {
+			if i < len(s.blocks[b]) {
+				if pos < len(stream) {
+					s.blocks[b][i] = stream[pos]
+					if pos < len(suspect) && suspect[pos] {
+						er[b] = append(er[b], i)
+					}
+				} else {
+					// Stream shorter than expected: mark as erasure.
+					er[b] = append(er[b], i)
+				}
+				pos++
+			}
+		}
+	}
+	return s.blocks, er
+}
+
 // render paints the emblem: quiet zone, border ring, separator, corner
 // marks and the Differential-Manchester data modules. path must be
 // l.DataPath() (callers cache it across frames). Black data modules are

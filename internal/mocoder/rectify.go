@@ -22,11 +22,12 @@ func Rectify(img *raster.Gray, l emblem.Layout) (*raster.Gray, error) {
 		return nil, err
 	}
 	thr := img.OtsuThreshold()
-	corners, err := findFrame(img, thr, l)
+	ds := &DecodeScratch{}
+	corners, err := findFrame(ds, img, thr, l)
 	if err != nil {
 		return nil, err
 	}
-	_, mapper, err := orient(img, thr, corners, l)
+	_, mapper, err := orient(ds, img, thr, corners, l)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +52,7 @@ func Rectify(img *raster.Gray, l emblem.Layout) (*raster.Gray, error) {
 					if u < 0 || u > 1 || v < 0 || v > 1 {
 						sum += 255 // quiet zone is white
 					} else {
-						p := mapper(u, v)
+						p := mapper.mapUV(u, v)
 						sum += img.SampleBilinear(p.x, p.y)
 					}
 					n++

@@ -2,6 +2,8 @@ package rs
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -91,6 +93,452 @@ func TestEncodeIntoBadBuffer(t *testing.T) {
 		}
 	}()
 	New(4).EncodeInto(make([]byte, 3), []byte{1, 2, 3})
+}
+
+// ---- decode fast-path references ------------------------------------
+
+// decodeRef is the pre-fast-path Decode formulation, kept verbatim: log/exp
+// syndromes through gf256.PolyEval, allocating polynomial helpers, full
+// Berlekamp-Massey + Chien search on every errata pattern. The table-driven,
+// scratch-reusing DecodeWith (and its erasure-only fast path) must match its
+// corrected bytes, return count and error for every input.
+func decodeRef(c *Code, codeword []byte, erasures []int) (int, error) {
+	n := len(codeword)
+	if n <= c.parity || n > 255 {
+		return 0, fmt.Errorf("rs: codeword length %d out of range (%d,255]", n, c.parity)
+	}
+	if len(erasures) > c.parity {
+		return 0, fmt.Errorf("%w: %d erasures > %d parity", ErrTooManyErrata, len(erasures), c.parity)
+	}
+	for _, p := range erasures {
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, n)
+		}
+	}
+
+	synd := syndromesRef(c, codeword)
+	if allZero(synd) {
+		return 0, nil
+	}
+
+	t := c.parity
+	e := len(erasures)
+
+	lambdaE := []byte{1}
+	for _, p := range erasures {
+		x := gf256.Exp(n - 1 - p)
+		lambdaE = polyMulLowRef(lambdaE, []byte{1, x})
+	}
+
+	fs := polyMulLowRef(synd, lambdaE)
+	if len(fs) > t {
+		fs = fs[:t]
+	}
+
+	u := fs[e:]
+	gamma, L := berlekampMasseyRef(u)
+	if 2*L > len(u) {
+		return 0, fmt.Errorf("%w: locator degree %d exceeds capacity", ErrTooManyErrata, L)
+	}
+
+	lambda := polyMulLowRef(gamma, lambdaE)
+	degLambda := len(lambda) - 1
+	for degLambda > 0 && lambda[degLambda] == 0 {
+		degLambda--
+	}
+	lambda = lambda[:degLambda+1]
+
+	var positions []int
+	for d := 0; d < n; d++ {
+		if polyEvalLow(lambda, gf256.Exp(-d)) == 0 {
+			positions = append(positions, n-1-d)
+		}
+	}
+	if len(positions) != degLambda {
+		return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrTooManyErrata, degLambda, len(positions))
+	}
+
+	omega := polyMulLowRef(synd, lambda)
+	if len(omega) > t {
+		omega = omega[:t]
+	}
+	lambdaPrime := formalDerivativeLowRef(lambda)
+
+	for _, p := range positions {
+		d := n - 1 - p
+		xInv := gf256.Exp(-d)
+		denom := polyEvalLow(lambdaPrime, xInv)
+		if denom == 0 {
+			return 0, fmt.Errorf("%w: Forney denominator vanished", ErrTooManyErrata)
+		}
+		y := gf256.Mul(gf256.Exp(d), gf256.Div(polyEvalLow(omega, xInv), denom))
+		codeword[p] ^= y
+	}
+
+	if !allZero(syndromesRef(c, codeword)) {
+		return 0, fmt.Errorf("%w: residual syndromes after correction", ErrTooManyErrata)
+	}
+	return len(positions), nil
+}
+
+func syndromesRef(c *Code, codeword []byte) []byte {
+	s := make([]byte, c.parity)
+	for j := range s {
+		s[j] = gf256.PolyEval(codeword, gf256.Exp(j))
+	}
+	return s
+}
+
+func berlekampMasseyRef(u []byte) ([]byte, int) {
+	cPoly := []byte{1}
+	bPoly := []byte{1}
+	L, m := 0, 1
+	b := byte(1)
+	for r := 0; r < len(u); r++ {
+		delta := u[r]
+		for i := 1; i <= L && i < len(cPoly); i++ {
+			delta ^= gf256.Mul(cPoly[i], u[r-i])
+		}
+		switch {
+		case delta == 0:
+			m++
+		case 2*L <= r:
+			tPoly := append([]byte(nil), cPoly...)
+			cPoly = subScaledShiftRef(cPoly, bPoly, gf256.Div(delta, b), m)
+			L = r + 1 - L
+			bPoly = tPoly
+			b = delta
+			m = 1
+		default:
+			cPoly = subScaledShiftRef(cPoly, bPoly, gf256.Div(delta, b), m)
+			m++
+		}
+	}
+	return cPoly, L
+}
+
+func subScaledShiftRef(c, b []byte, coef byte, shift int) []byte {
+	n := len(b) + shift
+	if len(c) > n {
+		n = len(c)
+	}
+	out := make([]byte, n)
+	copy(out, c)
+	for i, bv := range b {
+		out[i+shift] ^= gf256.Mul(bv, coef)
+	}
+	return out
+}
+
+func polyMulLowRef(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			if bv != 0 {
+				out[i+j] ^= gf256.Mul(av, bv)
+			}
+		}
+	}
+	return out
+}
+
+func formalDerivativeLowRef(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}
+
+// checkDecodeAgainstRef runs the fast decoder (through the shared scratch)
+// and the reference on copies of the same word and compares bytes, count
+// and error identity.
+func checkDecodeAgainstRef(t *testing.T, c *Code, s *DecodeScratch, word []byte, erasures []int, label string) {
+	t.Helper()
+	got := append([]byte(nil), word...)
+	want := append([]byte(nil), word...)
+	gotN, gotErr := c.DecodeWith(s, got, erasures)
+	wantN, wantErr := decodeRef(c, want, erasures)
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: fast err %v, reference err %v", label, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: fast err %q, reference err %q", label, gotErr, wantErr)
+		}
+		if errors.Is(wantErr, ErrTooManyErrata) != errors.Is(gotErr, ErrTooManyErrata) {
+			t.Fatalf("%s: error identity diverged", label)
+		}
+		// The codeword is contractually unspecified on error, but callers
+		// retry errors-only on the same buffer (the inner-code erasure
+		// fallback), so the fast path must leave the same bytes behind.
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: error-path codeword mutation differs from reference", label)
+		}
+		return
+	}
+	if gotN != wantN {
+		t.Fatalf("%s: fast corrected %d, reference %d", label, gotN, wantN)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: fast decode bytes differ from reference", label)
+	}
+}
+
+// TestDecodeDifferential pins the fast decode (table syndromes, clean-word
+// early-out, erasure-only direct path, scratch reuse) to the reference
+// formulation on clean, error-only, erasure-only and mixed words — plus
+// spurious hints, duplicate erasures and beyond-capacity damage — across
+// the MOCoder code shapes. One scratch is reused for every case on
+// purpose: leftovers from a previous decode must never leak.
+func TestDecodeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var s DecodeScratch
+	for _, parity := range []int{OuterParity, 8, InnerParity} {
+		c := New(parity)
+		for _, dataLen := range []int{1, OuterData, 100, c.MaxData()} {
+			for trial := 0; trial < 60; trial++ {
+				data := make([]byte, dataLen)
+				rng.Read(data)
+				clean := c.EncodeFull(data)
+				n := len(clean)
+
+				// Clean word, with and without spurious erasure hints.
+				checkDecodeAgainstRef(t, c, &s, clean, nil, fmt.Sprintf("p=%d len=%d clean", parity, dataLen))
+				spurious := []int{rng.Intn(n)}
+				checkDecodeAgainstRef(t, c, &s, clean, spurious, "clean+spurious hint")
+
+				// Random errata mix within capacity: 2v + e <= parity.
+				nera := rng.Intn(parity + 1)
+				nerr := rng.Intn((parity-nera)/2 + 1)
+				word := append([]byte(nil), clean...)
+				pick := rng.Perm(n)[:nera+nerr]
+				eras := append([]int(nil), pick[:nera]...)
+				for _, p := range pick[nera:] { // errors must actually corrupt
+					old := word[p]
+					for word[p] == old {
+						word[p] = byte(rng.Intn(256))
+					}
+				}
+				for _, p := range eras { // erasures may or may not corrupt
+					if rng.Intn(2) == 0 {
+						word[p] ^= byte(1 + rng.Intn(255))
+					}
+				}
+				checkDecodeAgainstRef(t, c, &s, word, eras, fmt.Sprintf("p=%d len=%d e=%d v=%d", parity, dataLen, nera, nerr))
+
+				// Duplicate erasure positions (degenerate locator).
+				if nera > 0 {
+					dup := append(append([]int(nil), eras...), eras[0])
+					if len(dup) <= parity {
+						checkDecodeAgainstRef(t, c, &s, word, dup, "duplicate erasures")
+					}
+				}
+
+				// Beyond capacity: more errors than t/2.
+				over := append([]byte(nil), clean...)
+				for _, p := range rng.Perm(n)[:parity/2+1+rng.Intn(3)] {
+					old := over[p]
+					for over[p] == old {
+						over[p] = byte(rng.Intn(256))
+					}
+				}
+				checkDecodeAgainstRef(t, c, &s, over, nil, "beyond capacity")
+			}
+		}
+	}
+}
+
+// TestDecodeErasureFastPathExact pins the erasure-only direct path on the
+// outer-code shape it exists for: up to 3 of 20 positions erased, exact
+// recovery, reference-identical.
+func TestDecodeErasureFastPathExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	c := New(OuterParity)
+	var s DecodeScratch
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, OuterData)
+		rng.Read(data)
+		clean := c.EncodeFull(data)
+		nera := 1 + rng.Intn(OuterParity)
+		word := append([]byte(nil), clean...)
+		eras := rng.Perm(len(word))[:nera]
+		for _, p := range eras {
+			word[p] = byte(rng.Intn(256)) // erased value is arbitrary
+		}
+		got := append([]byte(nil), word...)
+		n, err := c.DecodeWith(&s, got, eras)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, clean) {
+			t.Fatalf("trial %d: wrong recovery", trial)
+		}
+		checkDecodeAgainstRef(t, c, &s, word, eras, fmt.Sprintf("trial %d", trial))
+		_ = n
+	}
+}
+
+// TestDecodeWithZeroAllocSteadyState checks the scratch claim: after
+// warm-up, DecodeWith allocates nothing for clean, errored and erased
+// words.
+func TestDecodeWithZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	c := New(InnerParity)
+	data := make([]byte, InnerData)
+	rng.Read(data)
+	clean := c.EncodeFull(data)
+	damaged := append([]byte(nil), clean...)
+	corrupt(damaged, rng, 10)
+	eras := rng.Perm(len(clean))[:8]
+	erased := append([]byte(nil), clean...)
+	for _, p := range eras {
+		erased[p] ^= 0x5A
+	}
+
+	var s DecodeScratch
+	buf := make([]byte, len(clean))
+	warm := func() {
+		copy(buf, clean)
+		c.DecodeWith(&s, buf, nil)
+		copy(buf, damaged)
+		c.DecodeWith(&s, buf, nil)
+		copy(buf, erased)
+		c.DecodeWith(&s, buf, eras)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(20, warm); allocs > 0 {
+		t.Fatalf("steady-state DecodeWith allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestErasureSolveMatchesDecode pins the explicit linear solve to the
+// in-place erasure decode: reconstructing erased symbols from the solve
+// coefficients must give exactly the bytes Decode writes, for every code
+// shape, codeword length and erasure pattern.
+func TestErasureSolveMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, parity := range []int{OuterParity, 8, InnerParity} {
+		c := New(parity)
+		for _, dataLen := range []int{1, OuterData, 120, c.MaxData()} {
+			for trial := 0; trial < 40; trial++ {
+				data := make([]byte, dataLen)
+				rng.Read(data)
+				clean := c.EncodeFull(data)
+				n := len(clean)
+				e := 1 + rng.Intn(parity)
+				eras := rng.Perm(n)[:e]
+
+				coef, err := c.ErasureSolve(n, eras)
+				if err != nil {
+					t.Fatalf("p=%d len=%d e=%d: %v", parity, dataLen, e, err)
+				}
+
+				// Received word: erased positions zeroed (as the group
+				// recovery presents them).
+				word := append([]byte(nil), clean...)
+				for _, p := range eras {
+					word[p] = 0
+				}
+				want := append([]byte(nil), word...)
+				if _, err := c.Decode(want, eras); err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				for i, p := range eras {
+					var y byte
+					for k := 0; k < n; k++ {
+						y ^= gf256.Mul(coef[i][k], word[k])
+					}
+					if y != want[p] {
+						t.Fatalf("p=%d len=%d e=%d: solve[%d]=%#x, decode wrote %#x", parity, dataLen, e, p, y, want[p])
+					}
+					if y != clean[p] {
+						t.Fatalf("p=%d len=%d e=%d: solve[%d]=%#x, true symbol %#x", parity, dataLen, e, p, y, clean[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestErasureSolveBadArgs(t *testing.T) {
+	c := New(4)
+	if _, err := c.ErasureSolve(4, []int{0}); err == nil {
+		t.Fatal("codeword length ≤ parity accepted")
+	}
+	if _, err := c.ErasureSolve(10, nil); err == nil {
+		t.Fatal("empty erasure set accepted")
+	}
+	if _, err := c.ErasureSolve(10, []int{0, 1, 2, 3, 4}); err == nil {
+		t.Fatal("more erasures than parity accepted")
+	}
+	if _, err := c.ErasureSolve(10, []int{11}); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := c.ErasureSolve(10, []int{3, 3}); err == nil {
+		t.Fatal("duplicate position accepted")
+	}
+}
+
+func BenchmarkDecodeInnerClean(b *testing.B) {
+	c := New(InnerParity)
+	data := make([]byte, InnerData)
+	rand.New(rand.NewSource(1)).Read(data)
+	cw := c.EncodeFull(data)
+	b.SetBytes(InnerData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(cw, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeWithInnerClean(b *testing.B) {
+	c := New(InnerParity)
+	data := make([]byte, InnerData)
+	rand.New(rand.NewSource(1)).Read(data)
+	cw := c.EncodeFull(data)
+	var s DecodeScratch
+	b.SetBytes(InnerData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeWith(&s, cw, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOuterErasures(b *testing.B) {
+	c := New(OuterParity)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, OuterData)
+	rng.Read(data)
+	clean := c.EncodeFull(data)
+	word := append([]byte(nil), clean...)
+	eras := []int{2, 9, 17}
+	for _, p := range eras {
+		word[p] = 0
+	}
+	buf := make([]byte, len(word))
+	var s DecodeScratch
+	b.SetBytes(OuterData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, word)
+		if _, err := c.DecodeWith(&s, buf, eras); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkEncodeIntoInner(b *testing.B) {

@@ -1,0 +1,95 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microlonys/internal/gf256"
+)
+
+// FuzzDecode drives random errata patterns through Decode and checks the
+// code's two contracts:
+//
+//   - within capacity (2·errors + erasures ≤ parity) the decode must
+//     succeed and return exactly the EncodeFull codeword it started from;
+//   - beyond capacity the decode may fail — and must, whenever it claims
+//     success, have produced a *valid codeword* (all syndromes zero),
+//     never a silently wrong non-codeword. (Decoding to a different valid
+//     codeword far beyond capacity is an inherent RS property.)
+//
+// The fuzz inputs select the code shape, data, and errata mix; positions
+// and values derive from the seed so every interesting boundary (zero
+// errata, parity-many erasures, just-beyond-capacity) is reachable.
+func FuzzDecode(f *testing.F) {
+	f.Add(int64(1), uint8(OuterParity), uint16(OuterData), uint8(0), uint8(3))
+	f.Add(int64(2), uint8(InnerParity), uint16(InnerData), uint8(16), uint8(0))
+	f.Add(int64(3), uint8(InnerParity), uint16(InnerData), uint8(4), uint8(24))
+	f.Add(int64(4), uint8(8), uint16(100), uint8(0), uint8(0))
+	f.Add(int64(5), uint8(8), uint16(1), uint8(5), uint8(1))   // beyond capacity
+	f.Add(int64(6), uint8(2), uint16(200), uint8(1), uint8(2)) // beyond capacity
+	f.Add(int64(7), uint8(InnerParity), uint16(223), uint8(0), uint8(32))
+
+	f.Fuzz(func(t *testing.T, seed int64, parityRaw uint8, lenRaw uint16, nerrRaw, neraRaw uint8) {
+		parity := 1 + int(parityRaw)%64
+		c := New(parity)
+		dataLen := 1 + int(lenRaw)%c.MaxData()
+		n := dataLen + parity
+
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, dataLen)
+		rng.Read(data)
+		clean := c.EncodeFull(data)
+
+		nerr := int(nerrRaw) % (parity + 1)
+		nera := int(neraRaw) % (parity + 1)
+		if nerr+nera > n {
+			nera = n - nerr
+		}
+		pick := rng.Perm(n)[:nerr+nera]
+		word := append([]byte(nil), clean...)
+		for _, p := range pick[:nerr] { // errors must actually corrupt
+			old := word[p]
+			for word[p] == old {
+				word[p] = byte(rng.Intn(256))
+			}
+		}
+		eras := pick[nerr:]
+		for _, p := range eras { // erasures may or may not corrupt
+			if rng.Intn(2) == 0 {
+				word[p] ^= byte(1 + rng.Intn(255))
+			}
+		}
+
+		var s DecodeScratch
+		got := append([]byte(nil), word...)
+		_, err := c.DecodeWith(&s, got, eras)
+
+		within := 2*nerr+nera <= parity
+		switch {
+		case within:
+			if err != nil {
+				t.Fatalf("within capacity (p=%d v=%d e=%d): %v", parity, nerr, nera, err)
+			}
+			if !bytes.Equal(got, clean) {
+				t.Fatalf("within capacity (p=%d v=%d e=%d): wrong word", parity, nerr, nera)
+			}
+		case err == nil:
+			// Beyond capacity but claimed success: the result must at
+			// least be a valid codeword — anything else is a silent
+			// corruption Decode's residual-syndrome check exists to stop.
+			for j := 0; j < parity; j++ {
+				if gf256.PolyEval(got, gf256.Exp(j)) != 0 {
+					t.Fatalf("beyond capacity (p=%d v=%d e=%d): accepted a non-codeword", parity, nerr, nera)
+				}
+			}
+		}
+
+		// Decode must agree with DecodeWith regardless of capacity.
+		got2 := append([]byte(nil), word...)
+		_, err2 := c.Decode(got2, eras)
+		if (err == nil) != (err2 == nil) || !bytes.Equal(got, got2) {
+			t.Fatalf("Decode and DecodeWith diverged (p=%d v=%d e=%d)", parity, nerr, nera)
+		}
+	})
+}

@@ -38,6 +38,14 @@ type Code struct {
 	// with zero checks; both MOCoder codes (inner per-frame and outer
 	// inter-frame) share this through their Code instances.
 	enc []byte
+
+	// syn holds one 256-entry multiplication table per syndrome power —
+	// syn[j*256+x] = α^j·x — the decoder-side mirror of enc. Horner's
+	// step for syndrome j becomes s[j] = syn[j<<8|s[j]] ^ c; the
+	// byte-major syndrome loop updates all parity accumulators per
+	// codeword byte, so the dominant clean-word scan is independent table
+	// lookups with no zero checks or log/exp arithmetic.
+	syn []byte
 }
 
 // Standard code parameters used by MOCoder.
@@ -65,13 +73,17 @@ func New(parity int) *Code {
 	for j := 0; j < parity; j++ {
 		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(j)})
 	}
-	c := &Code{parity: parity, gen: gen, enc: make([]byte, 256*parity)}
+	c := &Code{parity: parity, gen: gen, enc: make([]byte, 256*parity), syn: make([]byte, 256*parity)}
 	var row [256]byte
 	for k := 0; k < parity; k++ {
 		gf256.MulTable(gen[k+1], &row)
 		for f := 0; f < 256; f++ {
 			c.enc[f*parity+k] = row[f]
 		}
+	}
+	for j := 0; j < parity; j++ {
+		gf256.MulTable(gf256.Exp(j), &row)
+		copy(c.syn[j*256:(j+1)*256], row[:])
 	}
 	return c
 }
@@ -143,11 +155,36 @@ func (c *Code) EncodeFull(data []byte) []byte {
 	return append(out, c.Encode(data)...)
 }
 
+// DecodeScratch holds the decoder's working buffers — syndromes, the
+// erasure/errata locators, the evaluator and the errata position list —
+// so a caller decoding many codewords (the per-frame inner-code loop, the
+// per-group outer recovery) allocates nothing in steady state. A zero
+// DecodeScratch is ready to use; it must not be shared between concurrent
+// decodes.
+type DecodeScratch struct {
+	synd      []byte
+	lambdaE   []byte
+	fs        []byte
+	lambda    []byte
+	omega     []byte
+	lambdaP   []byte
+	positions []int
+	// Berlekamp-Massey state; the three buffers rotate.
+	cPoly, bPoly, tPoly []byte
+}
+
 // Decode corrects codeword (data || parity) in place. erasures lists known-bad
 // byte positions (indices into codeword). It returns the number of errata
 // corrected. If the word is uncorrectable the codeword is left unspecified and
 // ErrTooManyErrata (possibly wrapped) is returned.
 func (c *Code) Decode(codeword []byte, erasures []int) (int, error) {
+	var s DecodeScratch
+	return c.DecodeWith(&s, codeword, erasures)
+}
+
+// DecodeWith is Decode through reusable scratch buffers, for callers that
+// decode many codewords in a loop. Results are identical to Decode.
+func (c *Code) DecodeWith(s *DecodeScratch, codeword []byte, erasures []int) (int, error) {
 	n := len(codeword)
 	if n <= c.parity || n > 255 {
 		return 0, fmt.Errorf("rs: codeword length %d out of range (%d,255]", n, c.parity)
@@ -161,62 +198,104 @@ func (c *Code) Decode(codeword []byte, erasures []int) (int, error) {
 		}
 	}
 
-	synd := c.syndromes(codeword)
-	if allZero(synd) {
+	s.synd = growBytes(s.synd, c.parity)
+	if !c.syndromesInto(s.synd, codeword) {
 		return 0, nil // clean word; erasure hints were spurious
 	}
+	synd := s.synd
 
 	t := c.parity
 	e := len(erasures)
 
-	// Erasure locator Λ_E(x) = Π (1 - X_k x), low-order first.
+	// Erasure locator Λ_E(x) = Π (1 - X_k x), low-order first, built by
+	// in-place multiplication with each (1 + X_k·x) factor.
 	// The locator of position p is X = α^(n-1-p) (degree of that symbol).
-	lambdaE := []byte{1}
+	lambdaE := append(s.lambdaE[:0], 1)
 	for _, p := range erasures {
 		x := gf256.Exp(n - 1 - p)
-		lambdaE = polyMulLow(lambdaE, []byte{1, x})
+		lambdaE = append(lambdaE, 0)
+		for i := len(lambdaE) - 1; i >= 1; i-- {
+			lambdaE[i] ^= gf256.Mul(x, lambdaE[i-1])
+		}
 	}
+	s.lambdaE = lambdaE
 
 	// Forney syndromes T = S·Λ_E mod x^t; entries e..t-1 form a pure
 	// exponential sequence driven by the *error* locators only.
-	fs := polyMulLow(synd, lambdaE)
+	s.fs = polyMulLowInto(s.fs, synd, lambdaE)
+	fs := s.fs
 	if len(fs) > t {
 		fs = fs[:t]
 	}
-
-	// Berlekamp-Massey on u_i = T[e+i].
 	u := fs[e:]
-	gamma, L := berlekampMassey(u)
-	if 2*L > len(u) {
-		return 0, fmt.Errorf("%w: locator degree %d exceeds capacity", ErrTooManyErrata, L)
-	}
 
-	// Errata locator and Chien search over all symbol degrees.
-	lambda := polyMulLow(gamma, lambdaE)
-	degLambda := len(lambda) - 1
-	for degLambda > 0 && lambda[degLambda] == 0 {
-		degLambda--
-	}
-	lambda = lambda[:degLambda+1]
+	var lambda []byte
+	var degLambda int
+	if e > 0 && allZero(u) {
+		// Erasure-only fast path: no errors beyond the hinted positions,
+		// so the errata locator is Λ_E itself and its roots are the known
+		// erasure degrees — Berlekamp-Massey and the Chien search over all
+		// n degrees are skipped. This is what the outer-code group
+		// recovery always hits: every missing emblem position is known.
+		lambda = lambdaE
+		degLambda = e
+		pos := append(s.positions[:0], erasures...)
+		// Descending position order mirrors the Chien emission order
+		// (ascending degree); duplicates collapse to one root, which the
+		// root-count check below rejects exactly like the Chien search.
+		for i := 1; i < len(pos); i++ {
+			for j := i; j > 0 && pos[j] > pos[j-1]; j-- {
+				pos[j], pos[j-1] = pos[j-1], pos[j]
+			}
+		}
+		s.positions = pos
+		distinct := 0
+		for i, p := range pos {
+			if i == 0 || p != pos[i-1] {
+				distinct++
+			}
+		}
+		if distinct != degLambda {
+			return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrTooManyErrata, degLambda, distinct)
+		}
+	} else {
+		// Berlekamp-Massey on u_i = T[e+i].
+		gamma, L := berlekampMasseyWith(s, u)
+		if 2*L > len(u) {
+			return 0, fmt.Errorf("%w: locator degree %d exceeds capacity", ErrTooManyErrata, L)
+		}
 
-	var positions []int // positions in codeword
-	for d := 0; d < n; d++ {
-		// Root at x = α^{-d} ⇔ symbol with degree d is in error.
-		if polyEvalLow(lambda, gf256.Exp(-d)) == 0 {
-			positions = append(positions, n-1-d)
+		// Errata locator and Chien search over all symbol degrees.
+		s.lambda = polyMulLowInto(s.lambda, gamma, lambdaE)
+		lambda = s.lambda
+		degLambda = len(lambda) - 1
+		for degLambda > 0 && lambda[degLambda] == 0 {
+			degLambda--
+		}
+		lambda = lambda[:degLambda+1]
+
+		s.positions = s.positions[:0]
+		for d := 0; d < n; d++ {
+			// Root at x = α^{-d} ⇔ symbol with degree d is in error.
+			if polyEvalLow(lambda, gf256.Exp(-d)) == 0 {
+				s.positions = append(s.positions, n-1-d)
+			}
+		}
+		if len(s.positions) != degLambda {
+			return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrTooManyErrata, degLambda, len(s.positions))
 		}
 	}
-	if len(positions) != degLambda {
-		return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrTooManyErrata, degLambda, len(positions))
-	}
+	positions := s.positions
 
 	// Evaluator Ω = S·Λ mod x^t and Forney magnitudes
 	// Y = X·Ω(X^{-1}) / Λ'(X^{-1}).
-	omega := polyMulLow(synd, lambda)
+	s.omega = polyMulLowInto(s.omega, synd, lambda)
+	omega := s.omega
 	if len(omega) > t {
 		omega = omega[:t]
 	}
-	lambdaPrime := formalDerivativeLow(lambda)
+	s.lambdaP = formalDerivativeInto(s.lambdaP, lambda)
+	lambdaPrime := s.lambdaP
 
 	for _, p := range positions {
 		d := n - 1 - p
@@ -231,19 +310,118 @@ func (c *Code) Decode(codeword []byte, erasures []int) (int, error) {
 
 	// Re-check: a decoding beyond capacity can "correct" to a wrong word
 	// whose syndromes are nonzero only if something above went off-script.
-	if !allZero(c.syndromes(codeword)) {
+	if c.syndromesInto(s.synd, codeword) {
 		return 0, fmt.Errorf("%w: residual syndromes after correction", ErrTooManyErrata)
 	}
 	return len(positions), nil
 }
 
-// syndromes returns S_j = C(α^j) for j = 0..parity-1 (low-order first).
-func (c *Code) syndromes(codeword []byte) []byte {
-	s := make([]byte, c.parity)
-	for j := range s {
-		s[j] = gf256.PolyEval(codeword, gf256.Exp(j))
+// ErasureSolve expresses the erasure-only decode as an explicit linear
+// solve: for codewords of length n with the given distinct erasure
+// positions, it returns one coefficient row per erasure — coef[i][k] is
+// the GF(2^8) factor of received symbol k in the reconstruction of
+// position erasures[i], taking the erased symbols themselves as zero in
+// the received word. The reconstruction Σ_k coef[i][k]·received[k] equals
+// what Decode writes at erasures[i], because the erasure correction
+// (syndromes → evaluator → Forney magnitudes) is linear in the received
+// word. Callers that recover many codewords sharing one erasure pattern —
+// the outer-code group recovery, which solves the same 3-of-20 pattern
+// for every payload byte column — compute the solve once and apply it
+// row-major instead of re-deriving it per codeword.
+func (c *Code) ErasureSolve(n int, erasures []int) ([][]byte, error) {
+	if n <= c.parity || n > 255 {
+		return nil, fmt.Errorf("rs: codeword length %d out of range (%d,255]", n, c.parity)
 	}
-	return s
+	e := len(erasures)
+	if e == 0 || e > c.parity {
+		return nil, fmt.Errorf("%w: %d erasures (want 1..%d)", ErrTooManyErrata, e, c.parity)
+	}
+	erased := make([]bool, n)
+	for _, p := range erasures {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, n)
+		}
+		if erased[p] {
+			return nil, fmt.Errorf("rs: duplicate erasure position %d", p)
+		}
+		erased[p] = true
+	}
+	t := c.parity
+
+	// Erasure locator Λ_E and its formal derivative (see DecodeWith).
+	lambdaE := []byte{1}
+	for _, p := range erasures {
+		x := gf256.Exp(n - 1 - p)
+		lambdaE = append(lambdaE, 0)
+		for i := len(lambdaE) - 1; i >= 1; i-- {
+			lambdaE[i] ^= gf256.Mul(x, lambdaE[i-1])
+		}
+	}
+	lambdaP := formalDerivativeInto(nil, lambdaE)
+
+	// Per-erasure Forney denominators depend only on the pattern.
+	xInv := make([]byte, e)
+	denom := make([]byte, e)
+	for i, p := range erasures {
+		xInv[i] = gf256.Exp(-(n - 1 - p))
+		d := polyEvalLow(lambdaP, xInv[i])
+		if d == 0 {
+			return nil, fmt.Errorf("%w: Forney denominator vanished", ErrTooManyErrata)
+		}
+		denom[i] = d
+	}
+
+	// Probe each non-erased position k with the unit word e_k: its
+	// syndromes are S_j = α^{j·deg(k)}, and the Forney magnitude the
+	// erasure correction would add at erasures[i] is the solve
+	// coefficient coef[i][k].
+	coef := make([][]byte, e)
+	for i := range coef {
+		coef[i] = make([]byte, n)
+	}
+	synd := make([]byte, t)
+	var omega []byte
+	for k := 0; k < n; k++ {
+		if erased[k] {
+			continue
+		}
+		dk := n - 1 - k
+		for j := 0; j < t; j++ {
+			synd[j] = gf256.Exp(j * dk)
+		}
+		omega = polyMulLowInto(omega, synd, lambdaE)
+		if len(omega) > t {
+			omega = omega[:t]
+		}
+		for i, p := range erasures {
+			d := n - 1 - p
+			coef[i][k] = gf256.Mul(gf256.Exp(d), gf256.Div(polyEvalLow(omega, xInv[i]), denom[i]))
+		}
+	}
+	return coef, nil
+}
+
+// syndromesInto fills s (length Parity()) with S_j = C(α^j) for
+// j = 0..parity-1 (low-order first) and reports whether any syndrome is
+// nonzero. The loop is byte-major: each codeword byte advances every
+// accumulator through its per-power table row, so the lookups are
+// independent across j (full load parallelism) with no zero checks or
+// log/exp arithmetic — the cost that dominates the clean-word decode.
+func (c *Code) syndromesInto(s, codeword []byte) bool {
+	for j := range s {
+		s[j] = 0
+	}
+	syn := c.syn
+	for _, cb := range codeword {
+		for j := range s {
+			s[j] = syn[j<<8|int(s[j])] ^ cb
+		}
+	}
+	var dirty byte
+	for _, v := range s {
+		dirty |= v
+	}
+	return dirty != 0
 }
 
 func allZero(p []byte) bool {
@@ -255,11 +433,22 @@ func allZero(p []byte) bool {
 	return true
 }
 
-// berlekampMassey finds the minimal LFSR C (low-order first, C[0]=1) with
-// Σ_i C_i·u_{r-i} = 0 for all r in [L, len(u)), returning C and its degree L.
-func berlekampMassey(u []byte) ([]byte, int) {
-	cPoly := []byte{1}
-	bPoly := []byte{1}
+// growBytes returns b resized to n bytes, reallocating only when the
+// capacity is short. Contents are unspecified.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// berlekampMasseyWith finds the minimal LFSR C (low-order first, C[0]=1)
+// with Σ_i C_i·u_{r-i} = 0 for all r in [L, len(u)), returning C (backed
+// by the scratch) and its degree L.
+func berlekampMasseyWith(s *DecodeScratch, u []byte) ([]byte, int) {
+	cPoly := append(s.cPoly[:0], 1)
+	bPoly := append(s.bPoly[:0], 1)
+	spare := s.tPoly[:0]
 	L, m := 0, 1
 	b := byte(1)
 	for r := 0; r < len(u); r++ {
@@ -271,51 +460,60 @@ func berlekampMassey(u []byte) ([]byte, int) {
 		case delta == 0:
 			m++
 		case 2*L <= r:
-			tPoly := append([]byte(nil), cPoly...)
-			cPoly = subScaledShift(cPoly, bPoly, gf256.Div(delta, b), m)
+			tPoly := append(spare[:0], cPoly...)
+			cPoly = subScaledShiftInPlace(cPoly, bPoly, gf256.Div(delta, b), m)
 			L = r + 1 - L
+			spare = bPoly[:0]
 			bPoly = tPoly
 			b = delta
 			m = 1
 		default:
-			cPoly = subScaledShift(cPoly, bPoly, gf256.Div(delta, b), m)
+			cPoly = subScaledShiftInPlace(cPoly, bPoly, gf256.Div(delta, b), m)
 			m++
 		}
 	}
+	s.cPoly, s.bPoly, s.tPoly = cPoly, bPoly, spare
 	return cPoly, L
 }
 
-// subScaledShift returns c - coef·x^shift·b (low-order-first slices).
-func subScaledShift(c, b []byte, coef byte, shift int) []byte {
+// subScaledShiftInPlace computes c - coef·x^shift·b into c (low-order-first
+// slices, which must not alias), growing c as needed.
+func subScaledShiftInPlace(c, b []byte, coef byte, shift int) []byte {
 	n := len(b) + shift
 	if len(c) > n {
 		n = len(c)
 	}
-	out := make([]byte, n)
-	copy(out, c)
-	for i, bv := range b {
-		out[i+shift] ^= gf256.Mul(bv, coef)
+	for len(c) < n {
+		c = append(c, 0)
 	}
-	return out
+	for i, bv := range b {
+		c[i+shift] ^= gf256.Mul(bv, coef)
+	}
+	return c
 }
 
-// polyMulLow multiplies two low-order-first polynomials.
-func polyMulLow(a, b []byte) []byte {
+// polyMulLowInto multiplies two low-order-first polynomials into dst
+// (which must not alias a or b).
+func polyMulLowInto(dst, a, b []byte) []byte {
 	if len(a) == 0 || len(b) == 0 {
-		return nil
+		return dst[:0]
 	}
-	out := make([]byte, len(a)+len(b)-1)
+	n := len(a) + len(b) - 1
+	dst = growBytes(dst, n)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, av := range a {
 		if av == 0 {
 			continue
 		}
 		for j, bv := range b {
 			if bv != 0 {
-				out[i+j] ^= gf256.Mul(av, bv)
+				dst[i+j] ^= gf256.Mul(av, bv)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // polyEvalLow evaluates a low-order-first polynomial at x.
@@ -327,15 +525,21 @@ func polyEvalLow(p []byte, x byte) byte {
 	return y
 }
 
-// formalDerivativeLow returns p' for low-order-first p over GF(2^8):
-// the term c·x^k differentiates to (k mod 2)·c·x^{k-1}.
-func formalDerivativeLow(p []byte) []byte {
+// formalDerivativeInto returns p' for low-order-first p over GF(2^8) into
+// dst (which must not alias p): the term c·x^k differentiates to
+// (k mod 2)·c·x^{k-1}.
+func formalDerivativeInto(dst, p []byte) []byte {
 	if len(p) <= 1 {
-		return []byte{0}
+		dst = growBytes(dst, 1)
+		dst[0] = 0
+		return dst
 	}
-	out := make([]byte, len(p)-1)
+	dst = growBytes(dst, len(p)-1)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 1; i < len(p); i += 2 {
-		out[i-1] = p[i]
+		dst[i-1] = p[i]
 	}
-	return out
+	return dst
 }

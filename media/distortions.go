@@ -69,42 +69,9 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 	// operation on the same operands as the per-pixel formulation, so the
 	// resampled image is bit-identical (TestApplyFastPathDifferential).
 	if d.RotationDeg != 0 || d.BarrelK != 0 || d.RowJitterPx != 0 {
-		theta := d.RotationDeg * math.Pi / 180
-		sin, cos := math.Sin(theta), math.Cos(theta)
-		cx, cy := float64(out.W)/2, float64(out.H)/2
-		rmax := math.Hypot(cx, cy)
 		jitter := rowJitter(rng, out.H, d.RowJitterPx)
 		src := out
-		out = src.WarpRows(func(y float64) func(x float64) (float64, float64) {
-			shift := 0.0
-			if d.RowJitterPx != 0 {
-				if yi := int(y); yi >= 0 && yi < len(jitter) {
-					shift = jitter[yi]
-				}
-			}
-			dy := y - cy
-			sinDy, cosDy := sin*dy, cos*dy
-			return func(x float64) (float64, float64) {
-				if d.RowJitterPx != 0 {
-					x += shift
-				}
-				dx := x - cx
-				if d.BarrelK != 0 {
-					r := math.Hypot(dx, dy) / rmax
-					s := 1 + d.BarrelK*r*r
-					dx *= s
-					dyb := dy * s
-					if theta != 0 {
-						return cx + (cos*dx - sin*dyb), cy + (sin*dx + cos*dyb)
-					}
-					return cx + dx, cy + dyb
-				}
-				if theta != 0 {
-					return cx + (cos*dx - sinDy), cy + (sin*dx + cosDy)
-				}
-				return cx + dx, cy + dy
-			}
-		})
+		out = d.warpGeometry(src, &raster.Gray{}, jitter)
 	}
 
 	if d.BlurRadius > 0 {
@@ -115,47 +82,14 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 		if out == img {
 			out = img.Clone()
 		}
-		fade := 1 - d.Fade
-		for y := 0; y < out.H; y++ {
-			// Illumination gradient: brighter on one side, as from an
-			// uneven lamp or a hot spot during filming.
-			grad := d.Gradient * 60 * (float64(y)/float64(out.H) - 0.5)
-			row := out.Pix[y*out.W : (y+1)*out.W]
-			for x := range row {
-				v := float64(row[x])
-				if d.Fade > 0 {
-					v = 128 + (v-128)*fade
-				}
-				v += grad
-				if d.Noise > 0 {
-					v += rng.NormFloat64() * d.Noise
-				}
-				row[x] = clamp(v)
-			}
-		}
+		d.photometryInPlace(out, rng)
 	}
 
 	if d.DustSpecks > 0 || d.Scratches > 0 {
 		if out == img {
 			out = img.Clone()
 		}
-		maxR := d.DustMaxRadius
-		if maxR <= 0 {
-			maxR = 3
-		}
-		for i := 0; i < d.DustSpecks; i++ {
-			x := rng.Intn(out.W)
-			y := rng.Intn(out.H)
-			r := 1 + rng.Intn(maxR)
-			shade := byte(0)
-			if rng.Intn(2) == 0 {
-				shade = 255
-			}
-			fillCircle(out, x, y, r, shade)
-		}
-		for i := 0; i < d.Scratches; i++ {
-			drawScratch(out, rng)
-		}
+		d.damageInPlace(out, rng)
 	}
 
 	if out == img {
@@ -164,12 +98,141 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 	return out
 }
 
+// geometryRowMapper builds the raster.WarpRows row hook for the geometric
+// distortions (jitter shift, lens curvature, rotation) of a w×h frame —
+// the single inverse mapping Apply and the scan-scratch applyInto share,
+// so both resample identically.
+func (d Distortions) geometryRowMapper(w, h int, jitter []float64) func(y float64) func(x float64) (float64, float64) {
+	theta := d.RotationDeg * math.Pi / 180
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	cx, cy := float64(w)/2, float64(h)/2
+	rmax := math.Hypot(cx, cy)
+	return func(y float64) func(x float64) (float64, float64) {
+		shift := 0.0
+		if d.RowJitterPx != 0 {
+			if yi := int(y); yi >= 0 && yi < len(jitter) {
+				shift = jitter[yi]
+			}
+		}
+		dy := y - cy
+		sinDy, cosDy := sin*dy, cos*dy
+		return func(x float64) (float64, float64) {
+			if d.RowJitterPx != 0 {
+				x += shift
+			}
+			dx := x - cx
+			if d.BarrelK != 0 {
+				r := math.Hypot(dx, dy) / rmax
+				s := 1 + d.BarrelK*r*r
+				dx *= s
+				dyb := dy * s
+				if theta != 0 {
+					return cx + (cos*dx - sin*dyb), cy + (sin*dx + cos*dyb)
+				}
+				return cx + dx, cy + dyb
+			}
+			if theta != 0 {
+				return cx + (cos*dx - sinDy), cy + (sin*dx + cosDy)
+			}
+			return cx + dx, cy + dy
+		}
+	}
+}
+
+// warpGeometry runs the geometric resample src→dst through the
+// barrel-free raster specialization when the model allows it (every
+// built-in scanner except microfilm), the general row mapper otherwise.
+// Both evaluate identical per-pixel arithmetic, so the resampled bytes
+// are the same either way (TestApplyFastPathDifferential covers each
+// model class).
+func (d Distortions) warpGeometry(src, dst *raster.Gray, jitter []float64) *raster.Gray {
+	if d.BarrelK == 0 {
+		theta := d.RotationDeg * math.Pi / 180
+		sin, cos := math.Sin(theta), math.Cos(theta)
+		var j []float64
+		if d.RowJitterPx != 0 {
+			j = jitter
+		}
+		return src.WarpShiftRotateInto(dst, sin, cos, theta != 0, j)
+	}
+	return src.WarpRowsInto(dst, d.geometryRowMapper(src.W, src.H, jitter))
+}
+
+// photometryInPlace applies fade, illumination gradient and noise to out.
+// The noise-only model — most built-in scanners on most rows — gets its
+// own loop: with Fade non-positive (the per-pixel fade branch is skipped)
+// and Gradient exactly zero (the gradient term is exactly 0.0, and adding
+// it never changes a finite pixel value), the specialized loop computes
+// the identical bytes without the per-pixel flag checks. A *negative*
+// Gradient must take the general loop: the reference adds its term
+// whenever this stage runs.
+func (d Distortions) photometryInPlace(out *raster.Gray, rng *rand.Rand) {
+	if d.Fade <= 0 && d.Gradient == 0 && d.Noise > 0 {
+		noise := d.Noise
+		for i := range out.Pix {
+			out.Pix[i] = clamp(float64(out.Pix[i]) + rng.NormFloat64()*noise)
+		}
+		return
+	}
+	fade := 1 - d.Fade
+	for y := 0; y < out.H; y++ {
+		// Illumination gradient: brighter on one side, as from an
+		// uneven lamp or a hot spot during filming.
+		grad := d.Gradient * 60 * (float64(y)/float64(out.H) - 0.5)
+		row := out.Pix[y*out.W : (y+1)*out.W]
+		for x := range row {
+			v := float64(row[x])
+			if d.Fade > 0 {
+				v = 128 + (v-128)*fade
+			}
+			v += grad
+			if d.Noise > 0 {
+				v += rng.NormFloat64() * d.Noise
+			}
+			row[x] = clamp(v)
+		}
+	}
+}
+
+// damageInPlace applies dust specks and scratches to out.
+func (d Distortions) damageInPlace(out *raster.Gray, rng *rand.Rand) {
+	maxR := d.DustMaxRadius
+	if maxR <= 0 {
+		maxR = 3
+	}
+	for i := 0; i < d.DustSpecks; i++ {
+		x := rng.Intn(out.W)
+		y := rng.Intn(out.H)
+		r := 1 + rng.Intn(maxR)
+		shade := byte(0)
+		if rng.Intn(2) == 0 {
+			shade = 255
+		}
+		fillCircle(out, x, y, r, shade)
+	}
+	for i := 0; i < d.Scratches; i++ {
+		drawScratch(out, rng)
+	}
+}
+
 // rowJitter builds a bounded random walk: adjacent scan lines drift by a
 // fraction of a pixel, accumulating up to ±amplitude — the signature of
 // unsteady transport in linear-array scanners and ADFs.
 func rowJitter(rng *rand.Rand, rows int, amplitude float64) []float64 {
-	j := make([]float64, rows)
+	return rowJitterInto(rng, nil, rows, amplitude)
+}
+
+// rowJitterInto is rowJitter into a reused buffer. A zero amplitude
+// consumes no randomness, exactly like rowJitter.
+func rowJitterInto(rng *rand.Rand, buf []float64, rows int, amplitude float64) []float64 {
+	if cap(buf) < rows {
+		buf = make([]float64, rows)
+	}
+	j := buf[:rows]
 	if amplitude == 0 {
+		for y := range j {
+			j[y] = 0
+		}
 		return j
 	}
 	cur := 0.0

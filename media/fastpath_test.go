@@ -125,6 +125,8 @@ func TestApplyFastPathDifferential(t *testing.T) {
 		{Gradient: 0.4},
 		{Noise: 5},
 		{Fade: 0.08, Gradient: 0.3, Noise: 4},
+		{Gradient: -0.4, Noise: 5}, // negative gradient still applies once noise runs the stage
+		{Fade: -0.2, Noise: 3},     // negative fade is inert but must not skip the stage
 		{DustSpecks: 20, Scratches: 2},
 		Paper().Scanner,
 		Microfilm().Scanner,

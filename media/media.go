@@ -198,7 +198,14 @@ func (m *Medium) ScanFrame(i int) (*raster.Gray, error) {
 	}
 	d := m.profile.Scanner
 	d.Seed = int64(i)*104729 + 7
-	img = d.Apply(img)
+	switch {
+	case !d.IsZero():
+		img = d.Apply(img)
+	case img == m.frames[i]:
+		// Distortion-free scanner at native resolution: Apply would only
+		// clone — do just that, so the caller never sees stored pixels.
+		img = img.Clone()
+	}
 	if m.profile.ScanBitonal {
 		img = img.Threshold(img.OtsuThreshold())
 	}

@@ -1,0 +1,76 @@
+package media
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microlonys/raster"
+)
+
+// ScanScratch holds the image buffers ScanFrameInto renders through: the
+// returned scan, a staging buffer for the resample source, the blur
+// intermediate, and the scanner-jitter walk. One scratch belongs to one
+// scanning goroutine (the restore pipeline threads one per worker); a
+// zero value is ready to use and sizes itself to the frames it sees.
+type ScanScratch struct {
+	out, stage, blur raster.Gray
+	jitter           []float64
+}
+
+// ScanFrameInto is ScanFrame through the caller's scratch: the resample,
+// distortion and threshold stages render into the scratch images instead
+// of allocating two or three full-resolution frames per scan. The
+// returned image aliases the scratch and is valid until the next call;
+// its pixels are byte-identical to ScanFrame's
+// (TestScanFrameIntoMatchesScanFrame).
+func (m *Medium) ScanFrameInto(s *ScanScratch, i int) (*raster.Gray, error) {
+	if i < 0 || i >= len(m.frames) {
+		return nil, fmt.Errorf("media: frame %d out of range", i)
+	}
+	cur := m.frames[i] // read-only: stored frames are never mutated here
+	if m.profile.ScanW != m.profile.FrameW || m.profile.ScanH != m.profile.FrameH {
+		cur.ResizeInto(&s.stage, m.profile.ScanW, m.profile.ScanH)
+		cur = &s.stage
+	}
+	d := m.profile.Scanner
+	d.Seed = int64(i)*104729 + 7
+	out := d.applyInto(s, cur)
+	if m.profile.ScanBitonal {
+		out.ThresholdInto(out, out.OtsuThreshold())
+	}
+	return out, nil
+}
+
+// applyInto is Apply rendering into the scratch: the result always lands
+// in s.out (never aliasing src), intermediate stages ping-pong through
+// the scratch buffers, and the in-place stages mutate s.out directly. The
+// stage order, the random-number consumption and the per-stage arithmetic
+// are shared with Apply (geometryRowMapper, photometryInPlace,
+// damageInPlace), so the output is bit-identical.
+func (d Distortions) applyInto(s *ScanScratch, src *raster.Gray) *raster.Gray {
+	if d.IsZero() {
+		return src.CopyInto(&s.out)
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	cur := src
+	if d.RotationDeg != 0 || d.BarrelK != 0 || d.RowJitterPx != 0 {
+		s.jitter = rowJitterInto(rng, s.jitter, cur.H, d.RowJitterPx)
+		d.warpGeometry(cur, &s.out, s.jitter)
+		cur = &s.out
+	}
+	if d.BlurRadius > 0 {
+		// The blur may write over its own source (cur can already be
+		// s.out); the horizontal pass consumes it into s.blur first.
+		cur = cur.BoxBlurInto(&s.out, &s.blur, d.BlurRadius)
+	}
+	if cur != &s.out {
+		cur = cur.CopyInto(&s.out) // own the pixels before mutating stages
+	}
+	if d.Fade > 0 || d.Gradient > 0 || d.Noise > 0 {
+		d.photometryInPlace(cur, rng)
+	}
+	if d.DustSpecks > 0 || d.Scratches > 0 {
+		d.damageInPlace(cur, rng)
+	}
+	return cur
+}

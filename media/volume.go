@@ -153,6 +153,16 @@ func (v *Volume) ScanFrame(i int) (*raster.Gray, error) {
 	return v.sheets[s].ScanFrame(idx)
 }
 
+// ScanFrameInto is ScanFrame through the caller's scratch (see
+// Medium.ScanFrameInto); the returned image aliases the scratch.
+func (v *Volume) ScanFrameInto(s *ScanScratch, i int) (*raster.Gray, error) {
+	sheet, idx, err := v.Locate(i)
+	if err != nil {
+		return nil, err
+	}
+	return v.sheets[sheet].ScanFrameInto(s, idx)
+}
+
 // Damage applies additional distortion to one frame of one sheet.
 func (v *Volume) Damage(sheet, index int, d Distortions) error {
 	m, err := v.Sheet(sheet)

@@ -1,0 +1,105 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testImage(seed int64, w, h int) *Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(w, h)
+	for i := range g.Pix {
+		// Emblem-like content: hard edges plus noise.
+		x, y := i%w, i/w
+		if (x/4+y/6)%2 == 0 {
+			g.Pix[i] = byte(rng.Intn(40))
+		} else {
+			g.Pix[i] = byte(200 + rng.Intn(56))
+		}
+	}
+	return g
+}
+
+// dirtyGray returns a scratch image pre-filled with garbage of an
+// unrelated size, so reuse bugs (stale size, uncleared pixels) surface.
+func dirtyGray(w, h int) *Gray {
+	g := New(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = byte(i*13 + 7)
+	}
+	return g
+}
+
+// TestHistogramSplitAccumulators pins the four-way histogram to the
+// single-accumulator formulation on sizes around the unroll boundary.
+func TestHistogramSplitAccumulators(t *testing.T) {
+	for _, wh := range [][2]int{{1, 1}, {3, 1}, {5, 1}, {7, 3}, {160, 120}} {
+		g := testImage(int64(wh[0]), wh[0], wh[1])
+		got := g.Histogram()
+		var want [256]int
+		for _, p := range g.Pix {
+			want[p]++
+		}
+		if got != want {
+			t.Fatalf("size %v: split histogram differs from reference", wh)
+		}
+	}
+}
+
+// TestIntoVariantsMatchOriginals pins every Into variant to its
+// allocating original, through dirty reused destinations and across
+// repeated calls with differing sizes.
+func TestIntoVariantsMatchOriginals(t *testing.T) {
+	sizes := [][2]int{{120, 90}, {57, 31}, {200, 150}}
+	dst, tmp := dirtyGray(5, 5), dirtyGray(300, 2)
+	for round := 0; round < 2; round++ {
+		for si, wh := range sizes {
+			g := testImage(int64(si)+1, wh[0], wh[1])
+
+			if got := g.CopyInto(dst); !Equal(got, g.Clone()) {
+				t.Fatalf("size %v: CopyInto differs from Clone", wh)
+			}
+
+			for _, target := range [][2]int{{wh[0] * 2, wh[1] * 2}, {wh[0] / 2, wh[1] / 2}, {wh[0] * 3 / 2, wh[1] / 2}} {
+				want := g.Resize(target[0], target[1])
+				got := g.ResizeInto(dst, target[0], target[1])
+				if !Equal(got, want) {
+					t.Fatalf("size %v -> %v: ResizeInto differs from Resize", wh, target)
+				}
+			}
+
+			rowf := func(y float64) func(x float64) (float64, float64) {
+				dy := math.Sin(y/7) * 1.5
+				return func(x float64) (float64, float64) {
+					return x + math.Cos(x/11)*0.8, y + dy
+				}
+			}
+			if got, want := g.WarpRowsInto(dst, rowf), g.WarpRows(rowf); !Equal(got, want) {
+				t.Fatalf("size %v: WarpRowsInto differs from WarpRows", wh)
+			}
+
+			for _, radius := range []int{0, 1, 3} {
+				want := g.BoxBlur(radius)
+				if got := g.BoxBlurInto(dst, tmp, radius); !Equal(got, want) {
+					t.Fatalf("size %v radius %d: BoxBlurInto differs from BoxBlur", wh, radius)
+				}
+				// dst aliasing the source: blur a copy in place.
+				alias := g.Clone()
+				if got := alias.BoxBlurInto(alias, tmp, radius); !Equal(got, want) {
+					t.Fatalf("size %v radius %d: in-place BoxBlurInto differs", wh, radius)
+				}
+			}
+
+			thr := g.OtsuThreshold()
+			want := g.Threshold(thr)
+			if got := g.ThresholdInto(dst, thr); !Equal(got, want) {
+				t.Fatalf("size %v: ThresholdInto differs from Threshold", wh)
+			}
+			alias := g.Clone()
+			if got := alias.ThresholdInto(alias, thr); !Equal(got, want) {
+				t.Fatalf("size %v: in-place ThresholdInto differs", wh)
+			}
+		}
+	}
+}

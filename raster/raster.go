@@ -89,6 +89,29 @@ func (g *Gray) Clone() *Gray {
 	return &Gray{W: g.W, H: g.H, Pix: append([]byte(nil), g.Pix...)}
 }
 
+// reshape resizes dst's backing store to w×h, reusing the pixel buffer
+// when it is large enough. Contents are unspecified.
+func (g *Gray) reshape(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid size %dx%d", w, h))
+	}
+	g.W, g.H = w, h
+	if cap(g.Pix) < w*h {
+		g.Pix = make([]byte, w*h)
+	} else {
+		g.Pix = g.Pix[:w*h]
+	}
+}
+
+// CopyInto copies g into dst, reusing dst's pixel buffer when possible,
+// and returns dst. Clone for callers that recycle a destination image
+// across frames (the scan-path scratch).
+func (g *Gray) CopyInto(dst *Gray) *Gray {
+	dst.reshape(g.W, g.H)
+	copy(dst.Pix, g.Pix)
+	return dst
+}
+
 // SampleBilinear returns the bilinearly interpolated intensity at the
 // floating-point position (x, y). Out-of-bounds regions read as white.
 //
@@ -127,11 +150,27 @@ func (g *Gray) Mean() float64 {
 	return float64(sum) / float64(len(g.Pix))
 }
 
-// Histogram returns the 256-bin intensity histogram.
+// Histogram returns the 256-bin intensity histogram. Four sub-histograms
+// accumulate interleaved pixels so runs of equal values (the common case
+// on near-bitonal frames) do not serialise on one counter's
+// store-to-load dependency; the merged counts are exactly the single
+// accumulator's.
 func (g *Gray) Histogram() [256]int {
+	var h0, h1, h2, h3 [256]int
+	p := g.Pix
+	n := len(p) &^ 3
+	for i := 0; i < n; i += 4 {
+		h0[p[i]]++
+		h1[p[i+1]]++
+		h2[p[i+2]]++
+		h3[p[i+3]]++
+	}
+	for _, v := range p[n:] {
+		h0[v]++
+	}
 	var h [256]int
-	for _, p := range g.Pix {
-		h[p]++
+	for i := range h {
+		h[i] = h0[i] + h1[i] + h2[i] + h3[i]
 	}
 	return h
 }
@@ -182,15 +221,22 @@ func (g *Gray) OtsuThreshold() byte {
 
 // Threshold returns a bitonal copy: pixels < t become 0, others 255.
 func (g *Gray) Threshold(t byte) *Gray {
-	out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
-	for i, p := range g.Pix {
+	return g.ThresholdInto(&Gray{}, t)
+}
+
+// ThresholdInto is Threshold into a reused destination; dst may be g
+// itself for in-place quantisation.
+func (g *Gray) ThresholdInto(dst *Gray, t byte) *Gray {
+	dst.reshape(g.W, g.H)
+	pix, out := g.Pix, dst.Pix
+	for i, p := range pix {
 		if p < t {
-			out.Pix[i] = 0
+			out[i] = 0
 		} else {
-			out.Pix[i] = 255
+			out[i] = 255
 		}
 	}
-	return out
+	return dst
 }
 
 // Resize scales to w×h. Upscaling interpolates bilinearly; downscaling
@@ -198,7 +244,14 @@ func (g *Gray) Threshold(t byte) *Gray {
 // how a scanner sensor integrates light (and avoids aliasing on module
 // boundaries).
 func (g *Gray) Resize(w, h int) *Gray {
-	out := New(w, h)
+	return g.ResizeInto(&Gray{}, w, h)
+}
+
+// ResizeInto is Resize into a reused destination (every destination pixel
+// is written, so no clearing is needed); dst must not alias g.
+func (g *Gray) ResizeInto(dst *Gray, w, h int) *Gray {
+	out := dst
+	out.reshape(w, h)
 	sx := float64(g.W) / float64(w)
 	sy := float64(g.H) / float64(h)
 	if sx <= 1 && sy <= 1 {
@@ -288,13 +341,132 @@ func (g *Gray) Warp(f func(x, y float64) (sx, sy float64)) *Gray {
 // Distortion models hoist row-invariant terms (jitter shift, rotation
 // components of the row's y offset) out of the per-pixel loop this way.
 func (g *Gray) WarpRows(rowf func(y float64) func(x float64) (sx, sy float64)) *Gray {
-	out := New(g.W, g.H)
-	for y := 0; y < g.H; y++ {
+	return g.WarpRowsInto(&Gray{}, rowf)
+}
+
+// WarpRowsInto is WarpRows into a reused destination; dst must not alias
+// g (the warp reads arbitrary source positions while writing).
+//
+// The bilinear sample is expanded inline for the interior case — the
+// overwhelming majority of warp samples — with the exact expression
+// SampleBilinear's interior path evaluates (same loads, same operation
+// order, so the resampled bytes are bit-identical; the scanner-model
+// differential in media/fastpath_test.go pins this against the
+// SampleBilinear formulation). Border samples fall back to the one shared
+// implementation.
+func (g *Gray) WarpRowsInto(dst *Gray, rowf func(y float64) func(x float64) (sx, sy float64)) *Gray {
+	out := dst
+	out.reshape(g.W, g.H)
+	w, h := g.W, g.H
+	pix := g.Pix
+	for y := 0; y < h; y++ {
 		row := out.row(y)
 		f := rowf(float64(y))
-		for x := 0; x < g.W; x++ {
+		for x := 0; x < w; x++ {
 			sx, sy := f(float64(x))
-			row[x] = clampByte(g.SampleBilinear(sx, sy))
+			x0 := int(math.Floor(sx))
+			y0 := int(math.Floor(sy))
+			var v float64
+			if x0 >= 0 && y0 >= 0 && x0+1 < w && y0+1 < h {
+				fx := sx - float64(x0)
+				fy := sy - float64(y0)
+				i := y0*w + x0
+				r0 := pix[i : i+2]
+				r1 := pix[i+w : i+w+2]
+				p00 := float64(r0[0])
+				p10 := float64(r0[1])
+				p01 := float64(r1[0])
+				p11 := float64(r1[1])
+				v = p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+			} else {
+				v = g.SampleBilinear(sx, sy)
+			}
+			// v is a convex combination of byte values (see
+			// WarpShiftRotateInto): clampByte reduces to its rounding arm.
+			row[x] = byte(v + 0.5)
+		}
+	}
+	return out
+}
+
+// WarpShiftRotateInto resamples through the inverse mapping of a per-row
+// horizontal shift followed by a rotation about the image centre — the
+// geometry of every barrel-free scanner model. The per-pixel arithmetic
+// is exactly what the general WarpRows row mapper evaluates for that
+// model (jitter add, then the hoisted rotation terms; rotate selects the
+// same theta != 0 branch), executed without the per-pixel closure call.
+// jitter nil means no shift stage at all. dst must not alias g.
+func (g *Gray) WarpShiftRotateInto(dst *Gray, sin, cos float64, rotate bool, jitter []float64) *Gray {
+	out := dst
+	out.reshape(g.W, g.H)
+	w, h := g.W, g.H
+	pix := g.Pix
+	cx, cy := float64(w)/2, float64(h)/2
+	hasJitter := jitter != nil
+	// Without a row shift, cos·dx and sin·dx depend on the column alone —
+	// hoist them out of the row loop (the same multiplications on the
+	// same operands, so the sampled positions are bit-identical).
+	var cosDx, sinDx []float64
+	if !hasJitter && rotate {
+		cosDx = make([]float64, w)
+		sinDx = make([]float64, w)
+		for x := 0; x < w; x++ {
+			dx := float64(x) - cx
+			cosDx[x] = cos * dx
+			sinDx[x] = sin * dx
+		}
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y)
+		shift := 0.0
+		if hasJitter {
+			if yi := int(fy); yi >= 0 && yi < len(jitter) {
+				shift = jitter[yi]
+			}
+		}
+		dy := fy - cy
+		sinDy, cosDy := sin*dy, cos*dy
+		row := out.row(y)
+		for x := 0; x < w; x++ {
+			var sx, sy float64
+			if cosDx != nil {
+				sx = cx + (cosDx[x] - sinDy)
+				sy = cy + (sinDx[x] + cosDy)
+			} else {
+				fx := float64(x)
+				if hasJitter {
+					fx += shift
+				}
+				dx := fx - cx
+				if rotate {
+					sx = cx + (cos*dx - sinDy)
+					sy = cy + (sin*dx + cosDy)
+				} else {
+					sx = cx + dx
+					sy = cy + dy
+				}
+			}
+			x0 := int(math.Floor(sx))
+			y0 := int(math.Floor(sy))
+			var v float64
+			if x0 >= 0 && y0 >= 0 && x0+1 < w && y0+1 < h {
+				gx := sx - float64(x0)
+				gy := sy - float64(y0)
+				i := y0*w + x0
+				r0 := pix[i : i+2]
+				r1 := pix[i+w : i+w+2]
+				p00 := float64(r0[0])
+				p10 := float64(r0[1])
+				p01 := float64(r1[0])
+				p11 := float64(r1[1])
+				v = p00*(1-gx)*(1-gy) + p10*gx*(1-gy) + p01*(1-gx)*gy + p11*gx*gy
+			} else {
+				v = g.SampleBilinear(sx, sy)
+			}
+			// A bilinear sample is a convex combination of byte values, so
+			// v is always in [0, 255] and clampByte reduces to its rounding
+			// arm (clampByte(v) == byte(v+0.5) on that whole range).
+			row[x] = byte(v + 0.5)
 		}
 	}
 	return out
@@ -310,26 +482,58 @@ func (g *Gray) WarpRows(rowf func(y float64) func(x float64) (sx, sy float64)) *
 // The per-column sums it maintains are exactly the sums the per-column
 // walk would compute, keeping the output byte-identical.
 func (g *Gray) BoxBlur(radius int) *Gray {
+	return g.BoxBlurInto(&Gray{}, &Gray{}, radius)
+}
+
+// BoxBlurInto is BoxBlur through reused buffers: the result lands in dst,
+// tmp holds the horizontal pass. dst may alias g (the source is fully
+// consumed by the horizontal pass); tmp must alias neither.
+func (g *Gray) BoxBlurInto(dst, tmp *Gray, radius int) *Gray {
 	if radius <= 0 {
-		return g.Clone()
+		return g.CopyInto(dst)
 	}
-	tmp := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+	tmp.reshape(g.W, g.H)
 	win := 2*radius + 1
-	// horizontal
+	// A window sum of win bytes is at most 255·win, so byte(sum/win) is a
+	// table lookup — integer division by a runtime-variable window is the
+	// slowest per-pixel operation in both passes otherwise.
+	div := make([]byte, 255*win+1)
+	for v := range div {
+		div[v] = byte(v / win)
+	}
+	// horizontal; the interior span needs no edge clamping, so it slides
+	// the window with direct loads (identical values: atClamped is the
+	// identity for in-range indices).
+	lo, hi := radius, g.W-radius-1
+	if lo > g.W {
+		lo = g.W
+	}
+	if hi < lo {
+		hi = lo
+	}
 	for y := 0; y < g.H; y++ {
-		row := g.Pix[y*g.W:]
+		row := g.Pix[y*g.W : y*g.W+g.W]
 		var sum int
 		for x := -radius; x <= radius; x++ {
 			sum += int(atClamped(row, g.W, x))
 		}
 		dst := tmp.Pix[y*g.W:]
-		for x := 0; x < g.W; x++ {
-			dst[x] = byte(sum / win)
+		for x := 0; x < lo; x++ {
+			dst[x] = div[sum]
+			sum += int(atClamped(row, g.W, x+radius+1)) - int(atClamped(row, g.W, x-radius))
+		}
+		for x := lo; x < hi; x++ {
+			dst[x] = div[sum]
+			sum += int(row[x+radius+1]) - int(row[x-radius])
+		}
+		for x := hi; x < g.W; x++ {
+			dst[x] = div[sum]
 			sum += int(atClamped(row, g.W, x+radius+1)) - int(atClamped(row, g.W, x-radius))
 		}
 	}
 	// vertical
-	out := &Gray{W: g.W, H: g.H, Pix: make([]byte, len(g.Pix))}
+	out := dst
+	out.reshape(g.W, g.H)
 	sums := make([]int, g.W)
 	for y := -radius; y <= radius; y++ {
 		row := tmp.row(clampRow(y, g.H))
@@ -340,7 +544,7 @@ func (g *Gray) BoxBlur(radius int) *Gray {
 	for y := 0; y < g.H; y++ {
 		dst := out.Pix[y*g.W : y*g.W+g.W]
 		for x := range dst {
-			dst[x] = byte(sums[x] / win)
+			dst[x] = div[sums[x]]
 		}
 		add := tmp.row(clampRow(y+radius+1, g.H))
 		sub := tmp.row(clampRow(y-radius, g.H))
