@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// The regression gate: a fresh (typically small-trial-count) run compared
+// against the committed baseline, point by point, inside a tolerance band
+// that widens with the fresh run's sampling noise.
+
+// Regression is one axis point whose fresh recovery rate fell outside the
+// band below the baseline.
+type Regression struct {
+	Profile  string
+	Axis     string
+	Value    float64
+	Baseline float64 // baseline recovered fraction
+	Fresh    float64 // fresh recovered fraction
+	Band     float64 // allowed one-sided drop
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s@%g: recovered %.3f, baseline %.3f (band %.3f)",
+		r.Profile, r.Axis, r.Value, r.Fresh, r.Baseline, r.Band)
+}
+
+// DiffReport is the outcome of comparing a fresh run to a baseline.
+type DiffReport struct {
+	Compared    int          // axis points compared
+	Skipped     int          // baseline points the fresh run did not sweep
+	Improved    int          // points above the baseline by more than the band
+	Regressions []Regression // points below the baseline beyond the band
+}
+
+// Diff compares fresh against baseline. tol is the flat tolerance on the
+// recovered fraction; on top of it each point gets a binomial slack of
+// 1.96·sqrt(p(1-p)/n) for the fresh run's trial count n at baseline rate
+// p — a 2-trial smoke run is only held to what 2 trials can statistically
+// say, while the anchor points (p = 0 or 1, e.g. "severity 1 always
+// recovers") get no slack at all and gate tightly at any trial count.
+// Only drops below the baseline regress; gains are reported as Improved
+// (a hint to refresh the baseline).
+func Diff(baseline, fresh *Result, tol float64) *DiffReport {
+	rep := &DiffReport{}
+	type key struct {
+		profile, axis string
+		value         float64
+	}
+	freshPts := map[key]PointResult{}
+	for _, c := range fresh.Curves {
+		for _, p := range c.Points {
+			freshPts[key{c.Profile, c.Axis, p.Value}] = p
+		}
+	}
+	for _, c := range baseline.Curves {
+		for _, bp := range c.Points {
+			fp, ok := freshPts[key{c.Profile, c.Axis, bp.Value}]
+			if !ok {
+				rep.Skipped++
+				continue
+			}
+			rep.Compared++
+			band := tol + 1.96*math.Sqrt(bp.Recovered*(1-bp.Recovered)/float64(fp.Trials))
+			switch {
+			case fp.Recovered < bp.Recovered-band:
+				rep.Regressions = append(rep.Regressions, Regression{
+					Profile: c.Profile, Axis: c.Axis, Value: bp.Value,
+					Baseline: bp.Recovered, Fresh: fp.Recovered, Band: band,
+				})
+			case fp.Recovered > bp.Recovered+band:
+				rep.Improved++
+			}
+		}
+	}
+	return rep
+}
+
+func (r *DiffReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d points compared, %d skipped, %d improved, %d regressions",
+		r.Compared, r.Skipped, r.Improved, len(r.Regressions))
+	for _, reg := range r.Regressions {
+		fmt.Fprintf(&b, "\n  REGRESSION %s", reg)
+	}
+	return b.String()
+}
+
+// Marshal renders a Result as the committed CAMPAIGN.json bytes:
+// two-space indented, trailing newline, deterministic field order — the
+// same campaign always serializes to the same bytes.
+func (r *Result) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadBaseline reads a committed campaign JSON.
+func LoadBaseline(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("campaign: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}

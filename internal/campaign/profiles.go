@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"fmt"
+
+	"microlonys/media"
+)
+
+// The profile registry: names the harness (and cmd/campaign flags)
+// resolve to runners.
+
+// ProfileDNA is the dnasim substrate's profile name.
+const ProfileDNA = "dnasim"
+
+// visualProfiles maps campaign profile names to their media profiles.
+var visualProfiles = map[string]func() media.Profile{
+	"paper-small":     PaperSmall,
+	"microfilm-small": MicrofilmSmall,
+}
+
+// DefaultProfiles returns the baseline sweep set: one print medium, one
+// film medium, and the DNA substrate.
+func DefaultProfiles() []string {
+	return []string{"paper-small", "microfilm-small", ProfileDNA}
+}
+
+// ProfileNames returns every profile the harness can sweep, sorted.
+func ProfileNames() []string {
+	names := []string{ProfileDNA}
+	for n := range visualProfiles {
+		names = append(names, n)
+	}
+	return sortedCopy(names)
+}
+
+// newRunner resolves a profile name to its trial runner.
+func newRunner(name string, cfg Config) (runner, error) {
+	if name == ProfileDNA {
+		return newDNARunner(cfg)
+	}
+	if mk, ok := visualProfiles[name]; ok {
+		return newVisualRunner(mk(), cfg)
+	}
+	return nil, fmt.Errorf("campaign: unknown profile %q (have %v)", name, ProfileNames())
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"microlonys/media"
+)
+
+// An Engine's reused scratch must be invisible: back-to-back restores —
+// clean, damaged, clean again — return exactly what the one-shot entry
+// point returns for the same volume.
+func TestEngineMatchesOneShotAcrossTrials(t *testing.T) {
+	data := testPayload(40000)
+	opts := DefaultOptions(tinyProfile())
+	opts.Compress = false
+	arch, err := CreateArchive(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := arch.Volume
+
+	damaged := vol.Clone()
+	for _, i := range []int{1, 5, 9} {
+		s, j, err := damaged.Locate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := damaged.Destroy(s, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng := NewEngine(1)
+	ro := RestoreOptions{Mode: RestoreNative, Workers: 1, Partial: true}
+	for trial, v := range []*media.Volume{vol, damaged, vol, damaged} {
+		wantBytes, wantStats, wantErr := RestoreVolume(v, arch.BootstrapText, ro)
+		gotBytes, gotStats, gotErr := eng.RestoreVolume(v, arch.BootstrapText, ro)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("trial %d: engine bytes diverged from one-shot restore", trial)
+		}
+		if gotStats.FramesFailed != wantStats.FramesFailed ||
+			gotStats.GroupsRecovered != wantStats.GroupsRecovered ||
+			gotStats.GroupsLost != wantStats.GroupsLost ||
+			gotStats.BytesLost != wantStats.BytesLost {
+			t.Fatalf("trial %d: stats diverged: %+v vs %+v", trial, gotStats, wantStats)
+		}
+		if trial%2 == 0 && !bytes.Equal(gotBytes, data) {
+			t.Fatalf("trial %d: clean volume did not restore bit-exact", trial)
+		}
+	}
+}

@@ -75,6 +75,15 @@ func RestoreVolume(v *media.Volume, bootstrapText string, ro RestoreOptions) ([]
 // accumulate only the (small) compressed stream before DBDecode runs. On
 // error, w may already have received a prefix of the output.
 func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro RestoreOptions) (*RestoreStats, error) {
+	return restoreToWriter(w, v, bootstrapText, ro, make([]scanScratch, resolveWorkers(ro.Workers)))
+}
+
+// restoreToWriter is RestoreToWriter over caller-owned per-worker scratch
+// (len(scratch) must be resolveWorkers(ro.Workers)): the one-shot entry
+// points allocate fresh scratch per call, an Engine reuses its scratch
+// across calls so a campaign of thousands of trial restores pays the scan
+// buffers and decoder tables once per worker, not once per trial.
+func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro RestoreOptions, scratch []scanScratch) (*RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRestore, err)
@@ -123,7 +132,6 @@ func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	// releasing its payload. The completion channel is sized so workers
 	// never block on a momentarily busy consumer.
 	results := make([]frameResult, n)
-	scratch := make([]scanScratch, resolveWorkers(ro.Workers))
 	completed := make(chan int, 2*resolveWorkers(ro.Workers)+doc.GroupData+doc.GroupParity)
 
 	ctx, cancel := context.WithCancel(context.Background())

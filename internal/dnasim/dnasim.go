@@ -320,6 +320,7 @@ func substitute(rng *rand.Rand, s string, rate float64) string {
 type Stats struct {
 	Reads          int
 	ReadsBadCRC    int
+	ReadsOrphaned  int // singleton reads claiming an index past the trusted pool end
 	OligosSeen     int
 	OligosDropped  int
 	BytesCorrected int
@@ -354,6 +355,32 @@ func Decode(reads []string) ([]byte, *Stats, error) {
 	}
 	if len(byIndex) == 0 {
 		return nil, st, ErrNoReads
+	}
+
+	// A substituted header can pass the CRC-8 check by chance (1 in 256)
+	// and claim an index past the end of the pool; left alone, a single
+	// such read fabricates a phantom tail of all-erasure groups and sinks
+	// the whole decode. Singleton indices are therefore only trusted up to
+	// the last multi-read index — inside the pool a singleton is real data
+	// (or at worst one diluted consensus vote), beyond it it is noise. A
+	// pool with no multi-read index at all (coverage ≤ 1) is left intact:
+	// there is no support signal to filter on.
+	maxTrusted, multi := uint32(0), false
+	for idx, copies := range byIndex {
+		if len(copies) >= 2 {
+			multi = true
+			if idx > maxTrusted {
+				maxTrusted = idx
+			}
+		}
+	}
+	if multi {
+		for idx, copies := range byIndex {
+			if len(copies) == 1 && idx > maxTrusted {
+				st.ReadsOrphaned++
+				delete(byIndex, idx)
+			}
+		}
 	}
 
 	// Consensus per oligo: byte-wise plurality across copies.

@@ -1,0 +1,137 @@
+package mocoder
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRecoverGroup pins the outer-code group-recovery contract under
+// randomized loss and corruption:
+//
+//   - up to GroupParity missing emblems and no corruption → exact,
+//     bit-for-bit recovery of the original group;
+//   - more than GroupParity missing → an error, never fabricated data;
+//   - any successful recovery of a damaged group yields valid outer-code
+//     codeword columns — silent garbage is never handed back.
+func FuzzRecoverGroup(f *testing.F) {
+	f.Add(int64(1), uint8(17), uint8(32), uint32(0b111), uint8(0))   // full group, 3 lost
+	f.Add(int64(2), uint8(17), uint8(32), uint32(0b1111), uint8(0))  // 4 lost: beyond parity
+	f.Add(int64(3), uint8(5), uint8(8), uint32(0b1), uint8(0))       // short group, 1 lost
+	f.Add(int64(4), uint8(17), uint8(16), uint32(0b10), uint8(3))    // spare parity + corruption
+	f.Add(int64(5), uint8(17), uint8(16), uint32(0b111), uint8(2))   // no spare parity + corruption
+	f.Add(int64(6), uint8(1), uint8(1), uint32(0), uint8(0))         // minimal group, nothing lost
+	f.Add(int64(7), uint8(9), uint8(64), uint32(0b10101), uint8(0))  // scattered loss
+	f.Add(int64(8), uint8(17), uint8(32), uint32(0xFFFFF), uint8(0)) // everything lost
+
+	f.Fuzz(func(t *testing.T, seed int64, ndRaw, lenRaw uint8, missMask uint32, ncorrRaw uint8) {
+		nd := int(ndRaw)%GroupData + 1
+		length := int(lenRaw)%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		data := make([][]byte, nd)
+		for i := range data {
+			data[i] = make([]byte, length)
+			rng.Read(data[i])
+		}
+		parity, err := GroupParityPayloads(data)
+		if err != nil {
+			t.Fatalf("GroupParityPayloads: %v", err)
+		}
+
+		orig := make([][]byte, 0, nd+GroupParity)
+		for _, p := range append(append([][]byte{}, data...), parity...) {
+			orig = append(orig, append([]byte(nil), p...))
+		}
+		n := len(orig)
+
+		group := make([][]byte, n)
+		nmiss := 0
+		for i := range orig {
+			if missMask&(1<<i) != 0 {
+				nmiss++
+				continue // leave nil
+			}
+			group[i] = append([]byte(nil), orig[i]...)
+		}
+
+		// Corrupt up to 7 bytes across the present payloads.
+		ncorr := 0
+		for c := 0; c < int(ncorrRaw)%8; c++ {
+			i := rng.Intn(n)
+			if group[i] == nil {
+				continue
+			}
+			j := rng.Intn(length)
+			old := group[i][j]
+			group[i][j] ^= byte(rng.Intn(255) + 1)
+			if group[i][j] != old {
+				ncorr++
+			}
+		}
+
+		err = RecoverGroup(group)
+
+		switch {
+		case nmiss > GroupParity:
+			if err == nil {
+				t.Fatalf("%d missing of %d recovered without error (parity %d)", nmiss, n, GroupParity)
+			}
+			if !errors.Is(err, ErrGroupUnrecoverable) {
+				t.Fatalf("%d missing: error = %v, want ErrGroupUnrecoverable", nmiss, err)
+			}
+			return
+		case ncorr == 0:
+			if err != nil {
+				t.Fatalf("%d missing, clean group: %v", nmiss, err)
+			}
+			for i := range orig {
+				if !bytes.Equal(group[i], orig[i]) {
+					t.Fatalf("payload %d not restored exactly (%d missing)", i, nmiss)
+				}
+			}
+			return
+		}
+
+		// Corrupted group: recovery may succeed (errors within the spare
+		// parity budget, or erasures consuming all of it) or fail — but a
+		// success never hands back silent garbage.
+		if err != nil {
+			return
+		}
+		for i, p := range group {
+			if p == nil || len(p) != length {
+				t.Fatalf("successful recovery left payload %d incomplete", i)
+			}
+		}
+		switch {
+		case nmiss == 0:
+			// Nothing was missing: RecoverGroup is a no-op and must not
+			// have rewritten the caller's payloads, corrupted or not.
+			for i := range orig {
+				if group[i] == nil {
+					t.Fatalf("no-op recovery lost payload %d", i)
+				}
+			}
+		case 2*ncorr+nmiss <= GroupParity:
+			// Worst case (every corruption in one column) is still within
+			// errors-and-erasures capacity, so the reference decode must
+			// have reconstructed the missing payloads exactly. Present
+			// payloads keep their corruption: RecoverGroup's contract is
+			// to fill the holes, not to launder its inputs.
+			for i := range orig {
+				if group[i] != nil && missMask&(1<<i) != 0 && !bytes.Equal(group[i], orig[i]) {
+					t.Fatalf("missing payload %d not restored exactly under correctable corruption", i)
+				}
+			}
+		case nmiss == GroupParity:
+			// All parity consumed by erasures: the solve lands on the
+			// unique codeword agreeing with the present (possibly wrong)
+			// bytes — whatever it returns must be codeword-valid columns.
+			if !groupColumnsClean(group) {
+				t.Fatal("erasure-only recovery of a full group is not a valid codeword group")
+			}
+		}
+	})
+}

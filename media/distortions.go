@@ -44,6 +44,31 @@ type Distortions struct {
 	Scratches     int // thin straight lines across the frame
 }
 
+// Scale returns the model with every severity dial multiplied by f — the
+// damage-campaign harness's sweep hook. Continuous fields scale linearly
+// (Fade clamps at 1, full contrast collapse); the integer counts round to
+// nearest, so small non-zero dials survive moderate down-scaling only when
+// they round back to at least one. Seed and DustMaxRadius pass through
+// unchanged, and Scale(1) returns d exactly.
+func (d Distortions) Scale(f float64) Distortions {
+	if f < 0 {
+		f = 0
+	}
+	d.RotationDeg *= f
+	d.BarrelK *= f
+	d.RowJitterPx *= f
+	d.Fade *= f
+	if d.Fade > 1 {
+		d.Fade = 1
+	}
+	d.Gradient *= f
+	d.Noise *= f
+	d.BlurRadius = int(math.Round(float64(d.BlurRadius) * f))
+	d.DustSpecks = int(math.Round(float64(d.DustSpecks) * f))
+	d.Scratches = int(math.Round(float64(d.Scratches) * f))
+	return d
+}
+
 // IsZero reports whether the distortion model applies nothing at all —
 // Apply would only clone. Seed is ignored: it selects randomness that a
 // zero model never consumes. The writer side of every built-in profile is

@@ -162,6 +162,61 @@ func (m *Medium) Write(frames []*raster.Gray) error {
 // FrameCount returns the number of written frames.
 func (m *Medium) FrameCount() int { return len(m.frames) }
 
+// Clone returns an independent medium holding the same frames. The clone
+// shares frame pixel buffers with the original — safe because every
+// mutating API (Write, Damage, Destroy) replaces a frame's image rather
+// than editing its pixels in place — so damaging the clone never touches
+// the original. The damage-campaign harness clones one archived medium
+// per randomized trial instead of re-archiving.
+func (m *Medium) Clone() *Medium {
+	return &Medium{profile: m.profile, frames: append([]*raster.Gray(nil), m.frames...)}
+}
+
+// SetScanner replaces the medium's scanner distortion model — the
+// campaign harness's severity and per-trial-seed hook. The stored frames
+// are untouched; only future scans see the new model.
+func (m *Medium) SetScanner(d Distortions) { m.profile.Scanner = d }
+
+// Reprint plays one generational copy (scan→print→scan loses quality each
+// round): every frame is scanned through the current scanner model,
+// resampled back to the profile's frame geometry and written — with the
+// writer's quantisation and distortion — onto a fresh medium. Chaining
+// Reprint models the photocopy-of-a-photocopy degradation the campaign
+// harness's generations axis sweeps; vary the scanner Seed between rounds
+// so each generation draws fresh noise.
+func (m *Medium) Reprint() (*Medium, error) {
+	out := New(m.profile)
+	buf := make([]*raster.Gray, 1)
+	for i := range m.frames {
+		img, err := m.ScanFrame(i)
+		if err != nil {
+			return nil, err
+		}
+		if img.W != m.profile.FrameW || img.H != m.profile.FrameH {
+			img = img.Resize(m.profile.FrameW, m.profile.FrameH)
+		}
+		buf[0] = img
+		if err := out.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scanSeed derives the per-frame scanner distortion seed. A zero profile
+// seed — every built-in profile — reproduces the historical per-index
+// stream bit-for-bit; a non-zero Scanner.Seed (the campaign harness's
+// randomized-trial hook) mixes into the per-frame value so each trial
+// draws an independent but deterministic noise pattern.
+func scanSeed(base int64, i int) int64 {
+	s := int64(i)*104729 + 7
+	if base != 0 {
+		s ^= base * -7046029254386353131 // odd 64-bit mixing constant
+		s *= 2685821657736338717
+	}
+	return s
+}
+
 // Damage applies additional distortion to a stored frame, modelling decay
 // or mishandling after writing.
 func (m *Medium) Damage(i int, d Distortions) error {
@@ -197,7 +252,7 @@ func (m *Medium) ScanFrame(i int) (*raster.Gray, error) {
 		img = img.Resize(m.profile.ScanW, m.profile.ScanH)
 	}
 	d := m.profile.Scanner
-	d.Seed = int64(i)*104729 + 7
+	d.Seed = scanSeed(d.Seed, i)
 	switch {
 	case !d.IsZero():
 		img = d.Apply(img)

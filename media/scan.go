@@ -33,7 +33,7 @@ func (m *Medium) ScanFrameInto(s *ScanScratch, i int) (*raster.Gray, error) {
 		cur = &s.stage
 	}
 	d := m.profile.Scanner
-	d.Seed = int64(i)*104729 + 7
+	d.Seed = scanSeed(d.Seed, i)
 	out := d.applyInto(s, cur)
 	if m.profile.ScanBitonal {
 		out.ThresholdInto(out, out.OtsuThreshold())

@@ -142,6 +142,43 @@ func (v *Volume) WriteGroup(frames []*raster.Gray) error {
 	return v.sheets[len(v.sheets)-1].Write(frames)
 }
 
+// Clone returns an independent volume: each sheet is cloned (sharing
+// frame pixels — see Medium.Clone), so damaging or reprinting the clone
+// never touches the original. One archive can feed many damage trials.
+func (v *Volume) Clone() *Volume {
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames}
+	out.sheets = make([]*Medium, len(v.sheets))
+	for i, m := range v.sheets {
+		out.sheets[i] = m.Clone()
+	}
+	return out
+}
+
+// SetScanner replaces the scanner distortion model on the volume and
+// every sheet — the campaign harness's severity and per-trial-seed hook.
+func (v *Volume) SetScanner(d Distortions) {
+	v.profile.Scanner = d
+	for _, m := range v.sheets {
+		m.SetScanner(d)
+	}
+}
+
+// Reprint plays one generational copy of every sheet (see Medium.Reprint),
+// preserving the sheet boundaries so carrier-level damage still maps one
+// to one after the copy.
+func (v *Volume) Reprint() (*Volume, error) {
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames}
+	out.sheets = make([]*Medium, len(v.sheets))
+	for i, m := range v.sheets {
+		rm, err := m.Reprint()
+		if err != nil {
+			return nil, err
+		}
+		out.sheets[i] = rm
+	}
+	return out, nil
+}
+
 // ScanFrame scans the frame at global index i. Each sheet seeds its
 // scanner distortion by local frame index, so a single-sheet volume scans
 // exactly like the bare medium it wraps.
