@@ -6,8 +6,8 @@
 //	microlonys -in dump.sql [-profile paper|microfilm|cinema]
 //	           [-mode native|dynarisc|nested] [-raw] [-depth N]
 //	           [-sheet-frames N] [-destroy N] [-destroy-sheet S] [-partial]
-//	           [-workers N] [-frames out/] [-sheets out/] [-out file]
-//	           [-bootstrap bootstrap.txt]
+//	           [-workers N] [-fastsim] [-frames out/] [-sheets out/]
+//	           [-out file] [-bootstrap bootstrap.txt]
 //
 // The tool archives the input (`-in -` streams stdin), optionally
 // destroys N random frames and/or a whole sheet, restores through the
@@ -51,6 +51,7 @@ func main() {
 	bootOut := flag.String("bootstrap", "", "write the Bootstrap document to this file")
 	seed := flag.Int64("seed", 1, "seed for frame destruction")
 	workers := flag.Int("workers", 0, "frame pipeline workers (0 = GOMAXPROCS, 1 = serial)")
+	fastsim := flag.Bool("fastsim", false, "scan through the fast-sim scanner approximation (statistically equivalent, not byte-identical)")
 	flag.Parse()
 
 	if *in == "" {
@@ -69,6 +70,7 @@ func main() {
 	default:
 		fatal("unknown profile %q", *profile)
 	}
+	prof.Scanner.FastSim = *fastsim
 
 	var m microlonys.Mode
 	switch *mode {

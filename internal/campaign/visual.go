@@ -77,6 +77,7 @@ type visualRunner struct {
 	corpus    []byte
 	arch      *core.Archived
 	bootstrap string
+	fastSim   bool // scan trials through the fast-sim approximation
 }
 
 // engine is one campaign worker's reusable per-trial state.
@@ -100,7 +101,7 @@ func newVisualRunner(p media.Profile, cfg Config) (*visualRunner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: archiving %s corpus: %w", p.Name, err)
 	}
-	return &visualRunner{profile: p, corpus: corpus, arch: arch, bootstrap: arch.BootstrapText}, nil
+	return &visualRunner{profile: p, corpus: corpus, arch: arch, bootstrap: arch.BootstrapText, fastSim: cfg.FastSim}, nil
 }
 
 func (r *visualRunner) axes(requested []string) []string {
@@ -132,6 +133,9 @@ const genScannerScale = 0.6
 func (r *visualRunner) trial(axis string, value float64, rng *rand.Rand, eng *engine) outcome {
 	vol := r.arch.Volume.Clone()
 	scanner := r.profile.Scanner
+	// The fast-sim selector rides every scanner pass of the trial: Scale
+	// passes it through, so generational copies inherit it too.
+	scanner.FastSim = r.fastSim
 
 	switch axis {
 	case AxisSeverity:

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
@@ -29,13 +30,24 @@ import (
 //	place:  emblems → the volume's sheets, in frame order, one whole group
 //	        per write (serial; a group never straddles a sheet)
 //
+// With one worker the three stages run inline on the calling goroutine —
+// the reference formulation the parallel path must match byte for byte.
+// With more, the serial stages overlap the parallel middle (see
+// pipelineGroups): the planner goroutine cuts groups and feeds frame
+// tasks to the encode pool while the placer consumes finished groups in
+// plan order, so planning group k+2, encoding group k+1 and writing
+// group k proceed concurrently instead of the planner and placer
+// stalling the pool at every group boundary.
+//
 // The planner streams: it reads one group's worth of payload bytes at a
-// time and hands the group to encode + place before cutting the next, so
-// peak memory is bounded by one group of rasterized frames (plus whatever
-// the medium itself retains), not the whole archive's frame list. Fixing
-// headers and frame indices at planning time is what keeps the encode
-// fan-out trivially deterministic: workers only rasterize, they never
-// allocate indices or touch shared counters.
+// time and hands the group on before cutting the next, so peak memory is
+// bounded by the groups in flight — exactly one when serial, at most
+// pipelineGroupDepth+2 when pipelined (queue, plus one being planned and
+// one being placed) — not the whole archive's frame list. Fixing headers
+// and frame indices at planning time is what keeps the encode fan-out
+// trivially deterministic: workers only rasterize, they never allocate
+// indices or touch shared counters, and the placer writes whole groups
+// in the order the planner emitted them.
 
 // The archived decoder programs and the Bootstrap emulator are
 // deterministic builds of static assembly; build each once per process
@@ -120,13 +132,8 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 
 	// Resolve the sections: the (possibly compressed) data stream, then
 	// the archived DBDecode instruction stream (system emblems).
-	type section struct {
-		kind  emblem.Kind
-		r     io.Reader
-		total int
-	}
 	p := &planner{opts: opts, capacity: capacity}
-	var sections []section
+	var sections []archiveSection
 	if opts.Compress {
 		data, err := io.ReadAll(r)
 		if err != nil {
@@ -146,7 +153,7 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		}
 		sys := bootstrap.MarshalDynaRisc(prog)
 		p.man.SystemLen = len(sys)
-		sections = []section{
+		sections = []archiveSection{
 			{emblem.KindData, bytes.NewReader(stream), len(stream)},
 			{emblem.KindSystem, bytes.NewReader(sys), len(sys)},
 		}
@@ -157,7 +164,7 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		}
 		p.man.RawLen = total
 		p.man.StreamLen = total
-		sections = []section{{emblem.KindRaw, rr, total}}
+		sections = []archiveSection{{emblem.KindRaw, rr, total}}
 	}
 	for _, sec := range sections {
 		if int64(sec.total) > math.MaxUint32 {
@@ -165,24 +172,33 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		}
 	}
 
-	// Plan → encode → place, one group at a time.
+	// Plan → encode → place. The section totals are known before the
+	// first group is cut, so the whole archive's frame count is too —
+	// the pool (and its scratch) never exceeds the frames there are to
+	// encode.
 	vol := media.NewVolume(opts.Profile, opts.SheetFrames)
-	scratch := make([]encScratch, resolveWorkers(opts.Workers))
-	ctx := context.Background()
-	emit := func(gp groupPlan) error {
-		frames, err := encodeFrames(ctx, gp.tasks, layout, opts.Workers, scratch)
-		if err != nil {
-			return err
+	workers := resolveWorkers(opts.Workers, plannedFrames(sections, capacity, opts))
+	scratch := make([]encScratch, workers)
+	if workers == 1 {
+		// Serial reference path: plan, encode and place each group inline.
+		ctx := context.Background()
+		emit := func(gp groupPlan) error {
+			frames, err := encodeFrames(ctx, gp.tasks, layout, 1, scratch)
+			if err != nil {
+				return err
+			}
+			if err := vol.WriteGroup(frames); err != nil {
+				return fmt.Errorf("core: writing medium: %w", err)
+			}
+			return nil
 		}
-		if err := vol.WriteGroup(frames); err != nil {
-			return fmt.Errorf("core: writing medium: %w", err)
+		for _, sec := range sections {
+			if err := p.section(sec.kind, sec.r, sec.total, emit); err != nil {
+				return nil, err
+			}
 		}
-		return nil
-	}
-	for _, sec := range sections {
-		if err := p.section(sec.kind, sec.r, sec.total, emit); err != nil {
-			return nil, err
-		}
+	} else if err := pipelineGroups(p, sections, layout, vol, workers, scratch); err != nil {
+		return nil, err
 	}
 	p.man.Groups = p.groupID
 	p.man.TotalFrames = p.frameIdx
@@ -300,6 +316,176 @@ func (p *planner) section(kind emblem.Kind, r io.Reader, total int, emit func(gr
 		}
 	}
 	return nil
+}
+
+// archiveSection is one planned section of the archive stream: its emblem
+// kind, its byte source and its exact length (known before the first
+// group is cut — every frame header carries the section TotalLen).
+type archiveSection struct {
+	kind  emblem.Kind
+	r     io.Reader
+	total int
+}
+
+// plannedFrames computes the archive's total frame count from the section
+// lengths alone — the same chunk/group arithmetic planner.section walks,
+// evaluated up front so the encode pool can be sized to the frames that
+// will actually exist.
+func plannedFrames(sections []archiveSection, capacity int, opts Options) int {
+	frames := 0
+	for _, sec := range sections {
+		chunks := (sec.total + capacity - 1) / capacity
+		if chunks == 0 {
+			chunks = 1
+		}
+		groups := (chunks + opts.GroupData - 1) / opts.GroupData
+		frames += chunks + groups*opts.GroupParity
+	}
+	return frames
+}
+
+// pipelineGroupDepth bounds how far the planner may run ahead of the
+// placer, in whole queued groups. Frames in flight never exceed
+// (pipelineGroupDepth+2)·GroupTotal — the queue plus the group being
+// planned and the group being placed — which is the archive pipeline's
+// peak-memory bound.
+const pipelineGroupDepth = 2
+
+// plannedGroup is a groupPlan in flight through the pipelined archive:
+// the placer waits on done (closed when the encode pool has filled every
+// frame slot), then reports the lowest-index frame error or writes the
+// whole group to the volume.
+type plannedGroup struct {
+	tasks  []frameTask
+	frames []*raster.Gray
+	errs   []error
+	left   int64 // frames not yet encoded; the last encoder closes done
+	done   chan struct{}
+}
+
+// encodeTask is one frame of a plannedGroup awaiting rasterization.
+type encodeTask struct {
+	pg *plannedGroup
+	i  int
+}
+
+// pipelineGroups runs plan → encode → place with the serial stages
+// overlapped: a planner goroutine cuts groups and feeds the bounded
+// groups queue (plan order, pipelineGroupDepth deep) and the frame-task
+// channel; `workers` encode goroutines drain tasks into their group's
+// frame slots; the placer — this goroutine — consumes the groups queue
+// in order, waiting per group for its last frame. Output is byte-
+// identical to the serial path at any worker count: frame indices,
+// headers and group order are fixed at planning time, and the placer
+// writes whole groups in plan order. Error precedence matches the serial
+// path too — the first failing group in plan order reports its
+// lowest-index frame error (cancelling the rest), and a planner error
+// surfaces only once every group it emitted has been placed.
+func pipelineGroups(p *planner, sections []archiveSection, layout emblem.Layout, vol *media.Volume, workers int, scratch []encScratch) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	groups := make(chan *plannedGroup, pipelineGroupDepth)
+	tasks := make(chan encodeTask, workers)
+
+	// Plan stage. Every group reaches the groups queue before its frame
+	// tasks are enqueued, so the queue order is the plan order; once a
+	// group is queued, all its tasks follow (cancellation is the placer's
+	// own doing, after which it stops waiting on done channels).
+	planErr := make(chan error, 1)
+	go func() {
+		defer close(groups)
+		defer close(tasks)
+		emit := func(gp groupPlan) error {
+			pg := &plannedGroup{
+				tasks:  gp.tasks,
+				frames: make([]*raster.Gray, len(gp.tasks)),
+				errs:   make([]error, len(gp.tasks)),
+				left:   int64(len(gp.tasks)),
+				done:   make(chan struct{}),
+			}
+			select {
+			case groups <- pg:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			for i := range pg.tasks {
+				select {
+				case tasks <- encodeTask{pg, i}:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return nil
+		}
+		var err error
+		for _, sec := range sections {
+			if err = p.section(sec.kind, sec.r, sec.total, emit); err != nil {
+				break
+			}
+		}
+		planErr <- err
+	}()
+
+	// Encode stage: the parallel middle. After cancellation the workers
+	// keep draining tasks without encoding so every group's done channel
+	// still closes.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for t := range tasks {
+				if ctx.Err() == nil {
+					ft := &t.pg.tasks[t.i]
+					img, err := scratch[worker].enc.Encode(ft.payload, ft.hdr, layout)
+					if err != nil {
+						kind := "emblem"
+						if ft.hdr.Kind == emblem.KindParity {
+							kind = "parity emblem"
+						}
+						t.pg.errs[t.i] = fmt.Errorf("core: encoding %s: %w", kind, err)
+					} else {
+						t.pg.frames[t.i] = img
+					}
+				}
+				if atomic.AddInt64(&t.pg.left, -1) == 0 {
+					close(t.pg.done)
+				}
+			}
+		}(w)
+	}
+
+	// Place stage, on the calling goroutine. After an error it keeps
+	// draining the queue (without waiting) so the planner can unblock and
+	// observe the cancellation.
+	var placeErr error
+	for pg := range groups {
+		if placeErr != nil {
+			continue
+		}
+		<-pg.done
+		for _, err := range pg.errs {
+			if err != nil {
+				placeErr = err
+				break
+			}
+		}
+		if placeErr == nil {
+			if err := vol.WriteGroup(pg.frames); err != nil {
+				placeErr = fmt.Errorf("core: writing medium: %w", err)
+			}
+		}
+		if placeErr != nil {
+			cancel()
+		}
+	}
+	err := <-planErr
+	wg.Wait()
+	if placeErr != nil {
+		return placeErr
+	}
+	return err
 }
 
 // readerLen determines how many bytes r will deliver without consuming

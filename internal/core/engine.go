@@ -23,7 +23,7 @@ type Engine struct {
 // count (same semantics as RestoreOptions.Workers: 0 = GOMAXPROCS,
 // 1 = serial).
 func NewEngine(workers int) *Engine {
-	w := resolveWorkers(workers)
+	w := resolveWorkers(workers, 0) // no volume yet: scratch for the full pool
 	return &Engine{workers: w, scratch: make([]scanScratch, w)}
 }
 

@@ -19,13 +19,50 @@ import (
 // from the lowest frame index is reported.
 
 // resolveWorkers maps an Options.Workers value to a concrete pool size:
-// n <= 0 selects GOMAXPROCS (the default), anything else is used as given.
-func resolveWorkers(n int) int {
-	if n > 0 {
-		return n
+// n <= 0 selects GOMAXPROCS (the default), anything else is used as
+// given — then the result is capped at live, the number of work items
+// actually available (frames to encode or scan), so tiny inputs never
+// spin up goroutines that would exit without claiming a frame. live <= 0
+// means the item count is unknown at call time (an Engine sizes its
+// scratch before ever seeing a volume) and leaves the pool uncapped.
+func resolveWorkers(n, live int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if live > 0 && n > live {
+		n = live
+	}
+	return n
 }
+
+// frontier replays out-of-order completions in strict index order: the
+// parallel stage reports indices as they finish, drain walks the
+// contiguous prefix exactly once per index. It is the ordering half of
+// the pipelines' serial tail stages — the restore consumer feeds the
+// group assembler through one, and the archive placer is its
+// group-granular analogue (the planner emits groups in order, so the
+// placer's frontier is the channel itself).
+type frontier struct {
+	ready []bool
+	next  int
+}
+
+func newFrontier(n int) *frontier { return &frontier{ready: make([]bool, n)} }
+
+// complete marks index i finished. Each index must complete exactly once.
+func (f *frontier) complete(i int) { f.ready[i] = true }
+
+// drain calls fn(i) for every index that has become contiguous with the
+// already-drained prefix, in increasing order.
+func (f *frontier) drain(fn func(i int)) {
+	for f.next < len(f.ready) && f.ready[f.next] {
+		fn(f.next)
+		f.next++
+	}
+}
+
+// done reports whether every index has been drained.
+func (f *frontier) done() bool { return f.next == len(f.ready) }
 
 // forEachFrame runs fn(ctx, worker, i) for every i in [0, n), fanning
 // out over at most `workers` goroutines. fn must confine its writes to
@@ -47,10 +84,7 @@ func forEachFrame(ctx context.Context, workers, n int, fn func(ctx context.Conte
 	if n <= 0 {
 		return ctx.Err()
 	}
-	workers = resolveWorkers(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = resolveWorkers(workers, n)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

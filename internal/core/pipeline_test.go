@@ -145,11 +145,65 @@ func TestForEachFrameHonorsParentContext(t *testing.T) {
 }
 
 func TestResolveWorkers(t *testing.T) {
-	if resolveWorkers(0) < 1 || resolveWorkers(-3) < 1 {
+	if resolveWorkers(0, 0) < 1 || resolveWorkers(-3, 0) < 1 {
 		t.Fatal("default workers must be at least 1")
 	}
-	if resolveWorkers(7) != 7 {
+	if resolveWorkers(7, 0) != 7 {
 		t.Fatal("explicit worker count must be respected")
+	}
+}
+
+// TestResolveWorkersCapsAtLiveCount is the regression test for the idle-
+// goroutine fix: a pool never exceeds the number of live work items, so a
+// two-frame restore on a 64-way request (or a GOMAXPROCS default) spins
+// up exactly two workers — and allocates scratch for exactly two.
+func TestResolveWorkersCapsAtLiveCount(t *testing.T) {
+	if got := resolveWorkers(64, 2); got != 2 {
+		t.Fatalf("resolveWorkers(64, 2) = %d, want 2", got)
+	}
+	if got := resolveWorkers(0, 3); got > 3 {
+		t.Fatalf("resolveWorkers(0, 3) = %d, want <= 3", got)
+	}
+	if got := resolveWorkers(2, 100); got != 2 {
+		t.Fatalf("resolveWorkers(2, 100) = %d, want 2", got)
+	}
+	if got := resolveWorkers(5, 0); got != 5 {
+		t.Fatalf("resolveWorkers(5, 0) = %d, want 5 (unknown live count leaves the pool uncapped)", got)
+	}
+}
+
+// TestFrontierOrdering pins the ordered-frontier helper: out-of-order
+// completions drain in strict index order, each exactly once.
+func TestFrontierOrdering(t *testing.T) {
+	f := newFrontier(5)
+	var got []int
+	collect := func(i int) { got = append(got, i) }
+	f.complete(2)
+	f.drain(collect)
+	if len(got) != 0 {
+		t.Fatalf("drained %v before index 0 completed", got)
+	}
+	f.complete(0)
+	f.drain(collect)
+	f.complete(1)
+	f.complete(4)
+	f.drain(collect)
+	if f.done() {
+		t.Fatal("done with index 3 outstanding")
+	}
+	f.complete(3)
+	f.drain(collect)
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if !f.done() {
+		t.Fatal("frontier not done after all indices drained")
 	}
 }
 

@@ -118,7 +118,7 @@ func splitStage(data []byte, opts Options, capacity int) (*framePlan, error) {
 // encodeStage is the seed whole-plan encode: every planned frame at once,
 // with per-call scratch.
 func encodeStage(ctx context.Context, tasks []frameTask, layout emblem.Layout, workers int) ([]*raster.Gray, error) {
-	scratch := make([]encScratch, resolveWorkers(workers))
+	scratch := make([]encScratch, resolveWorkers(workers, len(tasks)))
 	return encodeFrames(ctx, tasks, layout, workers, scratch)
 }
 
@@ -144,7 +144,7 @@ func splitChunks(stream []byte, capacity int) [][]byte {
 // referenceDecode is the seed scan+decode stage over a single medium.
 func referenceDecode(ctx context.Context, m *media.Medium, layout emblem.Layout, ro RestoreOptions, moProg *dynarisc.Program) ([]frameResult, error) {
 	results := make([]frameResult, m.FrameCount())
-	scratch := make([]emuScratch, resolveWorkers(ro.Workers))
+	scratch := make([]emuScratch, resolveWorkers(ro.Workers, len(results)))
 	err := forEachFrame(ctx, ro.Workers, len(results), func(_ context.Context, worker, i int) error {
 		scan, err := m.ScanFrame(i)
 		if err != nil {

@@ -75,11 +75,11 @@ func RestoreVolume(v *media.Volume, bootstrapText string, ro RestoreOptions) ([]
 // accumulate only the (small) compressed stream before DBDecode runs. On
 // error, w may already have received a prefix of the output.
 func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro RestoreOptions) (*RestoreStats, error) {
-	return restoreToWriter(w, v, bootstrapText, ro, make([]scanScratch, resolveWorkers(ro.Workers)))
+	return restoreToWriter(w, v, bootstrapText, ro, make([]scanScratch, resolveWorkers(ro.Workers, v.FrameCount())))
 }
 
 // restoreToWriter is RestoreToWriter over caller-owned per-worker scratch
-// (len(scratch) must be resolveWorkers(ro.Workers)): the one-shot entry
+// (len(scratch) must be at least the resolved worker count): the one-shot entry
 // points allocate fresh scratch per call, an Engine reuses its scratch
 // across calls so a campaign of thousands of trial restores pays the scan
 // buffers and decoder tables once per worker, not once per trial.
@@ -127,34 +127,34 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	}
 
 	// Stages 1+2 feed stage 3 incrementally: workers scan and decode
-	// frames in any order; the consumer goroutine advances a frontier in
-	// strict index order, handing each frame to the group assembler and
-	// releasing its payload. The completion channel is sized so workers
-	// never block on a momentarily busy consumer.
+	// frames in any order; the consumer goroutine drains an ordered
+	// frontier, handing each frame to the group assembler in strict index
+	// order and releasing its payload. The completion channel is sized so
+	// workers never block on a momentarily busy consumer: twice the live
+	// pool plus one group of slack.
+	workers := resolveWorkers(ro.Workers, n)
 	results := make([]frameResult, n)
-	completed := make(chan int, 2*resolveWorkers(ro.Workers)+doc.GroupData+doc.GroupParity)
+	completed := make(chan int, 2*workers+doc.GroupData+doc.GroupParity)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	consumerErr := make(chan error, 1)
 	go func() {
-		ready := make([]bool, n)
-		frontier := 0
+		fr := newFrontier(n)
 		var cerr error
 		for i := range completed {
-			ready[i] = true
-			for frontier < n && ready[frontier] {
+			fr.complete(i)
+			fr.drain(func(i int) {
 				if cerr == nil {
-					if cerr = asm.consume(frontier, &results[frontier]); cerr != nil {
+					if cerr = asm.consume(i, &results[i]); cerr != nil {
 						cancel() // stop decoding frames the assembler will never use
 					}
 				}
-				results[frontier] = frameResult{} // release the payload
-				frontier++
-			}
+				results[i] = frameResult{} // release the payload
+			})
 		}
-		if cerr == nil && frontier == n { // decode completed; close the books
+		if cerr == nil && fr.done() { // decode completed; close the books
 			cerr = asm.finish()
 		}
 		consumerErr <- cerr

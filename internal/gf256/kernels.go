@@ -1,0 +1,76 @@
+package gf256
+
+import "encoding/binary"
+
+// Slice kernels: the group-wide codecs (rs.EncodeRowsInto, the outer-code
+// group recovery) express their work as "accumulate c·src into dst" over
+// whole payload rows instead of gathering byte columns. The inner loops
+// here fold eight bytes per iteration into one 64-bit XOR — the same
+// word-at-a-time trick the per-codeword RS encoder uses for its parity
+// taps, lifted to operate across all codewords of a group at once.
+
+// XorSlice xors src into dst element-wise over min(len(dst), len(src))
+// bytes: dst[i] ^= src[i]. The tail beyond the shorter slice is untouched,
+// so a short src behaves as if zero-padded — exactly the column padding
+// rule of the outer group code.
+func XorSlice(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst,
+			binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulAddSlice accumulates c·src into dst over min(len(dst), len(src))
+// bytes: dst[i] ^= c·src[i]. c = 0 is a no-op and c = 1 degenerates to
+// XorSlice; otherwise the multiplication goes through a freshly built
+// MulTable row. Callers looping over many constants against the same
+// slices can build the row once and use MulAddSliceTab directly.
+func MulAddSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		XorSlice(dst, src)
+		return
+	}
+	var tab [256]byte
+	MulTable(c, &tab)
+	MulAddSliceTab(dst, src, &tab)
+}
+
+// MulAddSliceTab accumulates tab[src[i]] into dst[i] over
+// min(len(dst), len(src)) bytes, where tab is a MulTable row (or any byte
+// mapping with tab[0] = 0, preserving the zero-padding rule). Eight table
+// lookups are gathered into one 64-bit word and folded into dst with a
+// single load-XOR-store.
+func MulAddSliceTab(dst, src []byte, tab *[256]byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 {
+		w := uint64(tab[src[0]]) |
+			uint64(tab[src[1]])<<8 |
+			uint64(tab[src[2]])<<16 |
+			uint64(tab[src[3]])<<24 |
+			uint64(tab[src[4]])<<32 |
+			uint64(tab[src[5]])<<40 |
+			uint64(tab[src[6]])<<48 |
+			uint64(tab[src[7]])<<56
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^w)
+		dst, src = dst[8:], src[8:]
+	}
+	for i := range dst {
+		dst[i] ^= tab[src[i]]
+	}
+}

@@ -1,0 +1,87 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelLengths covers the word-fold boundaries: empty, sub-word, exact
+// words, word+tail, and a long run.
+var kernelLengths = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 40, 255, 1000}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestXorSlice pins the word-folded XOR to the byte-wise formulation,
+// including mismatched lengths (the shorter slice bounds the work).
+func TestXorSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLengths {
+		for _, srcLen := range []int{n, n / 2, n + 5} {
+			dst := randBytes(rng, n)
+			src := randBytes(rng, srcLen)
+			want := append([]byte(nil), dst...)
+			for i := 0; i < n && i < srcLen; i++ {
+				want[i] ^= src[i]
+			}
+			XorSlice(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("XorSlice(len %d, src %d) diverged from byte-wise XOR", n, srcLen)
+			}
+		}
+	}
+}
+
+// TestMulAddSlice pins the 8-way table fold to per-byte Mul across every
+// constant, the fold-boundary lengths, and mismatched slice lengths.
+func TestMulAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 256; c++ {
+		n := kernelLengths[c%len(kernelLengths)]
+		for _, srcLen := range []int{n, n/2 + 1} {
+			dst := randBytes(rng, n)
+			src := randBytes(rng, srcLen)
+			want := append([]byte(nil), dst...)
+			for i := 0; i < n && i < srcLen; i++ {
+				want[i] ^= Mul(byte(c), src[i])
+			}
+			MulAddSlice(dst, src, byte(c))
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice(c=%#x, len %d, src %d) diverged from per-byte Mul", c, n, srcLen)
+			}
+		}
+	}
+}
+
+// TestMulAddSliceTab checks the precomputed-row entry point against
+// MulAddSlice for a spread of constants and lengths.
+func TestMulAddSliceTab(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var tab [256]byte
+	for _, c := range []byte{0, 1, 2, 0x1d, 0x80, 0xff} {
+		MulTable(c, &tab)
+		for _, n := range kernelLengths {
+			dst := randBytes(rng, n)
+			src := randBytes(rng, n)
+			want := append([]byte(nil), dst...)
+			MulAddSlice(want, src, c)
+			MulAddSliceTab(dst, src, &tab)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSliceTab(c=%#x, len %d) diverged from MulAddSlice", c, n)
+			}
+		}
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := randBytes(rand.New(rand.NewSource(4)), 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(dst, src, 0x57)
+	}
+}

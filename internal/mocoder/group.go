@@ -46,21 +46,10 @@ func GroupParityPayloads(data [][]byte) ([][]byte, error) {
 	for i := range parity {
 		parity[i] = make([]byte, maxLen)
 	}
-	col := make([]byte, len(data))
-	par := make([]byte, GroupParity)
-	for j := 0; j < maxLen; j++ {
-		for i, d := range data {
-			if j < len(d) {
-				col[i] = d[j]
-			} else {
-				col[i] = 0
-			}
-		}
-		outer.EncodeInto(par, col)
-		for i := range parity {
-			parity[i][j] = par[i]
-		}
-	}
+	// Group-wide encode: one 8-way-folded table pass per (data, parity)
+	// row pair instead of an LFSR run per byte column. Byte-identical to
+	// the per-column formulation (TestGroupParityRowMajor).
+	outer.EncodeRowsInto(parity, data)
 	return parity, nil
 }
 
@@ -114,18 +103,14 @@ func RecoverGroup(payloads [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("recovering group: %w", err)
 	}
-	var tab [256]byte
 	for mi, m := range missing {
 		out := payloads[m]
 		row := coef[mi]
 		for k, src := range payloads {
-			if row[k] == 0 || k == m {
+			if k == m {
 				continue
 			}
-			gf256.MulTable(row[k], &tab)
-			for j, v := range src {
-				out[j] ^= tab[v]
-			}
+			gf256.MulAddSlice(out, src, row[k])
 		}
 	}
 
@@ -150,36 +135,11 @@ func RecoverGroup(payloads [][]byte) error {
 }
 
 // groupColumnsClean reports whether every byte column of the group is a
-// valid outer-code codeword, computed row-major: the k-th syndrome of
-// column j is Σ_i α^{k·deg(i)}·payloads[i][j], so each syndrome row
-// accumulates one table-lookup pass per payload (a plain XOR pass for
-// k = 0) instead of gathering every column.
+// valid outer-code codeword — the group-wide rs.RowsClean kernel: each
+// syndrome power is one 8-way-folded table pass per payload (a plain
+// word-XOR pass for power 0) instead of gathering every column.
 func groupColumnsClean(payloads [][]byte) bool {
-	n := len(payloads)
-	length := len(payloads[0])
-	acc := make([]byte, length)
-	var tab [256]byte
-	for k := 0; k < GroupParity; k++ {
-		clear(acc)
-		for i, p := range payloads {
-			if k == 0 { // α^0 = 1: plain XOR
-				for j, v := range p {
-					acc[j] ^= v
-				}
-				continue
-			}
-			gf256.MulTable(gf256.Exp(k*(n-1-i)), &tab)
-			for j, v := range p {
-				acc[j] ^= tab[v]
-			}
-		}
-		for _, v := range acc {
-			if v != 0 {
-				return false
-			}
-		}
-	}
-	return true
+	return outer.RowsClean(payloads)
 }
 
 // recoverGroupColumns is the reference formulation: one full

@@ -1,0 +1,143 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// raggedRows builds nd data rows with lengths varying around maxLen so the
+// zero-padding rule is exercised (some rows full-length, some short, some
+// empty when maxLen allows).
+func raggedRows(rng *rand.Rand, nd, maxLen int) [][]byte {
+	rows := make([][]byte, nd)
+	for i := range rows {
+		n := maxLen
+		switch i % 3 {
+		case 1:
+			n = maxLen / 2
+		case 2:
+			n = maxLen - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		rows[i] = make([]byte, n)
+		rng.Read(rows[i])
+	}
+	// Keep at least one full-length row so maxLen is realized.
+	if len(rows[0]) != maxLen {
+		rows[0] = make([]byte, maxLen)
+		rng.Read(rows[0])
+	}
+	return rows
+}
+
+// encodeRowsRef is the per-column reference: gather each zero-padded byte
+// column, run the LFSR encoder, scatter the parity — exactly what
+// EncodeRowsInto must reproduce row-major.
+func encodeRowsRef(c *Code, data [][]byte, maxLen int) [][]byte {
+	parity := make([][]byte, c.Parity())
+	for i := range parity {
+		parity[i] = make([]byte, maxLen)
+	}
+	col := make([]byte, len(data))
+	par := make([]byte, c.Parity())
+	for j := 0; j < maxLen; j++ {
+		for i, d := range data {
+			if j < len(d) {
+				col[i] = d[j]
+			} else {
+				col[i] = 0
+			}
+		}
+		c.EncodeInto(par, col)
+		for i := range parity {
+			parity[i][j] = par[i]
+		}
+	}
+	return parity
+}
+
+// TestEncodeRowsInto pins the group-wide encode to the per-column LFSR
+// across both MOCoder codes, row counts from 1 to full, ragged row
+// lengths, and fold-boundary payload lengths.
+func TestEncodeRowsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, parity := range []int{OuterParity, InnerParity} {
+		c := New(parity)
+		for _, nd := range []int{1, 2, 5, OuterData, 64} {
+			if nd > c.MaxData() {
+				continue
+			}
+			for _, maxLen := range []int{1, 7, 8, 9, 63, 300} {
+				data := raggedRows(rng, nd, maxLen)
+				want := encodeRowsRef(c, data, maxLen)
+				got := make([][]byte, parity)
+				for i := range got {
+					got[i] = make([]byte, maxLen)
+					rng.Read(got[i]) // must be fully overwritten
+				}
+				c.EncodeRowsInto(got, data)
+				for i := range want {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("parity=%d nd=%d len=%d: parity row %d diverged from per-column encode",
+							parity, nd, maxLen, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRowsCleanDifferential pins the group-wide syndrome check to
+// per-column syndromesInto: clean interleaved codeword blocks pass, and
+// any single corrupted byte is caught exactly as the per-column scan
+// catches it.
+func TestRowsCleanDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := New(OuterParity)
+	for _, nd := range []int{1, 5, OuterData} {
+		for _, maxLen := range []int{1, 9, 300} {
+			data := make([][]byte, nd)
+			for i := range data {
+				data[i] = make([]byte, maxLen)
+				rng.Read(data[i])
+			}
+			parity := make([][]byte, OuterParity)
+			for i := range parity {
+				parity[i] = make([]byte, maxLen)
+			}
+			c.EncodeRowsInto(parity, data)
+			rows := append(append([][]byte{}, data...), parity...)
+
+			check := func(want bool, label string) {
+				t.Helper()
+				if got := c.RowsClean(rows); got != want {
+					t.Fatalf("nd=%d len=%d %s: RowsClean=%v, want %v", nd, maxLen, label, got, want)
+				}
+				// Per-column reference.
+				s := make([]byte, OuterParity)
+				cw := make([]byte, len(rows))
+				clean := true
+				for j := 0; j < maxLen; j++ {
+					for i, r := range rows {
+						cw[i] = r[j]
+					}
+					if c.syndromesInto(s, cw) {
+						clean = false
+						break
+					}
+				}
+				if clean != want {
+					t.Fatalf("nd=%d len=%d %s: per-column clean=%v, want %v", nd, maxLen, label, clean, want)
+				}
+			}
+
+			check(true, "clean")
+			i, j := rng.Intn(len(rows)), rng.Intn(maxLen)
+			rows[i][j] ^= 1 + byte(rng.Intn(255))
+			check(false, "corrupted")
+		}
+	}
+}

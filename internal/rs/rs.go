@@ -155,6 +155,81 @@ func (c *Code) EncodeFull(data []byte) []byte {
 	return append(out, c.Encode(data)...)
 }
 
+// EncodeRowsInto is the group-wide systematic encode: data is a
+// column-interleaved block — byte column j is the data word
+// (data[0][j], …, data[nd-1][j]), with short rows zero-padded — and
+// parity (Parity() rows, caller-sized to the longest data row) receives
+// what EncodeInto would write for every column. Systematic RS encoding
+// is linear in the data word, so each data row contributes its
+// unit-vector parity coefficients scaled across the whole row — one
+// 8-way-folded table pass per (data row, parity row) pair instead of an
+// LFSR run per byte column (TestEncodeRowsInto pins the byte identity).
+// parity is fully overwritten; bytes past a shorter parity row are
+// simply not computed.
+func (c *Code) EncodeRowsInto(parity, data [][]byte) {
+	nd := len(data)
+	if nd == 0 || nd > c.MaxData() {
+		panic(fmt.Sprintf("rs: data row count %d out of range [1,%d]", nd, c.MaxData()))
+	}
+	if len(parity) != c.parity {
+		panic(fmt.Sprintf("rs: parity row count %d, want %d", len(parity), c.parity))
+	}
+	for _, p := range parity {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	unit := make([]byte, nd)
+	coef := make([]byte, c.parity)
+	for i, row := range data {
+		if len(row) == 0 {
+			continue
+		}
+		unit[i] = 1
+		c.EncodeInto(coef, unit)
+		unit[i] = 0
+		for p, cp := range coef {
+			gf256.MulAddSlice(parity[p], row, cp)
+		}
+	}
+}
+
+// RowsClean is the group-wide syndrome check: rows holds a
+// column-interleaved block of codewords of length len(rows) — byte
+// column j is the word (rows[0][j], …, rows[n-1][j]), rows shorter than
+// rows[0] zero-padded — and the result reports whether every column's
+// syndromes vanish (every column is a codeword). Each syndrome power is
+// one accumulator row built by an 8-way-folded table pass per input row
+// (a plain word-XOR pass for power 0), with early exit on the first
+// dirty power — the group-wide mirror of syndromesInto
+// (TestRowsCleanDifferential pins the equivalence).
+func (c *Code) RowsClean(rows [][]byte) bool {
+	n := len(rows)
+	if n == 0 {
+		return true
+	}
+	acc := make([]byte, len(rows[0]))
+	var tab [256]byte
+	for j := 0; j < c.parity; j++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for i, r := range rows {
+			e := gf256.Exp(j * (n - 1 - i))
+			if e == 1 {
+				gf256.XorSlice(acc, r)
+				continue
+			}
+			gf256.MulTable(e, &tab)
+			gf256.MulAddSliceTab(acc, r, &tab)
+		}
+		if !allZero(acc) {
+			return false
+		}
+	}
+	return true
+}
+
 // DecodeScratch holds the decoder's working buffers — syndromes, the
 // erasure/errata locators, the evaluator and the errata position list —
 // so a caller decoding many codewords (the per-frame inner-code loop, the

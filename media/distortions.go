@@ -42,6 +42,21 @@ type Distortions struct {
 	DustSpecks    int // random dark/light blobs
 	DustMaxRadius int // max blob radius, pixels (default 3)
 	Scratches     int // thin straight lines across the frame
+
+	// FastSim selects the fast scanner approximation instead of the
+	// reference simulation: nearest-neighbor geometry resampling in place
+	// of the bilinear four-tap warp, additive noise drawn from a shared
+	// pre-generated normal stream (one random offset per frame) in place
+	// of a per-pixel Gaussian draw, and a box blur whose window mean is
+	// quantised by fixed-point multiply-shift. The output is NOT
+	// byte-identical to the reference — the contract is *statistical*
+	// equivalence: campaign recovery curves under FastSim must stay
+	// within the regression gate's binomial tolerance bands of the
+	// committed reference curves (`campaign -fastsim -diff CAMPAIGN.json`
+	// is the enforcement). Determinism still holds: the same Seed always
+	// produces the same fast-sim scan. FastSim affects neither IsZero nor
+	// Scale — it selects an implementation, not a severity.
+	FastSim bool
 }
 
 // Scale returns the model with every severity dial multiplied by f — the
@@ -100,14 +115,22 @@ func (d Distortions) Apply(img *raster.Gray) *raster.Gray {
 	}
 
 	if d.BlurRadius > 0 {
-		out = out.BoxBlur(d.BlurRadius)
+		if d.FastSim {
+			out = out.BoxBlurApproxInto(&raster.Gray{}, &raster.Gray{}, d.BlurRadius)
+		} else {
+			out = out.BoxBlur(d.BlurRadius)
+		}
 	}
 
 	if d.Fade > 0 || d.Gradient > 0 || d.Noise > 0 {
 		if out == img {
 			out = img.Clone()
 		}
-		d.photometryInPlace(out, rng)
+		if d.FastSim && d.Noise > 0 {
+			d.photometryFastInPlace(out, rng)
+		} else {
+			d.photometryInPlace(out, rng)
+		}
 	}
 
 	if d.DustSpecks > 0 || d.Scratches > 0 {
@@ -171,6 +194,23 @@ func (d Distortions) geometryRowMapper(w, h int, jitter []float64) func(y float6
 // are the same either way (TestApplyFastPathDifferential covers each
 // model class).
 func (d Distortions) warpGeometry(src, dst *raster.Gray, jitter []float64) *raster.Gray {
+	if d.FastSim {
+		// Fast-sim: nearest-neighbor resample through the same inverse
+		// mapping — coarser sampling, identical geometry. Barrel-free
+		// models take the allocation-free specialization, mirroring the
+		// reference path below (TestWarpNearestSpecialization pins the
+		// two nearest formulations to each other).
+		if d.BarrelK == 0 {
+			theta := d.RotationDeg * math.Pi / 180
+			sin, cos := math.Sin(theta), math.Cos(theta)
+			var j []float64
+			if d.RowJitterPx != 0 {
+				j = jitter
+			}
+			return src.WarpShiftRotateNearestInto(dst, sin, cos, theta != 0, j)
+		}
+		return src.WarpRowsNearestInto(dst, d.geometryRowMapper(src.W, src.H, jitter))
+	}
 	if d.BarrelK == 0 {
 		theta := d.RotationDeg * math.Pi / 180
 		sin, cos := math.Sin(theta), math.Cos(theta)

@@ -1,0 +1,81 @@
+package media
+
+// The fast-sim scanner profile (Distortions.FastSim): the expensive
+// per-pixel stages of the reference scanner model replaced by coarser
+// approximations that preserve the model's statistics but not its bytes.
+// Geometry and blur live in package raster (WarpRowsNearestInto,
+// BoxBlurApproxInto); this file holds the photometry stage, whose cost in
+// the reference model is dominated by one Gaussian draw per pixel.
+//
+// The contract is statistical, not bitwise: the campaign harness's
+// recovery curves under FastSim must stay inside the regression gate's
+// binomial tolerance bands of the committed reference curves
+// (`campaign -fastsim -diff CAMPAIGN.json`). Determinism per Seed still
+// holds — the stream table is fixed and the per-frame offset comes from
+// the frame's seeded rng.
+
+import (
+	"math/rand"
+	"sync"
+
+	"microlonys/raster"
+)
+
+// noiseStreamBits sizes the shared unit-normal table: 64 Ki samples is
+// several frames' worth at the built-in profiles' scan resolutions, so
+// consecutive pixels never see a short cycle within one frame row.
+const noiseStreamBits = 16
+
+var (
+	noiseStreamOnce sync.Once
+	noiseStreamTab  []float64
+)
+
+// noiseStream returns the shared table of pre-generated unit normals.
+// The table is built once per process from a fixed seed — it is part of
+// the fast-sim model's definition, not of any frame's randomness.
+func noiseStream() []float64 {
+	noiseStreamOnce.Do(func() {
+		rng := rand.New(rand.NewSource(0x46535453))
+		tab := make([]float64, 1<<noiseStreamBits)
+		for i := range tab {
+			tab[i] = rng.NormFloat64()
+		}
+		noiseStreamTab = tab
+	})
+	return noiseStreamTab
+}
+
+// photometryFastInPlace is the fast-sim photometry stage: fade and
+// gradient arithmetic are identical to photometryInPlace, but the noise
+// term reads the shared pre-generated stream starting at a random
+// per-frame offset (one rng draw per frame) instead of drawing one
+// Gaussian per pixel. Callers route here only when Noise > 0 — with no
+// noise the reference stage is already cheap and exact.
+func (d Distortions) photometryFastInPlace(out *raster.Gray, rng *rand.Rand) {
+	stream := noiseStream()
+	mask := len(stream) - 1
+	idx := int(rng.Int63()) & mask
+	noise := d.Noise
+	if d.Fade <= 0 && d.Gradient == 0 {
+		for i := range out.Pix {
+			out.Pix[i] = clamp(float64(out.Pix[i]) + stream[idx]*noise)
+			idx = (idx + 1) & mask
+		}
+		return
+	}
+	fade := 1 - d.Fade
+	for y := 0; y < out.H; y++ {
+		grad := d.Gradient * 60 * (float64(y)/float64(out.H) - 0.5)
+		row := out.Pix[y*out.W : (y+1)*out.W]
+		for x := range row {
+			v := float64(row[x])
+			if d.Fade > 0 {
+				v = 128 + (v-128)*fade
+			}
+			v += grad + stream[idx]*noise
+			idx = (idx + 1) & mask
+			row[x] = clamp(v)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package media
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"microlonys/raster"
+)
+
+// fastSimModels are the fast-sim variants under test: each distortion
+// stage alone, stacked combinations, and every built-in scanner model.
+func fastSimModels() []Distortions {
+	models := []Distortions{
+		{RowJitterPx: 1.2},
+		{RotationDeg: 0.3},
+		{BarrelK: 0.002},
+		{RotationDeg: 0.2, BarrelK: 0.0015, RowJitterPx: 1.0},
+		{BlurRadius: 1},
+		{BlurRadius: 3},
+		{Noise: 5},
+		{Fade: 0.08, Gradient: 0.3, Noise: 4},
+		{Gradient: -0.4, Noise: 5},
+		{DustSpecks: 20, Scratches: 2},
+		Paper().Scanner,
+		Microfilm().Scanner,
+		CinemaFilm().Scanner,
+	}
+	for i := range models {
+		models[i].FastSim = true
+		models[i].Seed = int64(i)*37 + 11
+	}
+	return models
+}
+
+func fastSimTestImage() *raster.Gray {
+	rng := rand.New(rand.NewSource(51))
+	img := raster.New(160, 120)
+	for i := range img.Pix {
+		x, y := i%160, i/160
+		if (x/5+y/7)%2 == 0 {
+			img.Pix[i] = 0
+		} else {
+			img.Pix[i] = byte(200 + rng.Intn(56))
+		}
+	}
+	return img
+}
+
+// TestFastSimDeterministic pins the fast-sim determinism contract: the
+// same Seed always produces the same scan, and (with noise active) a
+// different Seed produces a different one.
+func TestFastSimDeterministic(t *testing.T) {
+	img := fastSimTestImage()
+	for i, d := range fastSimModels() {
+		a, b := d.Apply(img), d.Apply(img)
+		if !raster.Equal(a, b) {
+			t.Fatalf("model %d (%+v): fast-sim Apply not deterministic", i, d)
+		}
+		if d.Noise > 0 {
+			d2 := d
+			d2.Seed++
+			if raster.Equal(a, d2.Apply(img)) {
+				t.Fatalf("model %d: seed change did not change the fast-sim scan", i)
+			}
+		}
+	}
+}
+
+// TestFastSimApplyIntoMatchesApply pins the scratch path: applyInto must
+// route through exactly the same fast-sim stages as Apply — nearest
+// warp, approximate blur, stream photometry — for byte-identical output.
+func TestFastSimApplyIntoMatchesApply(t *testing.T) {
+	img := fastSimTestImage()
+	var s ScanScratch
+	for i, d := range fastSimModels() {
+		want := d.Apply(img)
+		got := d.applyInto(&s, img)
+		if !raster.Equal(got, want) {
+			t.Fatalf("model %d (%+v): applyInto differs from Apply in %d pixels",
+				i, d, raster.DiffCount(got, want))
+		}
+	}
+}
+
+// TestFastSimNoiseStatistics checks the shared-stream noise against the
+// model it approximates: on a flat mid-gray frame the fast-sim output
+// must have the same mean and standard deviation as a per-pixel Gaussian
+// of the configured sigma, within loose sampling tolerances.
+func TestFastSimNoiseStatistics(t *testing.T) {
+	const sigma = 8.0
+	img := raster.New(200, 200)
+	for i := range img.Pix {
+		img.Pix[i] = 128
+	}
+	d := Distortions{Noise: sigma, FastSim: true, Seed: 7}
+	out := d.Apply(img)
+	var sum, sumSq float64
+	for _, p := range out.Pix {
+		v := float64(p)
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(out.Pix))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-128) > 1 {
+		t.Fatalf("fast-sim noise mean %.2f, want 128±1", mean)
+	}
+	if math.Abs(std-sigma) > 0.15*sigma {
+		t.Fatalf("fast-sim noise stddev %.2f, want %.1f±15%%", std, sigma)
+	}
+}
+
+// TestFastSimCloseToReference is a loose statistical-closeness sanity
+// check: the fast-sim scan of each built-in scanner model must stay
+// near the reference scan in mean absolute pixel difference. (The real
+// equivalence gate is the campaign band diff — this only catches a
+// grossly wrong approximation, like a misrouted stage.)
+func TestFastSimCloseToReference(t *testing.T) {
+	img := fastSimTestImage()
+	for _, p := range []Profile{Paper(), Microfilm(), CinemaFilm()} {
+		fast := p.Scanner
+		fast.FastSim = true
+		fast.Seed = 99
+		ref := p.Scanner
+		ref.Seed = 99
+		a, b := fast.Apply(img), ref.Apply(img)
+		var diff float64
+		for i := range a.Pix {
+			diff += math.Abs(float64(a.Pix[i]) - float64(b.Pix[i]))
+		}
+		mad := diff / float64(len(a.Pix))
+		if mad > 4*ref.Noise+10 {
+			t.Fatalf("%s: fast-sim mean abs diff %.2f from reference, want <= %.1f",
+				p.Name, mad, 4*ref.Noise+10)
+		}
+	}
+}
+
+// TestFastSimHookPassthrough pins FastSim's interaction with the
+// campaign hooks: it is an implementation selector, not a severity —
+// IsZero ignores it and Scale carries it through unchanged.
+func TestFastSimHookPassthrough(t *testing.T) {
+	if !(Distortions{FastSim: true}).IsZero() {
+		t.Fatal("FastSim alone must not make the model non-zero")
+	}
+	d := Paper().Scanner
+	d.FastSim = true
+	if s := d.Scale(0.5); !s.FastSim {
+		t.Fatal("Scale dropped FastSim")
+	}
+	if s := d.Scale(0); !s.FastSim {
+		t.Fatal("Scale(0) dropped FastSim")
+	}
+}

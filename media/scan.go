@@ -61,13 +61,21 @@ func (d Distortions) applyInto(s *ScanScratch, src *raster.Gray) *raster.Gray {
 	if d.BlurRadius > 0 {
 		// The blur may write over its own source (cur can already be
 		// s.out); the horizontal pass consumes it into s.blur first.
-		cur = cur.BoxBlurInto(&s.out, &s.blur, d.BlurRadius)
+		if d.FastSim {
+			cur = cur.BoxBlurApproxInto(&s.out, &s.blur, d.BlurRadius)
+		} else {
+			cur = cur.BoxBlurInto(&s.out, &s.blur, d.BlurRadius)
+		}
 	}
 	if cur != &s.out {
 		cur = cur.CopyInto(&s.out) // own the pixels before mutating stages
 	}
 	if d.Fade > 0 || d.Gradient > 0 || d.Noise > 0 {
-		d.photometryInPlace(cur, rng)
+		if d.FastSim && d.Noise > 0 {
+			d.photometryFastInPlace(cur, rng)
+		} else {
+			d.photometryInPlace(cur, rng)
+		}
 	}
 	if d.DustSpecks > 0 || d.Scratches > 0 {
 		d.damageInPlace(cur, rng)

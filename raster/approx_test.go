@@ -1,0 +1,122 @@
+package raster
+
+import (
+	"math"
+	"testing"
+)
+
+// The fast-sim approximation kernels are not byte-identical to their
+// reference counterparts by design; these tests pin the error bounds and
+// the exact cases instead.
+
+// TestBoxBlurApproxWithinOneLevel pins the multiply-shift quantisation to
+// the exact window mean: never more than one gray level apart, at any
+// radius, including through an aliased destination.
+func TestBoxBlurApproxWithinOneLevel(t *testing.T) {
+	for _, wh := range [][2]int{{7, 5}, {57, 31}, {160, 120}} {
+		for radius := 0; radius <= 4; radius++ {
+			g := testImage(int64(wh[0]+radius), wh[0], wh[1])
+			want := g.BoxBlurInto(dirtyGray(3, 3), dirtyGray(2, 9), radius)
+			got := g.Clone().BoxBlurApproxInto(dirtyGray(9, 1), dirtyGray(1, 7), radius)
+			for i := range want.Pix {
+				d := int(got.Pix[i]) - int(want.Pix[i])
+				if d < -1 || d > 1 {
+					t.Fatalf("size %v radius %d: approx blur off by %d at pixel %d", wh, radius, d, i)
+				}
+			}
+			// dst aliasing g, as the scan scratch ping-pong does.
+			aliased := g.Clone()
+			aliased.BoxBlurApproxInto(aliased, dirtyGray(4, 4), radius)
+			if !Equal(aliased, got) {
+				t.Fatalf("size %v radius %d: aliased approx blur differs", wh, radius)
+			}
+		}
+	}
+}
+
+// TestWarpNearestSpecialization pins the allocation-free barrel-free
+// nearest warp to the generic row-mapper formulation: identical bytes
+// for shift-only, rotate-only and combined mappings — the same contract
+// the bilinear pair holds.
+func TestWarpNearestSpecialization(t *testing.T) {
+	g := testImage(5, 97, 61)
+	jit := make([]float64, g.H)
+	for y := range jit {
+		jit[y] = math.Sin(float64(y)/9) * 1.3
+	}
+	for _, tc := range []struct {
+		name   string
+		theta  float64
+		jitter []float64
+	}{
+		{"identity", 0, nil},
+		{"jitter", 0, jit},
+		{"rotate", 0.004, nil},
+		{"rotate-jitter", -0.006, jit},
+	} {
+		sin, cos := math.Sin(tc.theta), math.Cos(tc.theta)
+		got := g.WarpShiftRotateNearestInto(dirtyGray(2, 2), sin, cos, tc.theta != 0, tc.jitter)
+		cx, cy := float64(g.W)/2, float64(g.H)/2
+		rowf := func(y float64) func(x float64) (float64, float64) {
+			shift := 0.0
+			if tc.jitter != nil {
+				if yi := int(y); yi >= 0 && yi < len(tc.jitter) {
+					shift = tc.jitter[yi]
+				}
+			}
+			dy := y - cy
+			sinDy, cosDy := sin*dy, cos*dy
+			return func(x float64) (float64, float64) {
+				if tc.jitter != nil {
+					x += shift
+				}
+				dx := x - cx
+				if tc.theta != 0 {
+					return cx + (cos*dx - sinDy), cy + (sin*dx + cosDy)
+				}
+				return cx + dx, cy + dy
+			}
+		}
+		want := g.WarpRowsNearestInto(dirtyGray(3, 3), rowf)
+		if !Equal(got, want) {
+			t.Fatalf("%s: specialized nearest warp differs from row-mapper formulation in %d pixels",
+				tc.name, DiffCount(got, want))
+		}
+	}
+}
+
+// TestWarpRowsNearestExactCases pins the nearest-neighbor warp where it
+// is exact: the identity mapping copies the image, and integer
+// translations land on whole pixels (clamped at the borders).
+func TestWarpRowsNearestExactCases(t *testing.T) {
+	g := testImage(3, 41, 29)
+	ident := func(y float64) func(x float64) (float64, float64) {
+		return func(x float64) (float64, float64) { return x, y }
+	}
+	if got := g.WarpRowsNearestInto(dirtyGray(2, 2), ident); !Equal(got, g) {
+		t.Fatal("identity nearest warp is not a copy")
+	}
+	const dx, dy = 3, -2
+	shift := func(y float64) func(x float64) (float64, float64) {
+		return func(x float64) (float64, float64) { return x + dx, y + dy }
+	}
+	got := g.WarpRowsNearestInto(dirtyGray(2, 2), shift)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			sx, sy := x+dx, y+dy
+			if sx < 0 {
+				sx = 0
+			} else if sx >= g.W {
+				sx = g.W - 1
+			}
+			if sy < 0 {
+				sy = 0
+			} else if sy >= g.H {
+				sy = g.H - 1
+			}
+			if got.Pix[y*g.W+x] != g.Pix[sy*g.W+sx] {
+				t.Fatalf("integer shift: pixel (%d,%d) not the clamped source pixel", x, y)
+			}
+		}
+	}
+}
