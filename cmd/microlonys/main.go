@@ -5,8 +5,10 @@
 //
 //	microlonys -in dump.sql [-profile paper|microfilm|cinema]
 //	           [-mode native|dynarisc|nested] [-raw] [-depth N]
-//	           [-sheet-frames N] [-destroy N] [-destroy-sheet S] [-partial]
-//	           [-workers N] [-fastsim] [-frames out/] [-sheets out/]
+//	           [-sheet-frames N] [-catalog] [-destroy N] [-destroy-sheet S]
+//	           [-partial] [-salvage] [-shuffle] [-withhold-sheet S]
+//	           [-dup-sheet S] [-workers N] [-fastsim]
+//	           [-frames out/] [-sheets out/]
 //	           [-out file] [-bootstrap bootstrap.txt]
 //
 // The tool archives the input (`-in -` streams stdin), optionally
@@ -19,6 +21,19 @@
 // `-out file` streams the restored archive to a file (`-` for stdout);
 // `-partial` keeps restoring past lost carriers, zero-filling and
 // reporting what the outer code could not bring back.
+//
+// `-catalog` reserves one frame per sheet for a self-describing catalog
+// emblem (archive identity, sheet inventory, per-group checksums, a
+// compressed Bootstrap replica when it fits). `-salvage` then restores
+// through the disaster path: the sheets are handed over as an unordered
+// bag with NO bootstrap text — optionally shuffled (`-shuffle`), with a
+// sheet withheld (`-withhold-sheet S`) or duplicated (`-dup-sheet S`) —
+// and the salvage engine identifies, orders and dedupes them from the
+// catalog frames (or a frame-header vote) before the best-effort
+// restore. The SalvageReport ledger is printed in full.
+//
+// Exit codes: 0 — restored clean (bit-exact where verifiable);
+// 2 — restored with losses (partial/salvage zero-fill); 1 — failure.
 package main
 
 import (
@@ -42,9 +57,14 @@ func main() {
 	raw := flag.Bool("raw", false, "archive without DBCoder compression")
 	depth := flag.Int("depth", 0, "DBCoder match-finder depth: lower is faster, higher packs denser (0 = default)")
 	sheetFrames := flag.Int("sheet-frames", 0, "frames per media sheet; 0 = one unbounded sheet")
+	catalog := flag.Bool("catalog", false, "reserve one frame per sheet for a self-describing catalog emblem")
 	destroy := flag.Int("destroy", 0, "destroy N random frames before restoring")
 	destroySheet := flag.Int("destroy-sheet", -1, "destroy this entire sheet before restoring (carrier loss)")
 	partial := flag.Bool("partial", false, "keep restoring past lost carriers (zero-fill + report)")
+	salvage := flag.Bool("salvage", false, "restore through the salvage path: unordered sheet bag, no bootstrap text")
+	shuffle := flag.Bool("shuffle", false, "shuffle the salvage sheet bag (requires -salvage)")
+	withholdSheet := flag.Int("withhold-sheet", -1, "withhold this sheet from the salvage bag (requires -salvage)")
+	dupSheet := flag.Int("dup-sheet", -1, "present this sheet twice in the salvage bag (requires -salvage)")
 	framesDir := flag.String("frames", "", "write frame PNGs to this directory")
 	sheetsDir := flag.String("sheets", "", "write per-sheet frame PNGs to sheetNN/ under this directory")
 	outPath := flag.String("out", "", "stream the restored archive to this file (- for stdout)")
@@ -84,11 +104,18 @@ func main() {
 		fatal("unknown mode %q", *mode)
 	}
 
+	if *salvage && !*catalog {
+		// The salvage path works without catalogs (header-vote fallback),
+		// but the CLI pairs them so the demo exercises the full engine.
+		fmt.Println("note: -salvage implies -catalog (self-describing sheets)")
+		*catalog = true
+	}
 	opts := microlonys.DefaultOptions(prof)
 	opts.Compress = !*raw
 	opts.CompressDepth = *depth
 	opts.Workers = *workers
 	opts.SheetFrames = *sheetFrames
+	opts.Catalog = *catalog
 
 	// The original bytes are kept only to verify bit-exactness after the
 	// round trip; stdin streams through the pipeline unverified.
@@ -161,26 +188,51 @@ func main() {
 	}
 
 	// Restore: stream to -out when given, otherwise into memory for the
-	// bit-exactness check.
-	fmt.Printf("restoring (mode %s)...\n", m)
-	ro := microlonys.RestoreOptions{Mode: m, Workers: *workers, Partial: *partial}
-	t0 = time.Now()
+	// bit-exactness check. -salvage swaps in the disaster path: the
+	// sheets go over as an unordered bag with no bootstrap text.
 	var got []byte
 	var st *microlonys.RestoreStats
-	switch {
-	case *outPath == "-":
-		st, err = microlonys.RestoreTo(os.Stdout, arch.Volume, arch.BootstrapText, ro)
-		check(err)
-	case *outPath != "":
-		f, ferr := os.Create(*outPath)
-		check(ferr)
-		st, err = microlonys.RestoreTo(f, arch.Volume, arch.BootstrapText, ro)
-		check(err)
-		check(f.Close())
-		fmt.Printf("  restored archive -> %s\n", *outPath)
-	default:
-		got, st, err = microlonys.RestoreVolume(arch.Volume, arch.BootstrapText, ro)
-		check(err)
+	t0 = time.Now()
+	if *salvage {
+		bag := salvageBag(arch.Volume, *withholdSheet, *dupSheet, *shuffle, *seed)
+		so := microlonys.SalvageOptions{Mode: m, Workers: *workers}
+		fmt.Printf("salvaging %d sheets (mode %s, no bootstrap text)...\n", len(bag), m)
+		var rep *microlonys.SalvageReport
+		switch {
+		case *outPath == "-":
+			rep, err = microlonys.SalvageTo(os.Stdout, bag, so)
+			check(err)
+		case *outPath != "":
+			f, ferr := os.Create(*outPath)
+			check(ferr)
+			rep, err = microlonys.SalvageTo(f, bag, so)
+			check(err)
+			check(f.Close())
+			fmt.Printf("  salvaged archive -> %s\n", *outPath)
+		default:
+			got, rep, err = microlonys.Salvage(bag, so)
+			check(err)
+		}
+		printSalvageReport(rep)
+		st = &rep.Stats
+	} else {
+		fmt.Printf("restoring (mode %s)...\n", m)
+		ro := microlonys.RestoreOptions{Mode: m, Workers: *workers, Partial: *partial}
+		switch {
+		case *outPath == "-":
+			st, err = microlonys.RestoreTo(os.Stdout, arch.Volume, arch.BootstrapText, ro)
+			check(err)
+		case *outPath != "":
+			f, ferr := os.Create(*outPath)
+			check(ferr)
+			st, err = microlonys.RestoreTo(f, arch.Volume, arch.BootstrapText, ro)
+			check(err)
+			check(f.Close())
+			fmt.Printf("  restored archive -> %s\n", *outPath)
+		default:
+			got, st, err = microlonys.RestoreVolume(arch.Volume, arch.BootstrapText, ro)
+			check(err)
+		}
 	}
 	fmt.Printf("  %d frames scanned, %d failed, %d groups recovered, %d bytes corrected\n",
 		st.FramesScanned, st.FramesFailed, st.GroupsRecovered, st.BytesCorrected)
@@ -199,14 +251,77 @@ func main() {
 	switch {
 	case got == nil:
 		fmt.Println("restored (streaming; no in-memory copy to verify)")
+		if st.BytesLost > 0 {
+			os.Exit(2)
+		}
 	case data == nil:
 		fmt.Println("restored (stdin input; nothing to verify against)")
+		if st.BytesLost > 0 {
+			os.Exit(2)
+		}
 	case bytes.Equal(got, data):
 		fmt.Println("RESTORED BIT-EXACT")
-	case *partial && st.BytesLost > 0:
+	case (*partial || *salvage) && st.BytesLost > 0:
 		fmt.Printf("restored with losses (%d of %d bytes zero-filled)\n", st.BytesLost, len(data))
+		os.Exit(2)
 	default:
 		fatal("restored data differs from input")
+	}
+}
+
+// salvageBag pulls the volume's sheets into the bag the salvage engine
+// receives: optionally one sheet withheld, one presented twice, and the
+// whole bag shuffled (seeded, so runs reproduce).
+func salvageBag(vol *media.Volume, withhold, dup int, shuffle bool, seed int64) []*media.Medium {
+	var bag []*media.Medium
+	for s := 0; s < vol.Sheets(); s++ {
+		sheet, err := vol.Sheet(s)
+		check(err)
+		if s == withhold {
+			fmt.Printf("  withheld sheet %d from the bag\n", s)
+			continue
+		}
+		bag = append(bag, sheet)
+		if s == dup {
+			fmt.Printf("  presented sheet %d twice\n", s)
+			bag = append(bag, sheet.Clone())
+		}
+	}
+	if shuffle {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(bag), func(i, j int) { bag[i], bag[j] = bag[j], bag[i] })
+		fmt.Printf("  shuffled the bag (%d sheets)\n", len(bag))
+	}
+	return bag
+}
+
+// printSalvageReport renders the salvage ledger: what the engine
+// identified, how, and what it could not bring back.
+func printSalvageReport(rep *microlonys.SalvageReport) {
+	fmt.Printf("  salvage ledger:\n")
+	fmt.Printf("    archive id %016x; %d of %d sheets identified (%d presented)\n",
+		rep.ArchiveID, len(rep.SheetsIdentified), rep.SheetCount, rep.SheetsPresented)
+	switch {
+	case rep.CatalogUsed:
+		fmt.Printf("    identity from %d catalog frames", rep.CatalogFrames)
+		if rep.BootstrapFromCatalog {
+			fmt.Printf(" (bootstrap replayed from the catalog replica)")
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("    identity from frame-header vote (no catalog survived)\n")
+	}
+	if rep.SheetsDuplicate > 0 {
+		fmt.Printf("    deduped %d redundant sheet cop(ies)\n", rep.SheetsDuplicate)
+	}
+	if rep.SheetsUnidentified > 0 {
+		fmt.Printf("    %d sheet(s) unidentifiable\n", rep.SheetsUnidentified)
+	}
+	if len(rep.SheetsMissing) > 0 {
+		fmt.Printf("    MISSING sheets %v (inventoried by the catalog)\n", rep.SheetsMissing)
+	}
+	if rep.Complete {
+		fmt.Printf("    complete: every group recovered and verified\n")
 	}
 }
 

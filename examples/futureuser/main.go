@@ -251,5 +251,110 @@ func main() {
 	} else {
 		log.Fatalf("restoration differs: %d vs %d bytes", len(restored), len(dump))
 	}
+
+	salvageAct()
 	_ = raster.Gray{}
+}
+
+// salvageAct is the second act: the same future user, a worse day. The
+// sheets turn up loose in a box — out of order, one photocopied twice,
+// a few frames water-damaged — and the printed Bootstrap text is GONE.
+// With Options.Catalog each sheet reserved its slot-0 frame for a
+// self-describing catalog emblem (archive identity, sheet inventory,
+// per-group checksums, and — when the frame is large enough — a
+// compressed replica of the whole Bootstrap document), so the bag alone
+// is enough: Salvage identifies and orders the sheets, dedupes the
+// copies, recovers the Bootstrap from the replica, and restores.
+func salvageAct() {
+	fmt.Println()
+	fmt.Println("--- act two: the Bootstrap text is lost ---")
+
+	// Archive day: a frame large enough to carry the Bootstrap replica
+	// inside the catalog emblem (the act-one demo layout is too small —
+	// its catalogs still carry identity, inventory and checksums, just
+	// not the replica).
+	dump := []byte(strings.Repeat("INSERT INTO region VALUES ('EUROPE', 3);\n", 2000))
+	l := emblem.Layout{DataW: 480, DataH: 360, PxPerModule: 2}
+	prof := media.Profile{
+		Name: "demo-large", FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(), Layout: l,
+	}
+	opts := microlonys.DefaultOptions(prof)
+	opts.Compress = false // keep the demo multi-sheet
+	opts.GroupData = 4    // small groups -> small sheets
+	opts.SheetFrames = 8  // 4+3 outer code + the catalog slot
+	opts.Catalog = true
+	arch, err := microlonys.Archive(dump, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decades later: an unordered bag — shuffled, one sheet duplicated,
+	// one frame of sheet 0 destroyed. No bootstrap text anywhere.
+	var bag []*media.Medium
+	for s := 0; s < arch.Volume.Sheets(); s++ {
+		sheet, err := arch.Volume.Sheet(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bag = append(bag, sheet)
+	}
+	if err := bag[0].Destroy(3); err != nil {
+		log.Fatal(err)
+	}
+	bag = append(bag, bag[1].Clone())              // a photocopied duplicate
+	bag[0], bag[len(bag)-1] = bag[len(bag)-1], bag[0] // out of order
+	bag[1], bag[2] = bag[2], bag[1]
+	fmt.Printf("received: a bag of %d sheets, shuffled, no Bootstrap text\n", len(bag))
+
+	got, rep, err := microlonys.Salvage(bag, microlonys.SalvageOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog frames identified %d of %d sheets (archive %016x), deduped %d copy\n",
+		len(rep.SheetsIdentified), rep.SheetCount, rep.ArchiveID, rep.SheetsDuplicate)
+	if !rep.BootstrapRecovered {
+		log.Fatal("expected the Bootstrap replica to survive in the catalog")
+	}
+	fmt.Println("Bootstrap document recovered from one sheet's catalog replica")
+	if !bytes.Equal(got, dump) {
+		log.Fatalf("salvage differs: %d vs %d bytes", len(got), len(dump))
+	}
+	fmt.Println("SALVAGED BIT-EXACT FROM THE UNORDERED, BOOTSTRAP-FREE BAG")
+
+	// Epilogue: an even worse find. One sheet was never recovered at all,
+	// and on every OTHER surviving sheet the catalog frame itself is
+	// ruined — a single sheet's catalog must identify the archive,
+	// inventory what is missing, and resupply the Bootstrap, alone.
+	var worse []*media.Medium
+	for s := 0; s < arch.Volume.Sheets(); s++ {
+		if s == 1 {
+			continue // sheet 1 is gone
+		}
+		sheet, err := arch.Volume.Sheet(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s != 0 {
+			if err := sheet.Destroy(0); err != nil { // ruin this catalog
+				log.Fatal(err)
+			}
+		}
+		worse = append(worse, sheet)
+	}
+	worse[0], worse[len(worse)-1] = worse[len(worse)-1], worse[0]
+	got, rep, err = microlonys.Salvage(worse, microlonys.SalvageOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one catalog left: identified %d sheets, inventoried missing %v, %d bytes zero-filled\n",
+		len(rep.SheetsIdentified), rep.SheetsMissing, rep.Stats.BytesLost)
+	if len(rep.SheetsMissing) != 1 || rep.SheetsMissing[0] != 1 {
+		log.Fatalf("expected the surviving catalog to inventory sheet 1 as missing, got %v",
+			rep.SheetsMissing)
+	}
+	if !rep.BootstrapRecovered || rep.Stats.BytesLost == 0 {
+		log.Fatal("expected a bootstrap replica and zero-filled losses")
+	}
+	fmt.Println("ONE SHEET'S CATALOG ALONE INVENTORIED THE LOSSES AND RESUPPLIED THE BOOTSTRAP")
 }

@@ -143,6 +143,10 @@ type Document struct {
 	Layout      emblem.Layout
 	GroupData   int
 	GroupParity int
+	// Catalog records that the volume reserves the first frame of every
+	// sheet for a self-describing catalog emblem (internal/catalog), which
+	// the restore assembler must skip when locating outer-code groups.
+	Catalog bool
 
 	Pseudocode      string
 	EmulatorLetters string // DynaRisc emulator (VeRisc instruction stream)
@@ -182,6 +186,11 @@ func (d *Document) Render() string {
 	fmt.Fprintf(&b, "profile=%s\n", d.ProfileName)
 	fmt.Fprintf(&b, "dataw=%d datah=%d pxpermodule=%d\n", d.Layout.DataW, d.Layout.DataH, d.Layout.PxPerModule)
 	fmt.Fprintf(&b, "groupdata=%d groupparity=%d\n", d.GroupData, d.GroupParity)
+	if d.Catalog {
+		// Emitted only when set so pre-catalog documents render unchanged;
+		// Parse has always ignored unknown keys, so old readers skip it.
+		fmt.Fprintf(&b, "catalog=1\n")
+	}
 	b.WriteString("\n" + markEmulator + "\n")
 	b.WriteString(wrap(d.EmulatorLetters, 64))
 	b.WriteString("\n" + markDecoder + "\n")
@@ -250,6 +259,8 @@ func Parse(text string) (*Document, error) {
 				fmt.Sscan(v, &d.GroupData)
 			case "groupparity":
 				fmt.Sscan(v, &d.GroupParity)
+			case "catalog":
+				d.Catalog = v == "1"
 			}
 		}
 	}

@@ -62,11 +62,12 @@ const (
 	AxisDust        = "dust"        // dust specks (+ a scratch per 16) added to every frame
 	AxisLoss        = "loss"        // fraction of frames destroyed outright (lost carriers)
 	AxisGenerations = "generations" // scan→print→scan copies before restoration
+	AxisSalvage     = "salvage"     // frame-destruction fraction on a shuffled, bootstrap-free sheet bag (core.Salvage)
 )
 
 // DefaultAxes returns every damage axis in sweep order.
 func DefaultAxes() []string {
-	return []string{AxisSeverity, AxisDust, AxisLoss, AxisGenerations}
+	return []string{AxisSeverity, AxisDust, AxisLoss, AxisGenerations, AxisSalvage}
 }
 
 // PointResult aggregates one axis point's trials.

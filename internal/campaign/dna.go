@@ -51,7 +51,7 @@ func newDNARunner(cfg Config) (*dnaRunner, error) {
 func (r *dnaRunner) axes(requested []string) []string {
 	var out []string
 	for _, a := range requested {
-		if a != AxisDust { // no dust on a DNA pool
+		if a != AxisDust && a != AxisSalvage { // no dust and no sheet bag on a DNA pool
 			out = append(out, a)
 		}
 	}

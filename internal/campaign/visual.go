@@ -8,6 +8,7 @@ import (
 
 	"microlonys/internal/core"
 	"microlonys/internal/emblem"
+	"microlonys/internal/faultinject"
 	"microlonys/media"
 )
 
@@ -76,6 +77,7 @@ type visualRunner struct {
 	profile   media.Profile
 	corpus    []byte
 	arch      *core.Archived
+	archCat   *core.Archived // catalog-enabled twin for the salvage axis
 	bootstrap string
 	fastSim   bool // scan trials through the fast-sim approximation
 }
@@ -101,7 +103,18 @@ func newVisualRunner(p media.Profile, cfg Config) (*visualRunner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: archiving %s corpus: %w", p.Name, err)
 	}
-	return &visualRunner{profile: p, corpus: corpus, arch: arch, bootstrap: arch.BootstrapText, fastSim: cfg.FastSim}, nil
+	// The salvage axis restores from an unordered sheet bag with no
+	// bootstrap text, which needs the self-describing catalog emblems:
+	// archive a catalog-enabled twin (one extra reserved frame per sheet).
+	optsCat := opts
+	optsCat.Catalog = true
+	optsCat.SheetFrames++
+	archCat, err := core.CreateArchive(corpus, optsCat)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: archiving %s catalog corpus: %w", p.Name, err)
+	}
+	return &visualRunner{profile: p, corpus: corpus, arch: arch, archCat: archCat,
+		bootstrap: arch.BootstrapText, fastSim: cfg.FastSim}, nil
 }
 
 func (r *visualRunner) axes(requested []string) []string {
@@ -118,6 +131,8 @@ func (r *visualRunner) points(axis string) []float64 {
 		return []float64{0, 0.05, 0.10, 0.15, 0.25}
 	case AxisGenerations:
 		return []float64{0, 1, 2, 3, 4}
+	case AxisSalvage:
+		return []float64{0, 0.05, 0.10, 0.15, 0.25}
 	}
 	return nil
 }
@@ -131,6 +146,9 @@ const genScannerScale = 0.6
 // trial clones the archived volume, applies the axis's damage at the
 // given value, and scores a Partial restore.
 func (r *visualRunner) trial(axis string, value float64, rng *rand.Rand, eng *engine) outcome {
+	if axis == AxisSalvage {
+		return r.salvageTrial(value, rng, eng)
+	}
 	vol := r.arch.Volume.Clone()
 	scanner := r.profile.Scanner
 	// The fast-sim selector rides every scanner pass of the trial: Scale
@@ -195,6 +213,55 @@ func (r *visualRunner) trial(axis string, value float64, rng *rand.Rand, eng *en
 		if o.bytesLost == 0 {
 			// The restore claimed clean output that differs from the
 			// corpus — count the divergence so the curve records it.
+			o.bytesLost = diffBytes(eng.out.Bytes(), r.corpus)
+		}
+	}
+	return o
+}
+
+// salvageTrial is the disaster-drill axis: the catalog-enabled twin's
+// sheets are pulled into an unordered bag — value sets the fraction of
+// frames destroyed across it, a faultinject schedule shuffles the bag,
+// duplicates one sheet and tears another — then core.Salvage restores
+// with no bootstrap text and the output is scored against the corpus.
+func (r *visualRunner) salvageTrial(value float64, rng *rand.Rand, eng *engine) outcome {
+	vol := r.archCat.Volume.Clone()
+	scanner := r.profile.Scanner
+	scanner.FastSim = r.fastSim
+	scanner.Seed = rng.Int63() | 1
+	vol.SetScanner(scanner)
+
+	bag := make([]*media.Medium, vol.Sheets())
+	for s := range bag {
+		m, err := vol.Sheet(s)
+		if err != nil {
+			return outcome{failed: true}
+		}
+		bag[s] = m
+	}
+	sched := faultinject.New(rng.Int63() | 1)
+	if _, err := sched.DestroyFraction(bag, value); err != nil {
+		return outcome{failed: true}
+	}
+	sched.Shuffle(bag)
+	bag = sched.Duplicate(bag, 1)
+
+	eng.out.Reset()
+	rep, err := eng.core.SalvageTo(&eng.out, bag, core.SalvageOptions{Mode: core.RestoreNative})
+	o := outcome{}
+	if rep != nil {
+		o.groupsLost = rep.Stats.GroupsLost
+		o.bytesLost = rep.Stats.BytesLost
+		o.framesFailed = rep.Stats.FramesFailed
+	}
+	switch {
+	case err != nil:
+		o.failed = true
+	case bytes.Equal(eng.out.Bytes(), r.corpus):
+		o.full = true
+	default:
+		o.partial = true
+		if o.bytesLost == 0 {
 			o.bytesLost = diffBytes(eng.out.Bytes(), r.corpus)
 		}
 	}

@@ -1,0 +1,197 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"microlonys/dynarisc"
+	"microlonys/internal/bootstrap"
+	"microlonys/internal/emblem"
+	"microlonys/verisc"
+)
+
+func sampleCatalog() *Catalog {
+	return &Catalog{
+		ArchiveID:    0xDEADBEEFCAFE1234,
+		Sheet:        2,
+		SheetCount:   5,
+		TotalFrames:  105,
+		TotalGroups:  5,
+		GroupData:    17,
+		GroupParity:  3,
+		Layout:       emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 4},
+		ProfileName:  "paper-small",
+		Compress:     true,
+		RawLen:       123,
+		StreamLen:    262144,
+		SystemLen:    2708,
+		Instructions: Instructions(),
+		Sheets: []SheetRange{
+			{StartFrame: 0, Frames: 21, StartGroup: 0, Groups: 1},
+			{StartFrame: 21, Frames: 21, StartGroup: 1, Groups: 1},
+			{StartFrame: 42, Frames: 21, StartGroup: 2, Groups: 1},
+			{StartFrame: 63, Frames: 21, StartGroup: 3, Groups: 1},
+			{StartFrame: 84, Frames: 21, StartGroup: 4, Groups: 1},
+		},
+		Groups: []GroupSum{
+			{Kind: emblem.KindRaw, Data: 17, Parity: 3, CRC: 0x11111111},
+			{Kind: emblem.KindData, Data: 17, Parity: 3, CRC: 0x22222222},
+			{Kind: emblem.KindData, Data: 17, Parity: 3, CRC: 0x33333333},
+			{Kind: emblem.KindData, Data: 4, Parity: 3, CRC: 0x44444444},
+			{Kind: emblem.KindSystem, Data: 17, Parity: 3, CRC: 0x55555555},
+		},
+		Replica: []byte("stand-in replica blob"),
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	c := sampleCatalog()
+	b, err := c.Marshal(0)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, c)
+	}
+	// Emblem payloads are padded to capacity; Parse must ignore the tail.
+	padded := append(append([]byte(nil), b...), make([]byte, 97)...)
+	got2, err := Parse(padded)
+	if err != nil {
+		t.Fatalf("Parse with padding: %v", err)
+	}
+	if !reflect.DeepEqual(c, got2) {
+		t.Fatal("padded parse diverged from exact parse")
+	}
+}
+
+// TestMarshalTrimming walks the capacity ladder: each budget drops the
+// next optional section (replica, instructions, group sums, inventory)
+// while everything that still fits survives intact.
+func TestMarshalTrimming(t *testing.T) {
+	c := sampleCatalog()
+	full, err := c.Marshal(0)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	prev := len(full)
+	wantGone := []func(*Catalog) bool{
+		func(p *Catalog) bool { return p.Replica == nil },
+		func(p *Catalog) bool { return p.Instructions == "" },
+		func(p *Catalog) bool { return p.Groups == nil },
+		func(p *Catalog) bool { return p.Sheets == nil },
+	}
+	for step, gone := range wantGone {
+		b, err := c.Marshal(prev - 1)
+		if err != nil {
+			t.Fatalf("step %d: Marshal(%d): %v", step, prev-1, err)
+		}
+		if len(b) >= prev {
+			t.Fatalf("step %d: trimmed marshal is %d bytes, want < %d", step, len(b), prev)
+		}
+		p, err := Parse(b)
+		if err != nil {
+			t.Fatalf("step %d: Parse: %v", step, err)
+		}
+		if !gone(p) {
+			t.Fatalf("step %d: expected section not trimmed: %+v", step, p)
+		}
+		// Identity core must survive every trim level.
+		if p.ArchiveID != c.ArchiveID || p.Sheet != c.Sheet || p.SheetCount != c.SheetCount ||
+			p.TotalFrames != c.TotalFrames || p.TotalGroups != c.TotalGroups ||
+			p.Layout != c.Layout || p.ProfileName != c.ProfileName {
+			t.Fatalf("step %d: identity core damaged: %+v", step, p)
+		}
+		prev = len(b)
+	}
+
+	if _, err := c.Marshal(10); err == nil {
+		t.Fatal("Marshal accepted a budget below the identity core")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	c := sampleCatalog()
+	b, err := c.Marshal(0)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, i := range []int{0, 5, 20, len(b) / 2, len(b) - 1} {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0xFF
+		if _, err := Parse(bad); !errors.Is(err, ErrCatalog) {
+			t.Fatalf("Parse accepted corruption at byte %d (err %v)", i, err)
+		}
+	}
+	for _, n := range []int{0, 3, 10, len(b) - 1} {
+		if _, err := Parse(b[:n]); !errors.Is(err, ErrCatalog) {
+			t.Fatalf("Parse accepted truncation to %d bytes (err %v)", n, err)
+		}
+	}
+}
+
+func TestGroupCRCOrderSensitive(t *testing.T) {
+	a, b := bytes.Repeat([]byte{1}, 64), bytes.Repeat([]byte{2}, 64)
+	if GroupCRC([][]byte{a, b}) == GroupCRC([][]byte{b, a}) {
+		t.Fatal("GroupCRC is order-insensitive")
+	}
+	if GroupCRC([][]byte{a, b}) != GroupCRC([][]byte{a, b}) {
+		t.Fatal("GroupCRC is not deterministic")
+	}
+}
+
+// TestEssentialsRoundTrip pins the bootstrap-free path: a document
+// reconstructed from a catalog's replica renders byte-identically to the
+// archived catalog-enabled document.
+func TestEssentialsRoundTrip(t *testing.T) {
+	// A tiny but real program pair keeps the test fast; the production
+	// programs exercise the identical marshal/compress path.
+	emu := &verisc.Program{Org: 0, Cells: []uint32{0x01020304, 0xAABBCCDD, 0}}
+	mo := &dynarisc.Program{Org: 0x100, Words: []uint16{0x1234, 0x5678, 0}}
+
+	replica := EncodeEssentials(emu, mo)
+	gotEmu, gotMo, err := DecodeEssentials(replica)
+	if err != nil {
+		t.Fatalf("DecodeEssentials: %v", err)
+	}
+	if !reflect.DeepEqual(emu, gotEmu) || !reflect.DeepEqual(mo, gotMo) {
+		t.Fatal("essentials round trip diverged")
+	}
+
+	layout := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 4}
+	want := bootstrap.New("paper-small", layout, 17, 3, emu, mo)
+	want.Catalog = true
+
+	c := &Catalog{
+		GroupData: 17, GroupParity: 3,
+		Layout: layout, ProfileName: "paper-small",
+		Replica: replica,
+	}
+	doc, err := c.BootstrapDoc()
+	if err != nil {
+		t.Fatalf("BootstrapDoc: %v", err)
+	}
+	if doc.Render() != want.Render() {
+		t.Fatal("reconstructed bootstrap document diverged from the archived one")
+	}
+	if !strings.Contains(doc.Render(), "catalog=1") {
+		t.Fatal("reconstructed document does not declare the catalog layout")
+	}
+
+	if _, err := (&Catalog{}).BootstrapDoc(); !errors.Is(err, ErrCatalog) {
+		t.Fatal("BootstrapDoc on a trimmed catalog did not fail with ErrCatalog")
+	}
+	bad := append([]byte(nil), replica...)
+	bad[len(bad)/2] ^= 0xFF
+	c.Replica = bad
+	if _, err := c.BootstrapDoc(); err == nil {
+		t.Fatal("BootstrapDoc accepted a corrupted replica")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
+	"microlonys/internal/catalog"
 	"microlonys/internal/dbcoder"
 	"microlonys/internal/dynprog"
 	"microlonys/internal/emblem"
@@ -124,6 +125,10 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d",
 			opts.SheetFrames, opts.GroupData, opts.GroupParity)
 	}
+	if opts.Catalog && opts.SheetFrames > 0 && opts.SheetFrames < opts.GroupData+opts.GroupParity+1 {
+		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d plus the catalog slot",
+			opts.SheetFrames, opts.GroupData, opts.GroupParity)
+	}
 	layout := opts.Profile.Layout
 	capacity := mocoder.Capacity(layout)
 	if capacity <= 0 {
@@ -177,12 +182,20 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	// the pool (and its scratch) never exceeds the frames there are to
 	// encode.
 	vol := media.NewVolume(opts.Profile, opts.SheetFrames)
+	if opts.Catalog {
+		if err := vol.EnableCatalog(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	workers := resolveWorkers(opts.Workers, plannedFrames(sections, capacity, opts))
 	scratch := make([]encScratch, workers)
 	if workers == 1 {
 		// Serial reference path: plan, encode and place each group inline.
-		ctx := context.Background()
+		ctx := orBackground(opts.Context)
 		emit := func(gp groupPlan) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			frames, err := encodeFrames(ctx, gp.tasks, layout, 1, scratch)
 			if err != nil {
 				return err
@@ -190,6 +203,7 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 			if err := vol.WriteGroup(frames); err != nil {
 				return fmt.Errorf("core: writing medium: %w", err)
 			}
+			p.groupSheets = append(p.groupSheets, vol.Sheets()-1)
 			return nil
 		}
 		for _, sec := range sections {
@@ -204,12 +218,24 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	p.man.TotalFrames = p.frameIdx
 	p.man.Sheets = vol.Sheets()
 
+	// Catalog volumes: with every group placed the inventory is complete,
+	// so render each sheet's catalog emblem and back-patch the reserved
+	// slot 0 (byte-identical to having written it in sequence).
+	if opts.Catalog {
+		if err := p.fillCatalogs(vol, capacity, &scratch[0]); err != nil {
+			return nil, err
+		}
+		p.man.CatalogFrames = vol.Sheets()
+		p.man.TotalFrames += vol.Sheets()
+	}
+
 	// Step 6: Bootstrap document.
 	emu, mo, _, err := archivedPrograms()
 	if err != nil {
 		return nil, err
 	}
 	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
+	doc.Catalog = opts.Catalog
 
 	arch := &Archived{
 		Volume:        vol,
@@ -235,6 +261,13 @@ type planner struct {
 	groupID  int
 	frameIdx int
 	man      Manifest
+
+	// Catalog bookkeeping (Options.Catalog only): per-group checksum
+	// records collected at planning time — the padded data payloads the
+	// CRC covers are exactly what the planner just built — and the sheet
+	// each group landed on, appended by the place stage in plan order.
+	sums        []catalog.GroupSum
+	groupSheets []int
 }
 
 // section plans one section's groups, reading exactly total bytes from r
@@ -270,6 +303,12 @@ func (p *planner) section(kind emblem.Kind, r io.Reader, total int, emit func(gr
 		parity, err := mocoder.GroupParityPayloads(padded)
 		if err != nil {
 			return fmt.Errorf("core: group parity: %w", err)
+		}
+		if p.opts.Catalog {
+			p.sums = append(p.sums, catalog.GroupSum{
+				Kind: kind, Data: uint8(g), Parity: uint8(len(parity)),
+				CRC: catalog.GroupCRC(padded),
+			})
 		}
 
 		// The emblem header stores frame indices and group ids as uint16;
@@ -382,7 +421,7 @@ type encodeTask struct {
 // lowest-index frame error (cancelling the rest), and a planner error
 // surfaces only once every group it emitted has been placed.
 func pipelineGroups(p *planner, sections []archiveSection, layout emblem.Layout, vol *media.Volume, workers int, scratch []encScratch) error {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(orBackground(p.opts.Context))
 	defer cancel()
 
 	groups := make(chan *plannedGroup, pipelineGroupDepth)
@@ -474,6 +513,8 @@ func pipelineGroups(p *planner, sections []archiveSection, layout emblem.Layout,
 		if placeErr == nil {
 			if err := vol.WriteGroup(pg.frames); err != nil {
 				placeErr = fmt.Errorf("core: writing medium: %w", err)
+			} else {
+				p.groupSheets = append(p.groupSheets, vol.Sheets()-1)
 			}
 		}
 		if placeErr != nil {
@@ -486,6 +527,121 @@ func pipelineGroups(p *planner, sections []archiveSection, layout emblem.Layout,
 		return placeErr
 	}
 	return err
+}
+
+// orBackground resolves an optional caller context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// fillCatalogs renders one catalog emblem per sheet — shared archive
+// identity, inventory, checksums, bootstrap replica — and back-patches
+// each sheet's reserved slot 0. Runs after placement, when the whole
+// inventory is known; serial, on the caller's goroutine.
+func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScratch) error {
+	emu, mo, _, err := archivedPrograms()
+	if err != nil {
+		return err
+	}
+	replica := catalog.EncodeEssentials(emu, mo)
+
+	sheets := make([]catalog.SheetRange, vol.Sheets())
+	for s := range sheets {
+		start, err := vol.SheetStart(s)
+		if err != nil {
+			return fmt.Errorf("core: catalog inventory: %w", err)
+		}
+		m, err := vol.Sheet(s)
+		if err != nil {
+			return fmt.Errorf("core: catalog inventory: %w", err)
+		}
+		sheets[s] = catalog.SheetRange{StartFrame: start, Frames: m.FrameCount(), StartGroup: -1}
+	}
+	for g, s := range p.groupSheets {
+		if sheets[s].Groups == 0 {
+			sheets[s].StartGroup = g
+		}
+		sheets[s].Groups++
+	}
+
+	p.man.ArchiveID = archiveID(p.opts, p.man, p.sums)
+	c := &catalog.Catalog{
+		ArchiveID:    p.man.ArchiveID,
+		SheetCount:   vol.Sheets(),
+		TotalFrames:  p.frameIdx + vol.Sheets(),
+		TotalGroups:  p.groupID,
+		GroupData:    p.opts.GroupData,
+		GroupParity:  p.opts.GroupParity,
+		Layout:       p.opts.Profile.Layout,
+		ProfileName:  p.opts.Profile.Name,
+		Compress:     p.opts.Compress,
+		RawLen:       p.man.RawLen,
+		StreamLen:    p.man.StreamLen,
+		SystemLen:    p.man.SystemLen,
+		Instructions: catalog.Instructions(),
+		Sheets:       sheets,
+		Groups:       p.sums,
+		Replica:      replica,
+	}
+	for s := 0; s < vol.Sheets(); s++ {
+		c.Sheet = s
+		payload, err := c.Marshal(capacity)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		hdr := emblem.Header{
+			Kind:    emblem.KindCatalog,
+			Index:   uint16(s),
+			Total:   uint16(vol.Sheets()),
+			GroupID: emblem.CatalogGroupID,
+			// GroupData 0 marks the frame as belonging to no outer-code
+			// group; the assembler consumes it out-of-band.
+			TotalLen: uint32(len(payload)),
+		}
+		img, err := scratch.enc.Encode(payload, hdr, p.opts.Profile.Layout)
+		if err != nil {
+			return fmt.Errorf("core: encoding catalog emblem: %w", err)
+		}
+		if err := vol.FillCatalog(s, img); err != nil {
+			return fmt.Errorf("core: placing catalog emblem: %w", err)
+		}
+	}
+	return nil
+}
+
+// archiveID derives the deterministic archive identity rendered into
+// every catalog emblem: FNV-64a over the layout, group shape, section
+// lengths and every group checksum — any two archives with identical
+// content and configuration share an id, any payload difference changes
+// it.
+func archiveID(opts Options, man Manifest, sums []catalog.GroupSum) uint64 {
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, b := range []byte(opts.Profile.Name) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(uint64(opts.Profile.Layout.DataW))
+	mix(uint64(opts.Profile.Layout.DataH))
+	mix(uint64(opts.GroupData))
+	mix(uint64(opts.GroupParity))
+	mix(uint64(man.RawLen))
+	mix(uint64(man.StreamLen))
+	mix(uint64(man.SystemLen))
+	for _, s := range sums {
+		mix(uint64(s.CRC))
+	}
+	return h
 }
 
 // readerLen determines how many bytes r will deliver without consuming

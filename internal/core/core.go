@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -82,6 +83,23 @@ type Options struct {
 	// 0 (the default) writes one unbounded sheet — the single-medium
 	// layout, byte-identical to the pre-Volume pipeline.
 	SheetFrames int
+
+	// Catalog reserves the first frame of every sheet for a
+	// self-describing catalog emblem (internal/catalog): archive identity,
+	// volume inventory, per-group checksums, a compressed replica of the
+	// Bootstrap essentials and plain-text recovery instructions. Catalog
+	// volumes can be restored by Salvage from an unordered bag of sheets
+	// with no external bootstrap text. Off by default — catalog-free
+	// archives stay byte-identical to previous releases. The catalog slot
+	// counts against SheetFrames, so a bounded sheet needs
+	// GroupData+GroupParity+1 frames of capacity.
+	Catalog bool
+
+	// Context, when non-nil, cancels the archive pipeline: planning stops
+	// at the next group boundary, in-flight encodes drain, and
+	// CreateArchive returns the context's error. Nil means no external
+	// cancellation (context.Background()).
+	Context context.Context
 }
 
 // DefaultOptions returns the paper's configuration for a profile.
@@ -108,6 +126,12 @@ type RestoreOptions struct {
 	// for raw archives after carrier loss — a compressed stream with a
 	// hole still fails at DBDecode.
 	Partial bool
+
+	// Context, when non-nil, cancels the restore pipeline: scan/decode
+	// workers stop, the group assembler drains, and Restore returns an
+	// error wrapping both ErrRestore and the context's error. Nil means no
+	// external cancellation (context.Background()).
+	Context context.Context
 }
 
 // Manifest records what was written.
@@ -118,9 +142,15 @@ type Manifest struct {
 	DataEmblems   int
 	SystemEmblems int
 	ParityEmblems int
-	TotalFrames   int
+	TotalFrames   int // frames written, catalog slots included
 	Groups        int
 	Sheets        int // media sheets the place stage cut
+
+	// Catalog-volume fields (Options.Catalog): the deterministic archive
+	// identity rendered into every catalog emblem, and the number of
+	// catalog frames written (one per sheet).
+	ArchiveID     uint64
+	CatalogFrames int
 }
 
 // Archived is the result of CreateArchive.
@@ -154,10 +184,12 @@ type GroupReport struct {
 	ID        int    // header GroupID
 	Sheet     int    // sheet holding the group (groups never straddle)
 	Kind      string // data, system, parity... the group's section kind
-	Frames    int    // data + parity frames
-	Missing   int    // frames the outer code had to supply
-	Recovered bool   // outer code ran and succeeded
-	Lost      bool   // beyond parity; zero-filled (Partial mode only)
+	Frames     int    // data + parity frames
+	Missing    int    // frames the outer code had to supply
+	Recovered  bool   // outer code ran and succeeded
+	Lost       bool   // beyond parity; zero-filled (Partial mode only)
+	Verified   bool   // data matched the catalog's group checksum
+	Mismatched bool   // data decoded but contradicted the checksum
 }
 
 // RestoreStats reports how restoration went.
@@ -170,6 +202,14 @@ type RestoreStats struct {
 	FramesLost      int // frames in wholly-unidentifiable runs (Partial mode)
 	BytesLost       int // output bytes zero-filled for lost groups (Partial mode)
 	Mode            Mode
+
+	// Catalog-volume tallies: catalog frames consumed out-of-band by the
+	// assembler, and groups checked against the catalog's per-group
+	// checksums (verified + mismatched ≤ groups restored; groups with no
+	// checksum available are neither).
+	CatalogFrames    int
+	GroupsVerified   int
+	GroupsMismatched int
 
 	// Per-sheet and per-group recovery detail, indexed by sheet and in
 	// group order respectively. Identical at any worker count.

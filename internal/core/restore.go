@@ -9,6 +9,7 @@ import (
 
 	"microlonys/dynarisc"
 	"microlonys/internal/bootstrap"
+	"microlonys/internal/catalog"
 	"microlonys/internal/dbcoder"
 	"microlonys/internal/dynprog"
 	"microlonys/internal/emblem"
@@ -114,6 +115,21 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		}
 	}
 
+	// Catalog volumes (declared by the Bootstrap's catalog=1): slot 0 of
+	// every sheet is a catalog frame the group assembler must treat as
+	// out-of-band — it belongs to no group and its loss is not a data loss.
+	var catSlot []bool
+	if doc.Catalog {
+		catSlot = make([]bool, n)
+		for s := 0; s < v.Sheets(); s++ {
+			if m, _ := v.Sheet(s); m == nil || m.FrameCount() == 0 {
+				continue
+			}
+			start, _ := v.SheetStart(s)
+			catSlot[start] = true
+		}
+	}
+
 	asm := &assembler{
 		st:          st,
 		capacity:    capacity,
@@ -122,6 +138,7 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		out:         w,
 		sinks:       map[emblem.Kind]*kindSink{},
 		sheetOf:     sheetOf,
+		catSlot:     catSlot,
 		zeros:       make([]byte, capacity),
 		lastClosed:  -1,
 	}
@@ -136,7 +153,7 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	results := make([]frameResult, n)
 	completed := make(chan int, 2*workers+doc.GroupData+doc.GroupParity)
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(orBackground(ro.Context))
 	defer cancel()
 
 	consumerErr := make(chan error, 1)
@@ -188,48 +205,60 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		return st, cerr
 	}
 	if decErr != nil {
-		return st, decErr
+		if errors.Is(decErr, ErrRestore) {
+			return st, decErr
+		}
+		// Cancellation (or another pipeline error outside the restore
+		// domain): wrap so callers can match either ErrRestore or the
+		// context's error.
+		return st, fmt.Errorf("%w: %w", ErrRestore, decErr)
 	}
+	return st, decompressTail(w, asm, ro.Mode)
+}
 
+// decompressTail finishes a restore once every group has flushed: raw
+// archives already streamed to w, compressed archives decompress the
+// assembled stream — natively or by executing the archived DBDecode
+// program from the system emblems. Shared between restore and salvage.
+func decompressTail(w io.Writer, asm *assembler, mode Mode) error {
 	// The raw section streamed directly to w as its groups closed.
 	if asm.sinks[emblem.KindRaw] != nil {
-		return st, nil
+		return nil
 	}
 
-	// Compressed archive: decompress the assembled stream, natively or by
-	// executing the archived DBDecode program from the system emblems.
 	if asm.dataBuf == nil {
-		return st, fmt.Errorf("%w: no data stream recovered", ErrRestore)
+		return fmt.Errorf("%w: no data stream recovered", ErrRestore)
 	}
 	blob := asm.dataBuf.Bytes()
 	var out []byte
-	switch ro.Mode {
+	var err error
+	switch mode {
 	case RestoreNative:
 		if out, err = dbcoder.Decompress(blob); err != nil {
-			return st, fmt.Errorf("%w: %v", ErrRestore, err)
+			return fmt.Errorf("%w: %v", ErrRestore, err)
 		}
 	default:
 		if asm.sysBuf == nil {
-			return st, fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
+			return fmt.Errorf("%w: system emblems (DBDecode) missing", ErrRestore)
 		}
 		dbProg, err := bootstrap.UnmarshalDynaRisc(asm.sysBuf.Bytes())
 		if err != nil {
-			return st, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
+			return fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
 		}
-		if out, err = runDBDecode(dbProg, blob, ro.Mode); err != nil {
-			return st, fmt.Errorf("%w: %v", ErrRestore, err)
+		if out, err = runDBDecode(dbProg, blob, mode); err != nil {
+			return fmt.Errorf("%w: %v", ErrRestore, err)
 		}
 		// The archived decoder skips the trailing CRC; check its output
 		// against the length and checksum in the archive header — a
 		// mismatch is a restoration failure, never data to hand back.
 		if err := verifyDBDecodeOutput(blob, out); err != nil {
-			return st, err
+			return err
 		}
 	}
 	if _, err := w.Write(out); err != nil {
-		return st, fmt.Errorf("%w: writing output: %v", ErrRestore, err)
+		return fmt.Errorf("%w: writing output: %w", ErrRestore, err)
 	}
-	return st, nil
+	return nil
 }
 
 // kindSink accumulates one section's recovered stream, trimming at the
@@ -252,7 +281,9 @@ func (s *kindSink) write(b []byte) (int, error) {
 		return 0, nil
 	}
 	if _, err := s.w.Write(b[:rem]); err != nil {
-		return 0, fmt.Errorf("%w: writing output: %v", ErrRestore, err)
+		// Both %w verbs matter: callers match ErrRestore for "the restore
+		// failed" and the sink's own error for "my writer did this".
+		return 0, fmt.Errorf("%w: writing output: %w", ErrRestore, err)
 	}
 	s.written += rem
 	return rem, nil
@@ -276,6 +307,8 @@ type assembler struct {
 	sysBuf      *bytes.Buffer
 	sinks       map[emblem.Kind]*kindSink
 	sheetOf     []int
+	catSlot     []bool // per-index: reserved catalog slot (nil when catalog off)
+	sums        []catalog.GroupSum
 	zeros       []byte
 
 	cur struct {
@@ -315,6 +348,21 @@ func (a *assembler) consume(i int, res *frameResult) error {
 	} else {
 		a.st.FramesFailed++
 		sh.FramesFailed++
+	}
+
+	// Catalog frames are out-of-band: they belong to no outer-code group,
+	// so they never open, join or close one. The first readable catalog
+	// supplies the per-group checksums closeGroup verifies against. A
+	// catalog frame that failed to decode falls through to the ordinary
+	// failed-frame path — the loss arithmetic discounts reserved slots.
+	if ok && res.hdr.Kind == emblem.KindCatalog {
+		a.st.CatalogFrames++
+		if a.sums == nil {
+			if c, err := catalog.Parse(res.payload); err == nil && len(c.Groups) > 0 {
+				a.sums = c.Groups
+			}
+		}
+		return nil
 	}
 
 	if a.cur.known {
@@ -465,6 +513,23 @@ func (a *assembler) closeGroup() error {
 		a.st.GroupsRecovered++
 		sh.GroupsRecovered++
 	}
+	// Verify the recovered data against the catalog's group checksum when
+	// one is available. A mismatch means the bytes decoded but contradict
+	// what was archived (silent corruption the outer code missed): fatal
+	// normally, counted — and still written, they are the best available —
+	// in Partial mode.
+	if a.cur.id < len(a.sums) {
+		if catalog.GroupCRC(full[:a.cur.data]) == a.sums[a.cur.id].CRC {
+			rep.Verified = true
+			a.st.GroupsVerified++
+		} else {
+			if !a.partial {
+				return fmt.Errorf("%w: group %d contradicts its catalog checksum", ErrRestore, a.cur.id)
+			}
+			rep.Mismatched = true
+			a.st.GroupsMismatched++
+		}
+	}
 	for pos := 0; pos < a.cur.data; pos++ {
 		if _, err := sink.write(full[pos]); err != nil {
 			return err
@@ -480,6 +545,14 @@ func (a *assembler) closeGroup() error {
 // arithmetic is exact: the range holds nextID-lastClosed-1 groups, each
 // carrying groupParity parity frames, and the rest of its frames are data.
 func (a *assembler) lostRange(start, n, nextID int) error {
+	nCat := a.catalogSlots(start, n)
+	lostGroups := nextID - a.lastClosed - 1
+	if n == nCat && lostGroups <= 0 {
+		// Every frame in the range is a reserved catalog slot and no group
+		// id was skipped: an unreadable catalog costs context, not data —
+		// never a restore failure.
+		return nil
+	}
 	if !a.partial {
 		return fmt.Errorf("%w: frames %d..%d unreadable and no group identifiable (carrier loss beyond parity)",
 			ErrRestore, start, start+n-1)
@@ -488,7 +561,6 @@ func (a *assembler) lostRange(start, n, nextID int) error {
 	for i := start; i < start+n; i++ {
 		a.st.Sheets[a.sheetOf[i]].FramesLost++
 	}
-	lostGroups := nextID - a.lastClosed - 1
 	if lostGroups <= 0 {
 		return nil // incoherent ids; the frames are already counted
 	}
@@ -509,11 +581,26 @@ func (a *assembler) lostRange(start, n, nextID int) error {
 		})
 	}
 	// Zero-fill the lost data bytes so later groups stay at their archive
-	// offsets: the range held lostGroups*groupParity parity frames, the
-	// rest were data. When the range spans a section boundary the fill
-	// past the section's TotalLen is trimmed away and finish pads the
-	// following section instead.
-	return a.fillLost(n - lostGroups*a.groupParity)
+	// offsets: the range held lostGroups*groupParity parity frames and
+	// nCat reserved catalog slots, the rest were data. When the range
+	// spans a section boundary the fill past the section's TotalLen is
+	// trimmed away and finish pads the following section instead.
+	return a.fillLost(n - nCat - lostGroups*a.groupParity)
+}
+
+// catalogSlots counts the reserved catalog slots in [start, start+n) —
+// the frames the loss arithmetic must not mistake for data.
+func (a *assembler) catalogSlots(start, n int) int {
+	if a.catSlot == nil {
+		return 0
+	}
+	c := 0
+	for i := start; i < start+n && i < len(a.catSlot); i++ {
+		if a.catSlot[i] {
+			c++
+		}
+	}
+	return c
 }
 
 // fillLost zero-fills n lost data frames — plus any fill already owed —

@@ -58,7 +58,18 @@ const (
 	// KindRaw emblems carry arbitrary uncompressed payloads (e.g. the
 	// Olonys logo image of the microfilm experiment).
 	KindRaw
+	// KindCatalog emblems carry the per-sheet salvage catalog
+	// (internal/catalog): archive identity, volume inventory, per-group
+	// checksums and a bootstrap replica. Catalog frames belong to no
+	// outer-code group — their header carries GroupData 0 and the
+	// CatalogGroupID sentinel — and are skipped by the group assembler.
+	KindCatalog
 )
+
+// CatalogGroupID is the sentinel GroupID catalog frame headers carry:
+// catalog frames sit outside the outer-code group sequence, so they must
+// never collide with a real (monotonically assigned) group id.
+const CatalogGroupID = 0xFFFF
 
 func (k Kind) String() string {
 	switch k {
@@ -70,6 +81,8 @@ func (k Kind) String() string {
 		return "parity"
 	case KindRaw:
 		return "raw"
+	case KindCatalog:
+		return "catalog"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

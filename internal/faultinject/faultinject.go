@@ -1,0 +1,157 @@
+// Package faultinject provides deterministic, seeded fault schedules for
+// exercising the archive/restore/salvage pipelines: the disasters a
+// long-term archive must survive — sheets shuffled, duplicated, withheld
+// or torn, catalog frames destroyed, I/O ends that start failing
+// mid-stream — generated reproducibly so a failing schedule is a
+// replayable regression, not an anecdote.
+//
+// Every operation draws from the Schedule's private RNG in a fixed
+// order, so a (seed, call-sequence) pair always produces the same
+// faults. The media mutations go through the same Destroy/Truncate
+// primitives real damage campaigns use; the io wrappers inject errors at
+// byte-exact positions.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"microlonys/media"
+)
+
+// ErrInjected is the error every injected I/O fault wraps, so tests can
+// assert the failure they caused is the failure they observed.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Schedule is a deterministic fault generator. Not safe for concurrent
+// use; derive one per trial from the trial's seed.
+type Schedule struct {
+	rng *rand.Rand
+}
+
+// New returns a schedule seeded with seed.
+func New(seed int64) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Shuffle permutes the bag in place — the unordered-drawer scenario.
+func (s *Schedule) Shuffle(bag []*media.Medium) {
+	s.rng.Shuffle(len(bag), func(i, j int) {
+		bag[i], bag[j] = bag[j], bag[i]
+	})
+}
+
+// Duplicate appends n copies of randomly chosen sheets to the bag —
+// redundant prints mixed into the drawer. The copies are clones, so
+// later damage to one copy leaves the other readable.
+func (s *Schedule) Duplicate(bag []*media.Medium, n int) []*media.Medium {
+	for i := 0; i < n && len(bag) > 0; i++ {
+		bag = append(bag, bag[s.rng.Intn(len(bag))].Clone())
+	}
+	return bag
+}
+
+// Withhold removes n randomly chosen sheets from the bag — lost
+// carriers. It never empties the bag: at least one sheet survives.
+func (s *Schedule) Withhold(bag []*media.Medium, n int) []*media.Medium {
+	for i := 0; i < n && len(bag) > 1; i++ {
+		k := s.rng.Intn(len(bag))
+		bag = append(bag[:k], bag[k+1:]...)
+	}
+	return bag
+}
+
+// DestroyFraction destroys the given fraction of each sheet's frames at
+// random positions (rounded down per sheet), returning the number
+// destroyed.
+func (s *Schedule) DestroyFraction(bag []*media.Medium, fraction float64) (int, error) {
+	destroyed := 0
+	for _, m := range bag {
+		n := m.FrameCount()
+		kill := int(float64(n) * fraction)
+		for _, f := range s.rng.Perm(n)[:kill] {
+			if err := m.Destroy(f); err != nil {
+				return destroyed, err
+			}
+			destroyed++
+		}
+	}
+	return destroyed, nil
+}
+
+// CorruptCatalogs destroys slot 0 — the catalog frame on catalog
+// volumes — of n randomly chosen sheets.
+func (s *Schedule) CorruptCatalogs(bag []*media.Medium, n int) error {
+	for _, k := range s.rng.Perm(len(bag)) {
+		if n <= 0 {
+			return nil
+		}
+		if bag[k].FrameCount() == 0 {
+			continue
+		}
+		if err := bag[k].Destroy(0); err != nil {
+			return err
+		}
+		n--
+	}
+	return nil
+}
+
+// TruncateRandom tears the tail off one randomly chosen sheet, keeping
+// at least keepMin frames — a torn or partially digitised carrier.
+func (s *Schedule) TruncateRandom(bag []*media.Medium, keepMin int) {
+	if len(bag) == 0 {
+		return
+	}
+	m := bag[s.rng.Intn(len(bag))]
+	if n := m.FrameCount(); n > keepMin {
+		m.Truncate(keepMin + s.rng.Intn(n-keepMin))
+	}
+}
+
+// Writer wraps w so it fails with an error wrapping ErrInjected once
+// more than failAfter bytes have been written — a full disk, a dropped
+// connection, a dying tape head.
+func Writer(w io.Writer, failAfter int) io.Writer {
+	return &failingWriter{w: w, remaining: failAfter}
+}
+
+type failingWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > f.remaining {
+		return 0, fmt.Errorf("%w: write refused after byte budget", ErrInjected)
+	}
+	n, err := f.w.Write(p)
+	f.remaining -= n
+	return n, err
+}
+
+// Reader wraps r so it fails with an error wrapping ErrInjected once
+// more than failAfter bytes have been read — a source that dies
+// mid-archive.
+func Reader(r io.Reader, failAfter int) io.Reader {
+	return &failingReader{r: r, remaining: failAfter}
+}
+
+type failingReader struct {
+	r         io.Reader
+	remaining int
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, fmt.Errorf("%w: read refused after byte budget", ErrInjected)
+	}
+	if len(p) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= n
+	return n, err
+}

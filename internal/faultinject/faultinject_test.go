@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"microlonys/media"
+	"microlonys/raster"
+)
+
+func testBag(t *testing.T, sheets, frames int) []*media.Medium {
+	t.Helper()
+	p := media.Paper()
+	bag := make([]*media.Medium, sheets)
+	for s := range bag {
+		m := media.New(p)
+		for f := 0; f < frames; f++ {
+			img := raster.New(p.FrameW, p.FrameH)
+			for i := range img.Pix {
+				img.Pix[i] = byte(s*31 + f*7 + i)
+			}
+			if err := m.Write([]*raster.Gray{img}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bag[s] = m
+	}
+	return bag
+}
+
+// TestScheduleDeterminism: the same seed and call sequence produce the
+// same shuffle, the same withheld sheets, the same destroyed frames — a
+// failing schedule is replayable.
+func TestScheduleDeterminism(t *testing.T) {
+	run := func() ([]int, int) {
+		bag := testBag(t, 6, 4)
+		orig := map[*media.Medium]int{}
+		for i, m := range bag {
+			orig[m] = i
+		}
+		s := New(42)
+		s.Shuffle(bag)
+		bag = s.Withhold(bag, 2)
+		destroyed, err := s.DestroyFraction(bag, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make([]int, len(bag))
+		for i, m := range bag {
+			perm[i] = orig[m]
+		}
+		return perm, destroyed
+	}
+	p1, d1 := run()
+	p2, d2 := run()
+	if d1 != d2 || len(p1) != len(p2) {
+		t.Fatalf("schedules diverged: %v/%d vs %v/%d", p1, d1, p2, d2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("permutation diverged: %v vs %v", p1, p2)
+		}
+	}
+	if len(p1) != 4 {
+		t.Fatalf("withheld to %d sheets, want 4", len(p1))
+	}
+}
+
+// TestDuplicateIsIndependentCopy: damaging a duplicated sheet must not
+// damage the original — the copies model independent physical prints.
+func TestDuplicateIsIndependentCopy(t *testing.T) {
+	bag := testBag(t, 1, 3)
+	s := New(7)
+	bag = s.Duplicate(bag, 1)
+	if len(bag) != 2 {
+		t.Fatalf("bag size %d, want 2", len(bag))
+	}
+	if err := bag[1].Destroy(0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := bag[0].ScanFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bag[1].ScanFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("destroying the duplicate damaged the original")
+	}
+}
+
+func TestTruncateAndCorruptCatalogs(t *testing.T) {
+	bag := testBag(t, 3, 5)
+	s := New(9)
+	s.TruncateRandom(bag, 2)
+	short := 0
+	for _, m := range bag {
+		if m.FrameCount() < 5 {
+			short++
+			if m.FrameCount() < 2 {
+				t.Fatalf("truncated below keepMin: %d", m.FrameCount())
+			}
+		}
+	}
+	if short != 1 {
+		t.Fatalf("%d sheets truncated, want 1", short)
+	}
+	if err := s.CorruptCatalogs(bag, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterInjectsAtBudget: the wrapped writer delivers exactly the
+// budgeted bytes then fails with ErrInjected.
+func TestWriterInjectsAtBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer(&buf, 10)
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("buffer %q", buf.String())
+	}
+}
+
+func TestReaderInjectsAtBudget(t *testing.T) {
+	r := Reader(strings.NewReader("0123456789abcdef"), 10)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if string(got) != "0123456789" {
+		t.Fatalf("read %q before the fault", got)
+	}
+}

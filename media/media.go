@@ -159,6 +159,51 @@ func (m *Medium) Write(frames []*raster.Gray) error {
 	return nil
 }
 
+// WriteAt replaces frame i with a freshly written image, applying the
+// same writer-side quantisation and distortion Write would have at that
+// position (the writer seed depends only on the frame index). This is
+// the catalog back-patch hook: Volume reserves the first slot of each
+// sheet when the sheet is cut and fills it here once the whole volume
+// inventory is known — the replacement is byte-identical to having
+// written the image in sequence.
+func (m *Medium) WriteAt(i int, f *raster.Gray) error {
+	if i < 0 || i >= len(m.frames) {
+		return fmt.Errorf("media: frame %d out of range", i)
+	}
+	if f.W != m.profile.FrameW || f.H != m.profile.FrameH {
+		return fmt.Errorf("media: frame is %dx%d, profile %q wants %dx%d",
+			f.W, f.H, m.profile.Name, m.profile.FrameW, m.profile.FrameH)
+	}
+	var out *raster.Gray
+	switch {
+	case m.profile.Writer.IsZero() && m.profile.WriteBitonal:
+		out = f.Threshold(f.OtsuThreshold())
+	case m.profile.Writer.IsZero():
+		out = f.Clone()
+	default:
+		d := m.profile.Writer
+		d.Seed = int64(i)*7919 + 1
+		out = d.Apply(f)
+		if m.profile.WriteBitonal {
+			out = out.Threshold(out.OtsuThreshold())
+		}
+	}
+	m.frames[i] = out
+	return nil
+}
+
+// Truncate discards every frame from index n on — the fault model of a
+// scan run that stopped early (jammed feeder, cut reel). Truncating
+// beyond the end is a no-op.
+func (m *Medium) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < len(m.frames) {
+		m.frames = m.frames[:n]
+	}
+}
+
 // FrameCount returns the number of written frames.
 func (m *Medium) FrameCount() int { return len(m.frames) }
 

@@ -22,6 +22,7 @@ import (
 type Volume struct {
 	profile     Profile
 	sheetFrames int // frames per sheet; 0 = one unbounded sheet
+	catalog     bool
 	sheets      []*Medium
 }
 
@@ -49,6 +50,55 @@ func (v *Volume) SheetFrames() int { return v.sheetFrames }
 
 // Sheets returns the number of sheets written so far.
 func (v *Volume) Sheets() int { return len(v.sheets) }
+
+// EnableCatalog reserves the first frame of every sheet for a
+// self-describing catalog emblem (internal/catalog). Each time a sheet is
+// cut, a placeholder frame is appended in slot 0 — counted against the
+// sheet capacity like any frame — and back-patched via FillCatalog once
+// the whole volume inventory is known. Must be called before any writes.
+func (v *Volume) EnableCatalog() error {
+	if len(v.sheets) > 0 {
+		return fmt.Errorf("media: EnableCatalog on a volume with %d written sheets", len(v.sheets))
+	}
+	if v.sheetFrames == 1 {
+		return fmt.Errorf("media: catalog slot would consume the whole 1-frame sheet")
+	}
+	v.catalog = true
+	return nil
+}
+
+// CatalogEnabled reports whether sheets reserve a catalog slot.
+func (v *Volume) CatalogEnabled() bool { return v.catalog }
+
+// FillCatalog back-patches sheet s's reserved first frame with the
+// rendered catalog emblem. The written frame is byte-identical to one
+// written in sequence at that slot (see Medium.WriteAt).
+func (v *Volume) FillCatalog(s int, img *raster.Gray) error {
+	if !v.catalog {
+		return fmt.Errorf("media: FillCatalog on a volume without catalog slots")
+	}
+	m, err := v.Sheet(s)
+	if err != nil {
+		return err
+	}
+	return m.WriteAt(0, img)
+}
+
+// cutSheet opens a fresh sheet, reserving its catalog slot when enabled.
+// The placeholder is a fogged frame (unreadable if never filled — the
+// restore side treats it like any destroyed frame) replaced by
+// FillCatalog after placement.
+func (v *Volume) cutSheet() {
+	m := New(v.profile)
+	if v.catalog {
+		fogged := raster.New(v.profile.FrameW, v.profile.FrameH)
+		for j := range fogged.Pix {
+			fogged.Pix[j] = 128
+		}
+		m.frames = append(m.frames, fogged)
+	}
+	v.sheets = append(v.sheets, m)
+}
 
 // Sheet returns sheet s.
 func (v *Volume) Sheet(s int) (*Medium, error) {
@@ -97,7 +147,7 @@ func (v *Volume) SheetStart(s int) (int, error) {
 // sheet on an empty volume. With unbounded sheets the room is unlimited.
 func (v *Volume) room() int {
 	if len(v.sheets) == 0 {
-		v.sheets = append(v.sheets, New(v.profile))
+		v.cutSheet()
 	}
 	if v.sheetFrames <= 0 {
 		return int(^uint(0) >> 1) // unbounded
@@ -112,7 +162,7 @@ func (v *Volume) Write(frames []*raster.Gray) error {
 	for len(frames) > 0 {
 		room := v.room()
 		if room == 0 {
-			v.sheets = append(v.sheets, New(v.profile))
+			v.cutSheet()
 			continue
 		}
 		n := len(frames)
@@ -133,11 +183,15 @@ func (v *Volume) Write(frames []*raster.Gray) error {
 // straddles a sheet, so losing a whole carrier costs only the groups on
 // it.
 func (v *Volume) WriteGroup(frames []*raster.Gray) error {
-	if v.sheetFrames > 0 && len(frames) > v.sheetFrames {
-		return fmt.Errorf("media: group of %d frames exceeds sheet capacity %d", len(frames), v.sheetFrames)
+	usable := v.sheetFrames
+	if v.catalog && usable > 0 {
+		usable-- // slot 0 of every sheet belongs to the catalog
+	}
+	if v.sheetFrames > 0 && len(frames) > usable {
+		return fmt.Errorf("media: group of %d frames exceeds sheet capacity %d", len(frames), usable)
 	}
 	if v.room() < len(frames) {
-		v.sheets = append(v.sheets, New(v.profile))
+		v.cutSheet()
 	}
 	return v.sheets[len(v.sheets)-1].Write(frames)
 }
@@ -146,7 +200,7 @@ func (v *Volume) WriteGroup(frames []*raster.Gray) error {
 // frame pixels — see Medium.Clone), so damaging or reprinting the clone
 // never touches the original. One archive can feed many damage trials.
 func (v *Volume) Clone() *Volume {
-	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames}
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog}
 	out.sheets = make([]*Medium, len(v.sheets))
 	for i, m := range v.sheets {
 		out.sheets[i] = m.Clone()
@@ -167,7 +221,7 @@ func (v *Volume) SetScanner(d Distortions) {
 // preserving the sheet boundaries so carrier-level damage still maps one
 // to one after the copy.
 func (v *Volume) Reprint() (*Volume, error) {
-	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames}
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog}
 	out.sheets = make([]*Medium, len(v.sheets))
 	for i, m := range v.sheets {
 		rm, err := m.Reprint()

@@ -134,3 +134,30 @@ func RestoreVolume(v *media.Volume, bootstrapText string, opts RestoreOptions) (
 func RestoreTo(w io.Writer, v *media.Volume, bootstrapText string, opts RestoreOptions) (*RestoreStats, error) {
 	return core.RestoreToWriter(w, v, bootstrapText, opts)
 }
+
+// SalvageOptions configures a Salvage run.
+type SalvageOptions = core.SalvageOptions
+
+// SalvageReport is the salvage ledger: sheets identified, duplicated and
+// missing, catalog usage, and the best-effort restore's statistics.
+type SalvageReport = core.SalvageReport
+
+// Salvage is the disaster-path restore: it accepts an unordered bag of
+// possibly damaged, duplicated or incomplete sheets — with no Bootstrap
+// text and no sheet order — and restores best-effort. Sheets are
+// identified and ordered from their self-describing catalog emblems
+// (written when Options.Catalog was set), falling back to a majority
+// vote over the surviving frame headers; redundant copies are deduped
+// by best-decoding sheet; each restored group is verified against the
+// catalog's checksum; what cannot be recovered is zero-filled at its
+// archive offset and inventoried in the SalvageReport. The output is
+// byte-identical to Restore whenever damage stays within the parity
+// budget.
+func Salvage(sheets []*media.Medium, opts SalvageOptions) ([]byte, *SalvageReport, error) {
+	return core.Salvage(sheets, opts)
+}
+
+// SalvageTo is Salvage streaming to an io.Writer.
+func SalvageTo(w io.Writer, sheets []*media.Medium, opts SalvageOptions) (*SalvageReport, error) {
+	return core.SalvageTo(w, sheets, opts)
+}
