@@ -1211,6 +1211,121 @@ func BenchmarkP7RestoreScan(b *testing.B) {
 	})
 }
 
+// ---- P9: indexed selective restore ------------------------------------
+
+// BenchmarkP9Range prices the selective-restore index (BENCH_range.json
+// records the committed numbers): one TPC-H table restored from a
+// ~100-sheet indexed volume against the full restore of the same volume.
+// The table query probes one index emblem, decodes only the outer-code
+// groups the table's restart blocks overlap, and must touch fewer than
+// 5% of the volume's frames — asserted here, so the CI bench smoke is
+// also the regression gate for the headline ratio.
+func BenchmarkP9Range(b *testing.B) {
+	// A mid-size frame: large enough that the index emblem carries a
+	// fine-grained restart-block table next to the full section table,
+	// small enough that a ~100-sheet volume archives in seconds.
+	l := emblem.Layout{DataW: 160, DataH: 120, PxPerModule: 3}
+	prof := media.Profile{
+		Name:   "p9-bench",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		Layout: l,
+		Scanner: media.Distortions{
+			RotationDeg: 0.1, BlurRadius: 1, Noise: 2, DustSpecks: 2,
+		},
+	}
+	capacity := prof.FrameCapacity()
+	// Enough stream chunks for ~100 one-group sheets after compression
+	// (~50 in -short smoke runs, same ratio assertion).
+	sheets := 100
+	if testing.Short() {
+		sheets = 50
+	}
+	opts := microlonys.DefaultOptions(prof)
+	opts.CompressDepth = 1
+	opts.SheetFrames = 22 // 17+3 group + catalog + index slots
+	opts.Catalog = true
+	opts.Index = true
+	_, db := tpch.FitScaleFactor(sheets*17*capacity*13/2, 7, sqldump.Dump)
+	data := sqldump.Dump(db)
+	arch, err := microlonys.ArchiveReader(bytes.NewReader(data), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secs, err := sqldump.Sections(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := data[secs[1].Off : secs[1].Off+secs[1].Len] // nation: small and fixed-size
+	total := arch.Volume.FrameCount()
+	b.Logf("volume: %d sheets, %d frames, %d B raw -> %d B stream; table %q = %d B",
+		arch.Volume.Sheets(), total, arch.Manifest.RawLen, arch.Manifest.StreamLen,
+		secs[1].Table, len(want))
+
+	b.Run("table", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(want)))
+		var st *microlonys.RestoreStats
+		for i := 0; i < b.N; i++ {
+			got, s, err := microlonys.RestoreTable(arch.Volume, arch.BootstrapText, secs[1].Table,
+				microlonys.RestoreOptions{Mode: microlonys.RestoreNative})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				b.Fatal("table restore differs from input extent")
+			}
+			st = s
+		}
+		if st.IndexFallbacks != 0 {
+			b.Fatalf("table query fell back to a full restore: %+v", st)
+		}
+		ratio := 100 * float64(st.FramesScanned) / float64(total)
+		if ratio >= 5 {
+			b.Fatalf("table query touched %.1f%% of frames (%d of %d), want <5%%",
+				ratio, st.FramesScanned, total)
+		}
+		b.ReportMetric(float64(st.FramesScanned), "frames-scanned")
+		b.ReportMetric(float64(st.FramesSkipped), "frames-skipped")
+		b.ReportMetric(ratio, "frames-touched-%")
+	})
+
+	b.Run("range", func(b *testing.B) {
+		b.ReportAllocs()
+		off, n := len(data)/2, 4096
+		b.SetBytes(int64(n))
+		var st *microlonys.RestoreStats
+		for i := 0; i < b.N; i++ {
+			got, s, err := microlonys.RestoreRange(arch.Volume, arch.BootstrapText, off, n,
+				microlonys.RestoreOptions{Mode: microlonys.RestoreNative})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, data[off:off+n]) {
+				b.Fatal("range restore differs from input slice")
+			}
+			st = s
+		}
+		b.ReportMetric(float64(st.FramesScanned), "frames-scanned")
+		b.ReportMetric(100*float64(st.FramesScanned)/float64(total), "frames-touched-%")
+	})
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			got, _, err := microlonys.RestoreVolume(arch.Volume, arch.BootstrapText,
+				microlonys.RestoreOptions{Mode: microlonys.RestoreNative})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				b.Fatal("full restore differs from input")
+			}
+		}
+	})
+}
+
 // ---- E11: DNA archival channel (§5 future work) -------------------------------
 
 // BenchmarkE11DNAArchival runs the DBCoder-compressed TPC-H archive

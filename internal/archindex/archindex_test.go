@@ -1,0 +1,160 @@
+package archindex
+
+import (
+	"reflect"
+	"testing"
+
+	"microlonys/internal/dbcoder"
+)
+
+func sampleIndex() *Index {
+	blocks := []dbcoder.SeekBlock{
+		{RawOff: 0, RawLen: 4096, CompOff: 40, CompLen: 1200},
+		{RawOff: 4096, RawLen: 4096, CompOff: 1240, CompLen: 1100},
+		{RawOff: 8192, RawLen: 1000, CompOff: 2340, CompLen: 400},
+	}
+	return &Index{
+		ArchiveID:   0xDEADBEEFCAFE0123,
+		Compress:    true,
+		CatalogSlot: true,
+		RawLen:      9192,
+		StreamLen:   2740,
+		SystemLen:   800,
+		GroupData:   17,
+		GroupParity: 3,
+		SheetFrames: 22,
+		Blocks:      blocks,
+		Sections: []Section{
+			{Kind: SectionTable, Name: "nation", Off: 100, Len: 2000},
+			{Kind: SectionTable, Name: "region", Off: 2100, Len: 500},
+			{Kind: SectionColumn, Name: "nation.n_name", Off: 100, Len: 2000},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	x := sampleIndex()
+	b, err := x.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, x) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, x)
+	}
+	// Emblem payloads are zero-padded to capacity; padding must be ignored.
+	padded := append(append([]byte{}, b...), make([]byte, 64)...)
+	if _, err := Parse(padded); err != nil {
+		t.Fatalf("padded parse: %v", err)
+	}
+}
+
+func TestMarshalTrimLadder(t *testing.T) {
+	x := sampleIndex()
+	full, err := x.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrinking budgets walk the ladder: columns dropped, then tables,
+	// then blocks; the core always parses.
+	prevSections, prevBlocks := len(x.Sections), len(x.Blocks)
+	for cap := len(full) - 1; cap > 0; cap /= 2 {
+		b, err := x.Marshal(cap)
+		if err != nil {
+			break // below the minimal core; tested separately
+		}
+		if len(b) > cap {
+			t.Fatalf("cap %d: marshal emitted %d bytes", cap, len(b))
+		}
+		got, err := Parse(b)
+		if err != nil {
+			t.Fatalf("cap %d: parse: %v", cap, err)
+		}
+		if len(got.Sections) > prevSections || len(got.Blocks) > prevBlocks {
+			t.Fatalf("cap %d: trim ladder grew content", cap)
+		}
+		if got.ArchiveID != x.ArchiveID || got.RawLen != x.RawLen || got.GroupData != x.GroupData {
+			t.Fatalf("cap %d: core fields lost", cap)
+		}
+		prevSections, prevBlocks = len(got.Sections), len(got.Blocks)
+	}
+
+	// First trim level: columns go, tables stay.
+	tablesOnly := x.marshal(flagBlocks|flagSections, filterSections(x.Sections, SectionTable))
+	got, err := Parse(tablesOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sections) != 2 || got.Sections[0].Kind != SectionTable {
+		t.Fatalf("tables-only trim: %+v", got.Sections)
+	}
+
+	if _, err := x.Marshal(4); err == nil {
+		t.Fatal("capacity 4: want error for unfittable core")
+	}
+}
+
+func TestLookupAndTables(t *testing.T) {
+	x := sampleIndex()
+	if s, ok := x.Lookup("nation"); !ok || s.Kind != SectionTable || s.Len != 2000 {
+		t.Fatalf("Lookup(nation) = %+v, %v", s, ok)
+	}
+	if s, ok := x.Lookup("nation.n_name"); !ok || s.Kind != SectionColumn {
+		t.Fatalf("Lookup(nation.n_name) = %+v, %v", s, ok)
+	}
+	if _, ok := x.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+	if got := x.Tables(); !reflect.DeepEqual(got, []string{"nation", "region"}) {
+		t.Fatalf("Tables() = %v", got)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	x := sampleIndex()
+	b, err := x.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("MOIY\x01"),
+		"bad version": append([]byte("MOIX\x63"), b[5:]...),
+		"truncated":   b[:len(b)/2],
+	}
+	for i := 5; i < len(b); i += 7 {
+		c := append([]byte{}, b...)
+		c[i] ^= 0x80
+		cases["bit flip"] = c
+		if _, err := Parse(c); err == nil {
+			t.Errorf("bit flip at %d accepted", i)
+		}
+	}
+	for name, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRawArchiveIndex(t *testing.T) {
+	x := &Index{
+		ArchiveID: 7, RawLen: 5000, StreamLen: 5000,
+		GroupData: 17, GroupParity: 3,
+	}
+	b, err := x.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, x) {
+		t.Fatalf("raw round trip mismatch:\n got %+v\nwant %+v", got, x)
+	}
+}

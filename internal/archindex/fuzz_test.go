@@ -1,0 +1,109 @@
+package archindex
+
+import (
+	"reflect"
+	"testing"
+
+	"microlonys/internal/dbcoder"
+)
+
+// FuzzParse feeds malformed index payloads to Parse: truncated, bit
+// flipped or arbitrary input must error or yield a self-consistent index,
+// never panic. This is the restore side's safety contract — a damaged
+// index slot must degrade to the full-restore fallback, not crash.
+func FuzzParse(f *testing.F) {
+	x := sampleIndex()
+	valid, _ := x.Marshal(0)
+	f.Add([]byte{})
+	f.Add([]byte("MOIX"))
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add(valid[:len(valid)/2])
+	for _, off := range []int{4, 5, 9, len(valid) - 1} {
+		c := append([]byte{}, valid...)
+		c[off] ^= 0xFF
+		f.Add(c)
+	}
+	// An uncompressed-looking body: MOIX header over raw DBC1 garbage.
+	f.Add(append([]byte("MOIX\x01DBC1"), []byte{0, 0, 0, 64, 1, 2, 3, 4, 5, 6, 7, 8}...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := Parse(b)
+		if err != nil {
+			if got != nil {
+				t.Fatalf("error %v with non-nil index", err)
+			}
+			return
+		}
+		// Accepted indexes must satisfy the invariants restore relies on.
+		if got.RawLen < 0 || got.GroupData <= 0 || got.GroupData > 255 {
+			t.Fatalf("accepted implausible geometry: %+v", got)
+		}
+		for _, s := range got.Sections {
+			if s.Off < 0 || s.Len < 0 || s.Off+s.Len > got.RawLen {
+				t.Fatalf("accepted out-of-range section: %+v", s)
+			}
+		}
+		rawOff := 0
+		for _, blk := range got.Blocks {
+			if blk.RawOff != rawOff || blk.RawLen < 0 || blk.CompOff < 0 ||
+				blk.CompOff+blk.CompLen > got.StreamLen {
+				t.Fatalf("accepted inconsistent block: %+v", blk)
+			}
+			rawOff += blk.RawLen
+		}
+		if len(got.Blocks) > 0 && rawOff != got.RawLen {
+			t.Fatalf("accepted blocks covering %d of %d raw bytes", rawOff, got.RawLen)
+		}
+	})
+}
+
+// FuzzRoundTrip pins Marshal→Parse equality for arbitrary geometry under
+// arbitrary capacity budgets.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), true, 5000, 1200, 100, 17, 3, 22, 0)
+	f.Add(uint64(0), false, 0, 0, 0, 1, 0, 0, 100)
+	f.Add(uint64(1<<63), true, 1<<20, 1<<18, 1<<10, 255, 255, 65535, 669)
+
+	f.Fuzz(func(t *testing.T, id uint64, compress bool, rawLen, streamLen, sysLen, gd, gp, sf, capacity int) {
+		if rawLen < 0 || streamLen < 0 || sysLen < 0 || sf < 0 ||
+			gd <= 0 || gd > 255 || gp < 0 || gp > 255 {
+			t.Skip()
+		}
+		x := &Index{
+			ArchiveID: id, Compress: compress, RawLen: rawLen,
+			StreamLen: streamLen, SystemLen: sysLen,
+			GroupData: gd, GroupParity: gp, SheetFrames: sf,
+		}
+		if rawLen >= 10 {
+			x.Sections = []Section{{Kind: SectionTable, Name: "t", Off: 1, Len: rawLen - 2}}
+			if compress && streamLen >= 8 {
+				x.Blocks = []dbcoder.SeekBlock{
+					{RawOff: 0, RawLen: rawLen, CompOff: 4, CompLen: streamLen - 4},
+				}
+			}
+		}
+		b, err := x.Marshal(capacity)
+		if err != nil {
+			return // budget below the core; acceptable
+		}
+		if capacity > 0 && len(b) > capacity {
+			t.Fatalf("marshal emitted %d bytes over capacity %d", len(b), capacity)
+		}
+		got, err := Parse(b)
+		if err != nil {
+			t.Fatalf("parse of own marshal: %v", err)
+		}
+		if got.ArchiveID != x.ArchiveID || got.RawLen != x.RawLen ||
+			got.StreamLen != x.StreamLen || got.SystemLen != x.SystemLen ||
+			got.GroupData != x.GroupData || got.GroupParity != x.GroupParity ||
+			got.SheetFrames != x.SheetFrames || got.Compress != x.Compress {
+			t.Fatalf("core fields mismatch:\n got %+v\nwant %+v", got, x)
+		}
+		if full, err := x.Marshal(0); err == nil {
+			if whole, err := Parse(full); err != nil || !reflect.DeepEqual(whole, x) {
+				t.Fatalf("unbudgeted round trip mismatch (%v):\n got %+v\nwant %+v", err, whole, x)
+			}
+		}
+	})
+}

@@ -147,6 +147,10 @@ type Document struct {
 	// sheet for a self-describing catalog emblem (internal/catalog), which
 	// the restore assembler must skip when locating outer-code groups.
 	Catalog bool
+	// Index records that the volume reserves a frame on every sheet (after
+	// the catalog slot, when present) for a selective-restore index emblem
+	// (internal/archindex), likewise skipped by the group assembler.
+	Index bool
 
 	Pseudocode      string
 	EmulatorLetters string // DynaRisc emulator (VeRisc instruction stream)
@@ -190,6 +194,10 @@ func (d *Document) Render() string {
 		// Emitted only when set so pre-catalog documents render unchanged;
 		// Parse has always ignored unknown keys, so old readers skip it.
 		fmt.Fprintf(&b, "catalog=1\n")
+	}
+	if d.Index {
+		// Same compatibility story as catalog=1 above.
+		fmt.Fprintf(&b, "index=1\n")
 	}
 	b.WriteString("\n" + markEmulator + "\n")
 	b.WriteString(wrap(d.EmulatorLetters, 64))
@@ -261,6 +269,8 @@ func Parse(text string) (*Document, error) {
 				fmt.Sscan(v, &d.GroupParity)
 			case "catalog":
 				d.Catalog = v == "1"
+			case "index":
+				d.Index = v == "1"
 			}
 		}
 	}

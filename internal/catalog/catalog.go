@@ -77,6 +77,18 @@ type Catalog struct {
 	Sheets       []SheetRange // volume inventory (may be trimmed)
 	Groups       []GroupSum   // per-group checksums, indexed by id (may be trimmed)
 	Replica      []byte       // compressed bootstrap essentials (may be trimmed)
+
+	// IndexSlot records that every sheet reserves a selective-restore
+	// index slot right after its catalog slot — salvage needs the reserved
+	// count to map local frame positions back to planner indices. Carried
+	// in a flag bit, so catalogs of index-free volumes are byte-identical
+	// to pre-index ones.
+	IndexSlot bool
+	// IndexReplica is the marshalled selective-restore index
+	// (internal/archindex, already compressed), so salvage can answer
+	// range queries from a surviving catalog even when every dedicated
+	// index frame is lost. First in line for trimming.
+	IndexReplica []byte
 }
 
 const (
@@ -87,6 +99,8 @@ const (
 	flagGroups       = 1 << 1
 	flagReplica      = 1 << 2
 	flagInstructions = 1 << 3
+	flagIndexSlot    = 1 << 4 // no payload: records the reserved index slot
+	flagIndexReplica = 1 << 5
 )
 
 // ErrCatalog reports an unreadable or oversized catalog.
@@ -108,16 +122,18 @@ func Instructions() string {
 
 // AppendMarshal serialises the catalog without a size budget.
 func (c *Catalog) AppendMarshal(b []byte) []byte {
-	out, _ := c.marshal(b, flagSheets|flagGroups|flagReplica|flagInstructions)
+	out, _ := c.marshal(b, flagSheets|flagGroups|flagReplica|flagInstructions|flagIndexReplica)
 	return out
 }
 
 // Marshal serialises the catalog into at most capacity bytes, trimming
-// optional sections — replica, then instructions, then group checksums,
-// then the sheet inventory — until it fits. capacity <= 0 means no limit.
-// An error means even the fixed identity core exceeds the budget.
+// optional sections — index replica first, then the bootstrap replica,
+// instructions, group checksums, and the sheet inventory — until it fits.
+// capacity <= 0 means no limit. An error means even the fixed identity
+// core exceeds the budget.
 func (c *Catalog) Marshal(capacity int) ([]byte, error) {
 	trims := []uint8{
+		flagSheets | flagGroups | flagReplica | flagInstructions | flagIndexReplica,
 		flagSheets | flagGroups | flagReplica | flagInstructions,
 		flagSheets | flagGroups | flagInstructions,
 		flagSheets | flagGroups,
@@ -149,6 +165,12 @@ func (c *Catalog) marshal(b []byte, flags uint8) ([]byte, error) {
 	}
 	if c.Instructions == "" {
 		flags &^= flagInstructions
+	}
+	if len(c.IndexReplica) == 0 {
+		flags &^= flagIndexReplica
+	}
+	if c.IndexSlot {
+		flags |= flagIndexSlot // orthogonal to the trim ladder
 	}
 	if len(c.ProfileName) > 255 {
 		return nil, fmt.Errorf("catalog: profile name of %d bytes", len(c.ProfileName))
@@ -194,6 +216,10 @@ func (c *Catalog) marshal(b []byte, flags uint8) ([]byte, error) {
 	if flags&flagReplica != 0 {
 		b = appendU32(b, uint32(len(c.Replica)))
 		b = append(b, c.Replica...)
+	}
+	if flags&flagIndexReplica != 0 {
+		b = appendU32(b, uint32(len(c.IndexReplica)))
+		b = append(b, c.IndexReplica...)
 	}
 	b = appendU32(b, crc32.ChecksumIEEE(b[start:]))
 	return b, nil
@@ -259,6 +285,14 @@ func Parse(b []byte) (*Catalog, error) {
 			return nil, fmt.Errorf("%w: replica of %d bytes", ErrCatalog, n)
 		}
 		c.Replica = append([]byte(nil), r.take(n)...)
+	}
+	c.IndexSlot = flags&flagIndexSlot != 0
+	if flags&flagIndexReplica != 0 {
+		n := int(r.u32())
+		if n < 0 || n > len(r.b) {
+			return nil, fmt.Errorf("%w: index replica of %d bytes", ErrCatalog, n)
+		}
+		c.IndexReplica = append([]byte(nil), r.take(n)...)
 	}
 	sum := r.u32()
 	if r.err {
@@ -342,6 +376,7 @@ func (c *Catalog) BootstrapDoc() (*bootstrap.Document, error) {
 	}
 	doc := bootstrap.New(c.ProfileName, c.Layout, c.GroupData, c.GroupParity, emu, mo)
 	doc.Catalog = true
+	doc.Index = c.IndexSlot
 	return doc, nil
 }
 

@@ -1,0 +1,47 @@
+package columnar
+
+import (
+	"testing"
+
+	"microlonys/internal/sqldump"
+	"microlonys/tpch"
+)
+
+func TestColumnSections(t *testing.T) {
+	db := tpch.Generate(0.002, 7)
+	dump := sqldump.Dump(db)
+	secs, err := ColumnSections(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := 0
+	for _, tb := range db.Tables {
+		wantCols += len(tb.Columns)
+	}
+	if len(secs) != wantCols {
+		t.Fatalf("%d column sections, want %d", len(secs), wantCols)
+	}
+	// Agreement with sqldump's table extents: every column covers exactly
+	// its table's rows region.
+	tables, err := sqldump.Sections(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]sqldump.Section{}
+	for _, s := range tables {
+		byName[s.Table] = s
+	}
+	for _, c := range secs {
+		ts, ok := byName[c.Table]
+		if !ok {
+			t.Fatalf("column %s.%s names unknown table", c.Table, c.Column)
+		}
+		if c.Off != ts.Off || c.Len != ts.Len {
+			t.Fatalf("%s.%s extent (%d,%d) != table extent (%d,%d)",
+				c.Table, c.Column, c.Off, c.Len, ts.Off, ts.Len)
+		}
+	}
+	if _, err := ColumnSections([]byte("nothing\n")); err == nil {
+		t.Fatal("want error for table-free input")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"microlonys/dynarisc"
+	"microlonys/internal/archindex"
 	"microlonys/internal/bootstrap"
 	"microlonys/internal/catalog"
 	"microlonys/internal/dbcoder"
@@ -17,6 +18,7 @@ import (
 	"microlonys/internal/emblem"
 	"microlonys/internal/mocoder"
 	"microlonys/internal/nested"
+	"microlonys/internal/sqldump"
 	"microlonys/media"
 	"microlonys/raster"
 	"microlonys/verisc"
@@ -125,9 +127,10 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d",
 			opts.SheetFrames, opts.GroupData, opts.GroupParity)
 	}
-	if opts.Catalog && opts.SheetFrames > 0 && opts.SheetFrames < opts.GroupData+opts.GroupParity+1 {
-		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d plus the catalog slot",
-			opts.SheetFrames, opts.GroupData, opts.GroupParity)
+	if reserved := boolInt(opts.Catalog) + boolInt(opts.Index); reserved > 0 && opts.SheetFrames > 0 &&
+		opts.SheetFrames < opts.GroupData+opts.GroupParity+reserved {
+		return nil, fmt.Errorf("core: sheet capacity %d below group size %d+%d plus %d reserved slots",
+			opts.SheetFrames, opts.GroupData, opts.GroupParity, reserved)
 	}
 	layout := opts.Profile.Layout
 	capacity := mocoder.Capacity(layout)
@@ -139,6 +142,8 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	// the archived DBDecode instruction stream (system emblems).
 	p := &planner{opts: opts, capacity: capacity}
 	var sections []archiveSection
+	var idxBlocks []dbcoder.SeekBlock
+	var idxSections []archindex.Section
 	if opts.Compress {
 		data, err := io.ReadAll(r)
 		if err != nil {
@@ -148,7 +153,34 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 		if depth <= 0 {
 			depth = dbcoder.DefaultDepth
 		}
-		stream := dbcoder.CompressDepth(data, depth)
+		var stream []byte
+		if opts.Index {
+			// Indexed archives use the seekable container: independently
+			// decodable restart blocks whose raw/compressed extents the
+			// index records, so a range query decompresses only the blocks
+			// it overlaps.
+			blockBytes := opts.IndexBlockBytes
+			if blockBytes <= 0 {
+				// Default: about one outer-code group of compressed
+				// payload per block, but never more block-table entries
+				// than the index frame can carry alongside its section
+				// table (~16 raw bytes per entry against one frame's
+				// capacity), or the trim ladder would drop the sections.
+				blockBytes = opts.GroupData * capacity
+				if maxBlocks := capacity / 16; maxBlocks > 0 {
+					if minBytes := (len(data) + maxBlocks - 1) / maxBlocks; blockBytes < minBytes {
+						blockBytes = minBytes
+					}
+				}
+			}
+			stream = dbcoder.CompressSeekableDepth(data, depth, blockBytes)
+			if bl, err := dbcoder.SeekTable(stream); err == nil {
+				idxBlocks = bl
+			}
+			idxSections = namedSections(data)
+		} else {
+			stream = dbcoder.CompressDepth(data, depth)
+		}
 		p.man.RawLen = len(data)
 		p.man.StreamLen = len(stream)
 
@@ -162,6 +194,17 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 			{emblem.KindData, bytes.NewReader(stream), len(stream)},
 			{emblem.KindSystem, bytes.NewReader(sys), len(sys)},
 		}
+	} else if opts.Index {
+		// Section discovery needs the bytes in hand; raw indexed archives
+		// buffer the input like compressed ones do.
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading input: %w", err)
+		}
+		idxSections = namedSections(data)
+		p.man.RawLen = len(data)
+		p.man.StreamLen = len(data)
+		sections = []archiveSection{{emblem.KindRaw, bytes.NewReader(data), len(data)}}
 	} else {
 		total, rr, err := readerLen(r)
 		if err != nil {
@@ -184,6 +227,11 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	vol := media.NewVolume(opts.Profile, opts.SheetFrames)
 	if opts.Catalog {
 		if err := vol.EnableCatalog(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if opts.Index {
+		if err := vol.EnableIndex(); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -218,14 +266,51 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	p.man.TotalFrames = p.frameIdx
 	p.man.Sheets = vol.Sheets()
 
+	// The deterministic archive identity both the catalog and the index
+	// carry; computable only once every group checksum is collected.
+	if opts.Catalog || opts.Index {
+		p.man.ArchiveID = archiveID(p.opts, p.man, p.sums)
+	}
+
+	// Indexed volumes: marshal the selective-restore index once — block
+	// and section tables are final after placement — so the catalog can
+	// carry a replica and every sheet's index slot the same payload.
+	var indexPayload []byte
+	if opts.Index {
+		x := &archindex.Index{
+			ArchiveID:   p.man.ArchiveID,
+			Compress:    opts.Compress,
+			CatalogSlot: opts.Catalog,
+			RawLen:      p.man.RawLen,
+			StreamLen:   p.man.StreamLen,
+			SystemLen:   p.man.SystemLen,
+			GroupData:   opts.GroupData,
+			GroupParity: opts.GroupParity,
+			SheetFrames: opts.SheetFrames,
+			Blocks:      idxBlocks,
+			Sections:    idxSections,
+		}
+		var err error
+		if indexPayload, err = x.Marshal(capacity); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
 	// Catalog volumes: with every group placed the inventory is complete,
 	// so render each sheet's catalog emblem and back-patch the reserved
 	// slot 0 (byte-identical to having written it in sequence).
 	if opts.Catalog {
-		if err := p.fillCatalogs(vol, capacity, &scratch[0]); err != nil {
+		if err := p.fillCatalogs(vol, capacity, &scratch[0], indexPayload); err != nil {
 			return nil, err
 		}
 		p.man.CatalogFrames = vol.Sheets()
+		p.man.TotalFrames += vol.Sheets()
+	}
+	if opts.Index {
+		if err := p.fillIndexes(vol, indexPayload, &scratch[0]); err != nil {
+			return nil, err
+		}
+		p.man.IndexFrames = vol.Sheets()
 		p.man.TotalFrames += vol.Sheets()
 	}
 
@@ -236,6 +321,7 @@ func CreateArchiveStream(r io.Reader, opts Options) (*Archived, error) {
 	}
 	doc := bootstrap.New(opts.Profile.Name, layout, opts.GroupData, opts.GroupParity, emu, mo)
 	doc.Catalog = opts.Catalog
+	doc.Index = opts.Index
 
 	arch := &Archived{
 		Volume:        vol,
@@ -304,7 +390,7 @@ func (p *planner) section(kind emblem.Kind, r io.Reader, total int, emit func(gr
 		if err != nil {
 			return fmt.Errorf("core: group parity: %w", err)
 		}
-		if p.opts.Catalog {
+		if p.opts.Catalog || p.opts.Index {
 			p.sums = append(p.sums, catalog.GroupSum{
 				Kind: kind, Data: uint8(g), Parity: uint8(len(parity)),
 				CRC: catalog.GroupCRC(padded),
@@ -541,7 +627,7 @@ func orBackground(ctx context.Context) context.Context {
 // identity, inventory, checksums, bootstrap replica — and back-patches
 // each sheet's reserved slot 0. Runs after placement, when the whole
 // inventory is known; serial, on the caller's goroutine.
-func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScratch) error {
+func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScratch, indexPayload []byte) error {
 	emu, mo, _, err := archivedPrograms()
 	if err != nil {
 		return err
@@ -567,11 +653,10 @@ func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScra
 		sheets[s].Groups++
 	}
 
-	p.man.ArchiveID = archiveID(p.opts, p.man, p.sums)
 	c := &catalog.Catalog{
 		ArchiveID:    p.man.ArchiveID,
 		SheetCount:   vol.Sheets(),
-		TotalFrames:  p.frameIdx + vol.Sheets(),
+		TotalFrames:  p.frameIdx + vol.Sheets()*vol.ReservedSlots(),
 		TotalGroups:  p.groupID,
 		GroupData:    p.opts.GroupData,
 		GroupParity:  p.opts.GroupParity,
@@ -585,6 +670,8 @@ func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScra
 		Sheets:       sheets,
 		Groups:       p.sums,
 		Replica:      replica,
+		IndexSlot:    p.opts.Index,
+		IndexReplica: indexPayload,
 	}
 	for s := 0; s < vol.Sheets(); s++ {
 		c.Sheet = s
@@ -610,6 +697,63 @@ func (p *planner) fillCatalogs(vol *media.Volume, capacity int, scratch *encScra
 		}
 	}
 	return nil
+}
+
+// fillIndexes renders the selective-restore index emblem — the same
+// payload on every sheet, so any single surviving sheet can answer a
+// range query — and back-patches each sheet's reserved index slot. Runs
+// after placement, when the block and section tables and the archive
+// identity are final; serial, on the caller's goroutine.
+func (p *planner) fillIndexes(vol *media.Volume, payload []byte, scratch *encScratch) error {
+	for s := 0; s < vol.Sheets(); s++ {
+		hdr := emblem.Header{
+			Kind:    emblem.KindIndex,
+			Index:   uint16(s),
+			Total:   uint16(vol.Sheets()),
+			GroupID: emblem.IndexGroupID,
+			// GroupData 0 marks the frame as belonging to no outer-code
+			// group; the assembler consumes it out-of-band.
+			TotalLen: uint32(len(payload)),
+		}
+		img, err := scratch.enc.Encode(payload, hdr, p.opts.Profile.Layout)
+		if err != nil {
+			return fmt.Errorf("core: encoding index emblem: %w", err)
+		}
+		if err := vol.FillIndex(s, img); err != nil {
+			return fmt.Errorf("core: placing index emblem: %w", err)
+		}
+	}
+	return nil
+}
+
+// namedSections derives the index's named byte ranges from the raw
+// archive: one table section per SQL-dump COPY block plus one column
+// section per column. A column's extent is the minimal contiguous cover —
+// its table's whole rows region, since row-major dumps interleave
+// columns. Input that is not a SQL dump simply yields no named sections;
+// range queries still work, table queries fall back to a full restore.
+func namedSections(data []byte) []archindex.Section {
+	secs, err := sqldump.Sections(data)
+	if err != nil {
+		return nil
+	}
+	var out []archindex.Section
+	for _, s := range secs {
+		out = append(out, archindex.Section{Kind: archindex.SectionTable, Name: s.Table, Off: s.Off, Len: s.Len})
+	}
+	for _, s := range secs {
+		for _, c := range s.Columns {
+			out = append(out, archindex.Section{Kind: archindex.SectionColumn, Name: s.Table + "." + c, Off: s.Off, Len: s.Len})
+		}
+	}
+	return out
+}
+
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // archiveID derives the deterministic archive identity rendered into

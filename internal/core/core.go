@@ -95,6 +95,25 @@ type Options struct {
 	// GroupData+GroupParity+1 frames of capacity.
 	Catalog bool
 
+	// Index reserves one more frame per sheet for a selective-restore
+	// index emblem (internal/archindex) mapping logical archive bytes to
+	// physical volume extents: RestoreRange and RestoreTable consult it to
+	// scan and decode only the groups a query touches. Compressed archives
+	// switch to the DBS1 seekable container (independently decodable
+	// restart blocks) so a byte range can be decompressed without the rest
+	// of the stream. Off by default — index-free volumes stay
+	// byte-identical to previous releases. The index slot counts against
+	// SheetFrames like the catalog slot.
+	Index bool
+
+	// IndexBlockBytes sets the DBS1 restart-block size for indexed
+	// compressed archives. 0 selects one group's worth of payload bytes
+	// (GroupData × frame capacity), widened when needed so the block
+	// table still fits a single index frame next to the section table.
+	// Smaller blocks tighten the set of groups a range query must
+	// decode; larger blocks compress better.
+	IndexBlockBytes int
+
 	// Context, when non-nil, cancels the archive pipeline: planning stops
 	// at the next group boundary, in-flight encodes drain, and
 	// CreateArchive returns the context's error. Nil means no external
@@ -151,6 +170,10 @@ type Manifest struct {
 	// catalog frames written (one per sheet).
 	ArchiveID     uint64
 	CatalogFrames int
+
+	// IndexFrames is the number of selective-restore index emblems written
+	// (Options.Index: one per sheet).
+	IndexFrames int
 }
 
 // Archived is the result of CreateArchive.
@@ -210,6 +233,19 @@ type RestoreStats struct {
 	CatalogFrames    int
 	GroupsVerified   int
 	GroupsMismatched int
+
+	// Selective-restore tallies (RestoreRange/RestoreTable/ListIndex).
+	// FramesSkipped counts volume frames the query never scanned —
+	// FramesScanned + FramesSkipped equals the volume's frame count on a
+	// successful indexed query. GroupsDecoded counts outer-code groups the
+	// query assembled. IndexFrames counts index emblems consumed (full
+	// restores also tally the ones they pass over). IndexFallbacks counts
+	// queries that fell back to a full restore because no usable index was
+	// readable.
+	FramesSkipped  int
+	GroupsDecoded  int
+	IndexFrames    int
+	IndexFallbacks int
 
 	// Per-sheet and per-group recovery detail, indexed by sheet and in
 	// group order respectively. Identical at any worker count.

@@ -115,18 +115,22 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		}
 	}
 
-	// Catalog volumes (declared by the Bootstrap's catalog=1): slot 0 of
-	// every sheet is a catalog frame the group assembler must treat as
-	// out-of-band — it belongs to no group and its loss is not a data loss.
+	// Reserved-slot volumes (declared by the Bootstrap's catalog=1 /
+	// index=1): the leading frames of every sheet are out-of-band catalog
+	// and index emblems the group assembler must treat as no group's
+	// members — their loss is not a data loss.
 	var catSlot []bool
-	if doc.Catalog {
+	if reserved := boolInt(doc.Catalog) + boolInt(doc.Index); reserved > 0 {
 		catSlot = make([]bool, n)
 		for s := 0; s < v.Sheets(); s++ {
-			if m, _ := v.Sheet(s); m == nil || m.FrameCount() == 0 {
+			m, _ := v.Sheet(s)
+			if m == nil || m.FrameCount() == 0 {
 				continue
 			}
 			start, _ := v.SheetStart(s)
-			catSlot[start] = true
+			for j := 0; j < reserved && j < m.FrameCount(); j++ {
+				catSlot[start+j] = true
+			}
 		}
 	}
 
@@ -245,13 +249,7 @@ func decompressTail(w io.Writer, asm *assembler, mode Mode) error {
 		if err != nil {
 			return fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
 		}
-		if out, err = runDBDecode(dbProg, blob, mode); err != nil {
-			return fmt.Errorf("%w: %v", ErrRestore, err)
-		}
-		// The archived decoder skips the trailing CRC; check its output
-		// against the length and checksum in the archive header — a
-		// mismatch is a restoration failure, never data to hand back.
-		if err := verifyDBDecodeOutput(blob, out); err != nil {
+		if out, err = emulatedDecompress(dbProg, blob, mode); err != nil {
 			return err
 		}
 	}
@@ -362,6 +360,14 @@ func (a *assembler) consume(i int, res *frameResult) error {
 				a.sums = c.Groups
 			}
 		}
+		return nil
+	}
+
+	// Index frames are likewise out-of-band: the selective-restore index
+	// serves RestoreRange/RestoreTable queries, not a full restore — here
+	// it only needs to stay clear of the group state machine.
+	if ok && res.hdr.Kind == emblem.KindIndex {
+		a.st.IndexFrames++
 		return nil
 	}
 
@@ -710,6 +716,42 @@ func (a *assembler) sink(k emblem.Kind) *kindSink {
 	s := &kindSink{w: w, total: -1}
 	a.sinks[k] = s
 	return s
+}
+
+// emulatedDecompress runs the archived DBDecode program over the
+// assembled compressed stream. The archived decoder reads one standalone
+// DBCoder archive; seekable (DBS1) streams — what indexed archives write —
+// are its restart blocks run back to back, so the emulated path decodes
+// them block by block through the same program, exactly as the index's
+// recovery instructions direct a future user to. The concatenated output
+// is verified against the container's whole-stream length and checksum.
+func emulatedDecompress(dbProg *dynarisc.Program, blob []byte, mode Mode) ([]byte, error) {
+	var out []byte
+	if dbcoder.IsSeekable(blob) {
+		blocks, err := dbcoder.SeekTable(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		}
+		for _, b := range blocks {
+			part, err := runDBDecode(dbProg, blob[b.CompOff:b.CompOff+b.CompLen], mode)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+			}
+			out = append(out, part...)
+		}
+	} else {
+		var err error
+		if out, err = runDBDecode(dbProg, blob, mode); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		}
+	}
+	// The archived decoder skips the trailing CRC; check its output
+	// against the length and checksum in the archive header — a mismatch
+	// is a restoration failure, never data to hand back.
+	if err := verifyDBDecodeOutput(blob, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // verifyDBDecodeOutput validates the emulated decompressor's output

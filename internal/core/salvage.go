@@ -66,6 +66,7 @@ type SalvageReport struct {
 	SheetsUnidentified int   // bag sheets with no readable catalog or frame headers
 
 	CatalogFrames        int  // catalog emblems that decoded and parsed
+	IndexFrames          int  // selective-restore index emblems that decoded
 	CatalogUsed          bool // a catalog supplied inventory, checksums or identity
 	BootstrapRecovered   bool // the catalog replica rebuilt the full Bootstrap document
 	BootstrapFromCatalog bool // the rebuilt Bootstrap's programs executed the restore (emulated modes)
@@ -194,9 +195,21 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 		rep.SheetCount = best.SheetCount
 	}
 
+	// Index volumes reserve one more leading slot per sheet. The catalog
+	// records the reservation; without one the surviving index frames
+	// themselves reveal it (their decoded headers say KindIndex).
+	indexOn := catalogOn && best.IndexSlot
+	for i := range results {
+		if results[i].decoded && results[i].hdr.Kind == emblem.KindIndex {
+			rep.IndexFrames++
+			indexOn = true
+		}
+	}
+	reserved := boolInt(catalogOn) + boolInt(indexOn)
+
 	// Resolve every sheet's planner offset and ordinal from the catalog
 	// inventory where the vote is silent, then dedupe copies.
-	kept, dup, unid := resolveAndDedupe(bag, best)
+	kept, dup, unid := resolveAndDedupe(bag, best, reserved)
 	rep.SheetsDuplicate = dup
 	rep.SheetsUnidentified = unid
 
@@ -204,9 +217,9 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 	// without one it is the furthest frame any kept sheet reaches.
 	nTotal := 0
 	if catalogOn {
-		nTotal = best.TotalFrames - best.SheetCount
+		nTotal = best.TotalFrames - best.SheetCount*reserved
 	}
-	planner := placeFrames(kept, frames, results, sheets, catalogOn, &nTotal)
+	planner := placeFrames(kept, frames, results, sheets, reserved, &nTotal)
 	if nTotal <= 0 {
 		return rep, fmt.Errorf("%w: no readable frames", ErrRestore)
 	}
@@ -273,7 +286,7 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 		if redoErr != nil {
 			return rep, fmt.Errorf("%w: %w", ErrRestore, redoErr)
 		}
-		planner = placeFrames(kept, frames, results, sheets, catalogOn, &nTotal)
+		planner = placeFrames(kept, frames, results, sheets, reserved, &nTotal)
 	} else if best != nil {
 		if _, err := best.BootstrapDoc(); err == nil {
 			rep.BootstrapRecovered = true
@@ -288,6 +301,7 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 	}
 	st := &RestoreStats{Mode: opts.Mode, Sheets: make([]SheetReport, numSheets)}
 	st.CatalogFrames = rep.CatalogFrames
+	st.IndexFrames = rep.IndexFrames
 	asm := &assembler{
 		st:          st,
 		capacity:    capacity,
@@ -295,7 +309,7 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 		partial:     true,
 		out:         w,
 		sinks:       map[emblem.Kind]*kindSink{},
-		sheetOf:     plannerSheetOf(nTotal, numSheets, kept, best),
+		sheetOf:     plannerSheetOf(nTotal, numSheets, kept, best, reserved),
 		zeros:       make([]byte, capacity),
 		lastClosed:  -1,
 	}
@@ -344,6 +358,9 @@ func identifySheets(sheets []*media.Medium, frames []bagFrame, results []frameRe
 				}
 			}
 			continue
+		}
+		if res.hdr.Kind == emblem.KindIndex {
+			continue // out-of-band: its header Index is a sheet ordinal, not a planner position
 		}
 		votes[bf.sheet][int(res.hdr.Index)-bf.local]++
 	}
@@ -400,16 +417,18 @@ func better(c, than *catalog.Catalog) bool {
 // planner position, keeping the copy with the most readable frames
 // (ties: the earlier bag position). Returns the kept sheets, the number
 // of discarded duplicates, and the number of unidentifiable sheets.
-func resolveAndDedupe(bag []*bagSheet, best *catalog.Catalog) (kept []*bagSheet, dup, unid int) {
+func resolveAndDedupe(bag []*bagSheet, best *catalog.Catalog, reserved int) (kept []*bagSheet, dup, unid int) {
 	for _, bs := range bag {
 		if bs.hasOff {
 			continue
 		}
 		// A sheet whose catalog survived but whose data frames all failed:
-		// the inventory places it. On catalog volumes planner(j) = v+j with
-		// the catalog itself at j=0, so v = startFrame - ordinal - 1.
+		// the inventory places it. On reserved-slot volumes planner(j) =
+		// v+j with the sheet's `reserved` leading slots (catalog, index)
+		// outside the planner space, so v = startFrame - ordinal*reserved
+		// - reserved.
 		if bs.cat != nil && bs.ordinal >= 0 && bs.ordinal < len(bs.cat.Sheets) {
-			bs.offset = bs.cat.Sheets[bs.ordinal].StartFrame - bs.ordinal - 1
+			bs.offset = bs.cat.Sheets[bs.ordinal].StartFrame - bs.ordinal*reserved - reserved
 			bs.hasOff = true
 		}
 	}
@@ -421,7 +440,7 @@ func resolveAndDedupe(bag []*bagSheet, best *catalog.Catalog) (kept []*bagSheet,
 				continue
 			}
 			for s, r := range best.Sheets {
-				if r.StartFrame-s-1 == bs.offset {
+				if r.StartFrame-s*reserved-reserved == bs.offset {
 					bs.ordinal = s
 					break
 				}
@@ -487,12 +506,12 @@ func resolveAndDedupe(bag []*bagSheet, best *catalog.Catalog) (kept []*bagSheet,
 }
 
 // placeFrames lays every kept sheet's decoded frames into the global
-// planner frame space (catalog slots excluded — they are scan-space
-// artifacts). Slots covered by a present sheet are marked scanned even
-// when their frame failed to decode, so the loss ledger distinguishes
-// damaged-but-present from absent. nTotal grows to fit when the catalog
-// did not state it.
-func placeFrames(kept []*bagSheet, frames []bagFrame, results []frameResult, sheets []*media.Medium, catalogOn bool, nTotal *int) []frameResult {
+// planner frame space (catalog and index slots excluded — they are
+// scan-space artifacts). Slots covered by a present sheet are marked
+// scanned even when their frame failed to decode, so the loss ledger
+// distinguishes damaged-but-present from absent. nTotal grows to fit when
+// the catalog did not state it.
+func placeFrames(kept []*bagSheet, frames []bagFrame, results []frameResult, sheets []*media.Medium, reserved int, nTotal *int) []frameResult {
 	keptSet := map[int]*bagSheet{}
 	for _, ks := range kept {
 		if ks.hasOff {
@@ -501,10 +520,8 @@ func placeFrames(kept []*bagSheet, frames []bagFrame, results []frameResult, she
 	}
 	// Size first: the furthest planner index any placed sheet reaches.
 	for _, ks := range keptSet {
-		end := ks.offset + ks.frames
-		if catalogOn {
-			end-- // local 0 is the catalog slot, not a planner frame
-		}
+		// The leading reserved slots are not planner frames.
+		end := ks.offset + ks.frames - reserved
 		if end > *nTotal {
 			*nTotal = end
 		}
@@ -519,14 +536,11 @@ func placeFrames(kept []*bagSheet, frames []bagFrame, results []frameResult, she
 			continue
 		}
 		res := &results[i]
-		if res.decoded && res.hdr.Kind == emblem.KindCatalog {
+		if res.decoded && (res.hdr.Kind == emblem.KindCatalog || res.hdr.Kind == emblem.KindIndex) {
 			continue
 		}
-		j0 := 0
-		if catalogOn {
-			j0 = 1 // skip the catalog slot even when it failed to decode
-		}
-		if bf.local < j0 {
+		// Skip the reserved slots even when they failed to decode.
+		if bf.local < reserved {
 			continue
 		}
 		pi := ks.offset + bf.local
@@ -550,7 +564,8 @@ func groupParityOf(best *catalog.Catalog, results []frameResult) int {
 	}
 	votes := map[int]int{}
 	for i := range results {
-		if results[i].decoded && results[i].hdr.Kind != emblem.KindCatalog {
+		if results[i].decoded && results[i].hdr.Kind != emblem.KindCatalog &&
+			results[i].hdr.Kind != emblem.KindIndex {
 			votes[int(results[i].hdr.GroupParity)]++
 		}
 	}
@@ -566,7 +581,7 @@ func groupParityOf(best *catalog.Catalog, results []frameResult) int {
 // plannerSheetOf maps planner frame indices to original sheet ordinals
 // for the per-sheet ledger: exact from the catalog inventory, otherwise
 // from the kept sheets' ranges (gaps inherit the preceding sheet).
-func plannerSheetOf(n, numSheets int, kept []*bagSheet, best *catalog.Catalog) []int {
+func plannerSheetOf(n, numSheets int, kept []*bagSheet, best *catalog.Catalog, reserved int) []int {
 	sheetOf := make([]int, n)
 	for i := range sheetOf {
 		sheetOf[i] = -1
@@ -582,16 +597,16 @@ func plannerSheetOf(n, numSheets int, kept []*bagSheet, best *catalog.Catalog) [
 		}
 	}
 	if best != nil && len(best.Sheets) > 0 {
-		// Inventory ranges are in scan space (catalog slot included); the
-		// planner range of sheet s starts StartFrame-s and holds one frame
-		// fewer.
+		// Inventory ranges are in scan space (reserved slots included); the
+		// planner range of sheet s starts StartFrame-s*reserved and holds
+		// `reserved` frames fewer.
 		for s, r := range best.Sheets {
-			assign(r.StartFrame-s, r.Frames-1, s)
+			assign(r.StartFrame-s*reserved, r.Frames-reserved, s)
 		}
 	} else {
 		for _, ks := range kept {
 			if ks.hasOff {
-				assign(ks.offset, ks.frames, ks.ordinal)
+				assign(ks.offset, ks.frames-reserved, ks.ordinal)
 			}
 		}
 	}

@@ -312,8 +312,12 @@ func (m *model) emitToken(e *rangecoder.Encoder, f *lz77.Finder, src []byte, i i
 // up front.
 const maxPrealloc = 1 << 20
 
-// Decompress decodes a DBC1 archive produced by Compress.
+// Decompress decodes a DBC1 archive produced by Compress, or a seekable
+// DBS1 archive produced by CompressSeekable.
 func Decompress(blob []byte) ([]byte, error) {
+	if IsSeekable(blob) {
+		return decompressSeekable(blob)
+	}
 	if len(blob) < HeaderSize || string(blob[:4]) != Magic {
 		return nil, ErrBadMagic
 	}
@@ -389,7 +393,14 @@ func Decompress(blob []byte) ([]byte, error) {
 }
 
 // RawLen reports the decompressed size recorded in the archive header.
+// Both DBC1 and DBS1 containers record it at the same offset.
 func RawLen(blob []byte) (int, error) {
+	if IsSeekable(blob) {
+		if len(blob) < SeekHeaderSize {
+			return 0, fmt.Errorf("%w: truncated DBS1 header", ErrCorrupt)
+		}
+		return int(binary.LittleEndian.Uint32(blob[4:])), nil
+	}
 	if len(blob) < HeaderSize || string(blob[:4]) != Magic {
 		return 0, ErrBadMagic
 	}

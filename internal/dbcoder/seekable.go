@@ -1,0 +1,154 @@
+package dbcoder
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// # DBS1 container format — the seekable variant of DBC1
+//
+// A DBC1 archive is one continuous range-coded stream: the coder state at
+// byte k depends on every token before it, so decoding cannot start in the
+// middle. That is the right trade for a full restore, but selective restore
+// (RestoreRange/RestoreTable) wants to decompress only the spans that
+// overlap the requested bytes. DBS1 keeps the token format untouched and
+// adds restart points *around* it: the raw input is cut into fixed-size
+// blocks and each block is compressed as an independent, standalone DBC1
+// archive. The archived DynaRisc DBDecode program therefore decodes a DBS1
+// volume unchanged — it is simply run once per block.
+//
+//	offset  size  field
+//	0       4     magic "DBS1"
+//	4       4     total raw (uncompressed) length, little endian
+//	8       4     CRC-32 (IEEE) of the whole raw data, little endian
+//	12      4     block count n, little endian
+//	16      8·n   per block: u32 raw length, u32 compressed length (LE)
+//	16+8n   …     n concatenated standalone DBC1 archives
+const SeekMagic = "DBS1"
+
+// SeekHeaderSize is the byte length of the DBS1 container header before
+// the block table.
+const SeekHeaderSize = 16
+
+// SeekBlock describes one independently decodable block of a DBS1 archive.
+// RawOff/RawLen address the uncompressed stream; CompOff/CompLen address
+// the container blob (CompOff points at the block's DBC1 magic).
+type SeekBlock struct {
+	RawOff, RawLen   int
+	CompOff, CompLen int
+}
+
+// CompressSeekable returns the DBS1 archive for src with the default
+// match-finder depth, cutting restart points every blockBytes raw bytes.
+func CompressSeekable(src []byte, blockBytes int) []byte {
+	return CompressSeekableDepth(src, DefaultDepth, blockBytes)
+}
+
+// CompressSeekableDepth is CompressSeekable with an explicit match-finder
+// chain depth. A blockBytes ≤ 0 yields a single block (seekable container,
+// DBC1-equivalent ratio).
+func CompressSeekableDepth(src []byte, depth, blockBytes int) []byte {
+	if blockBytes <= 0 {
+		blockBytes = len(src)
+	}
+	n := 0
+	if len(src) > 0 {
+		n = (len(src) + blockBytes - 1) / blockBytes
+	}
+	hdr := make([]byte, SeekHeaderSize, SeekHeaderSize+8*n)
+	copy(hdr, SeekMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(src)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(src))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(n))
+
+	blocks := make([][]byte, 0, n)
+	for b := 0; b < n; b++ {
+		lo := b * blockBytes
+		hi := lo + blockBytes
+		if hi > len(src) {
+			hi = len(src)
+		}
+		comp := CompressDepth(src[lo:hi], depth)
+		blocks = append(blocks, comp)
+		var ent [8]byte
+		binary.LittleEndian.PutUint32(ent[0:], uint32(hi-lo))
+		binary.LittleEndian.PutUint32(ent[4:], uint32(len(comp)))
+		hdr = append(hdr, ent[:]...)
+	}
+	out := hdr
+	for _, comp := range blocks {
+		out = append(out, comp...)
+	}
+	return out
+}
+
+// IsSeekable reports whether blob carries the DBS1 magic.
+func IsSeekable(blob []byte) bool {
+	return len(blob) >= 4 && string(blob[:4]) == SeekMagic
+}
+
+// SeekTable parses the DBS1 block table, validating that the recorded
+// raw/compressed extents are consistent with the blob. It never panics on
+// truncated or bit-flipped input.
+func SeekTable(blob []byte) ([]SeekBlock, error) {
+	if !IsSeekable(blob) {
+		return nil, ErrBadMagic
+	}
+	if len(blob) < SeekHeaderSize {
+		return nil, fmt.Errorf("%w: truncated DBS1 header", ErrCorrupt)
+	}
+	rawLen := int(binary.LittleEndian.Uint32(blob[4:]))
+	n := int(binary.LittleEndian.Uint32(blob[12:]))
+	if n < 0 || n > (len(blob)-SeekHeaderSize)/8 {
+		return nil, fmt.Errorf("%w: DBS1 block count %d exceeds blob", ErrCorrupt, n)
+	}
+	blocks := make([]SeekBlock, n)
+	rawOff := 0
+	compOff := SeekHeaderSize + 8*n
+	for i := 0; i < n; i++ {
+		ent := blob[SeekHeaderSize+8*i:]
+		rl := int(binary.LittleEndian.Uint32(ent[0:]))
+		cl := int(binary.LittleEndian.Uint32(ent[4:]))
+		if rl < 0 || cl < 0 || cl > len(blob)-compOff || rl > rawLen-rawOff {
+			return nil, fmt.Errorf("%w: DBS1 block %d extent out of range", ErrCorrupt, i)
+		}
+		blocks[i] = SeekBlock{RawOff: rawOff, RawLen: rl, CompOff: compOff, CompLen: cl}
+		rawOff += rl
+		compOff += cl
+	}
+	if rawOff != rawLen {
+		return nil, fmt.Errorf("%w: DBS1 blocks cover %d of %d raw bytes", ErrCorrupt, rawOff, rawLen)
+	}
+	return blocks, nil
+}
+
+// decompressSeekable decodes a DBS1 archive block by block.
+func decompressSeekable(blob []byte) ([]byte, error) {
+	blocks, err := SeekTable(blob)
+	if err != nil {
+		return nil, err
+	}
+	rawLen := int(binary.LittleEndian.Uint32(blob[4:]))
+	wantCRC := binary.LittleEndian.Uint32(blob[8:])
+	hint := rawLen
+	if hint > maxPrealloc {
+		hint = maxPrealloc
+	}
+	out := make([]byte, 0, hint)
+	for i, b := range blocks {
+		piece, err := Decompress(blob[b.CompOff : b.CompOff+b.CompLen])
+		if err != nil {
+			return nil, fmt.Errorf("DBS1 block %d: %w", i, err)
+		}
+		if len(piece) != b.RawLen {
+			return nil, fmt.Errorf("%w: DBS1 block %d yielded %d bytes, table records %d",
+				ErrCorrupt, i, len(piece), b.RawLen)
+		}
+		out = append(out, piece...)
+	}
+	if crc32.ChecksumIEEE(out) != wantCRC {
+		return nil, ErrCRC
+	}
+	return out, nil
+}

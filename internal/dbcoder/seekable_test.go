@@ -1,0 +1,138 @@
+package dbcoder
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestSeekableRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte("COPY lineitem FROM stdin;\n1\t2\t3\n"), 300)
+	for _, blockBytes := range []int{0, 1, 100, 1 << 12, len(src), len(src) * 2} {
+		blob := CompressSeekableDepth(src, 32, blockBytes)
+		if !IsSeekable(blob) {
+			t.Fatalf("blockBytes=%d: blob not seekable", blockBytes)
+		}
+		got, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("blockBytes=%d: decompress: %v", blockBytes, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("blockBytes=%d: round trip mismatch", blockBytes)
+		}
+		if n, err := RawLen(blob); err != nil || n != len(src) {
+			t.Fatalf("blockBytes=%d: RawLen = %d, %v; want %d", blockBytes, n, err, len(src))
+		}
+		if err := Verify(blob, src); err != nil {
+			t.Fatalf("blockBytes=%d: Verify: %v", blockBytes, err)
+		}
+	}
+}
+
+func TestSeekableEmpty(t *testing.T) {
+	blob := CompressSeekable(nil, 1<<10)
+	got, err := Decompress(blob)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %d bytes, %v", len(got), err)
+	}
+	blocks, err := SeekTable(blob)
+	if err != nil || len(blocks) != 0 {
+		t.Fatalf("empty SeekTable: %v blocks, %v", blocks, err)
+	}
+}
+
+// TestSeekableBlocksStandalone pins the property selective restore depends
+// on: every block is a complete DBC1 archive decodable on its own, and the
+// table's raw extents map it back to the source slice.
+func TestSeekableBlocksStandalone(t *testing.T) {
+	src := bytes.Repeat([]byte("0123456789abcdef quick brown fox "), 500)
+	blob := CompressSeekableDepth(src, 32, 777)
+	blocks, err := SeekTable(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != (len(src)+776)/777 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	for i, b := range blocks {
+		piece, err := Decompress(blob[b.CompOff : b.CompOff+b.CompLen])
+		if err != nil {
+			t.Fatalf("block %d standalone decode: %v", i, err)
+		}
+		if !bytes.Equal(piece, src[b.RawOff:b.RawOff+b.RawLen]) {
+			t.Fatalf("block %d bytes mismatch", i)
+		}
+	}
+}
+
+func TestSeekTableRejectsCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 400)
+	blob := CompressSeekableDepth(src, 16, 512)
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"huge block count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1<<30)
+			return b
+		}},
+		{"block len beyond blob", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[SeekHeaderSize+4:], 1<<30)
+			return b
+		}},
+		{"raw len short", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[SeekHeaderSize:], 1)
+			return b
+		}},
+	} {
+		b := tc.mutate(append([]byte{}, blob...))
+		if _, err := SeekTable(b); err == nil {
+			t.Errorf("%s: SeekTable accepted corrupt table", tc.name)
+		}
+		if _, err := Decompress(b); err == nil {
+			t.Errorf("%s: Decompress accepted corrupt table", tc.name)
+		}
+	}
+
+	// Flipped payload bit: the affected block's DBC1 CRC catches it.
+	b := append([]byte{}, blob...)
+	b[len(b)-3] ^= 0x40
+	if _, err := Decompress(b); err == nil {
+		t.Error("payload bit flip: Decompress accepted corrupt block")
+	}
+}
+
+// FuzzSeekable hammers the DBS1 paths with malformed containers: SeekTable
+// and Decompress must error or return self-consistent output, never panic.
+func FuzzSeekable(f *testing.F) {
+	valid := CompressSeekableDepth(fuzzText, 32, 500)
+	f.Add([]byte{})
+	f.Add([]byte("DBS1"))
+	f.Add(valid)
+	f.Add(valid[:SeekHeaderSize])
+	f.Add(valid[:len(valid)/2])
+	for _, off := range []int{5, 13, SeekHeaderSize, SeekHeaderSize + 5, len(valid) - 2} {
+		c := append([]byte{}, valid...)
+		c[off] ^= 0xFF
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if n, err := RawLen(blob); err == nil && n > maxFuzzRawLen {
+			t.Skip("declared output beyond fuzz budget")
+		}
+		_, tableErr := SeekTable(blob)
+		out, err := Decompress(blob)
+		if err != nil {
+			return
+		}
+		if IsSeekable(blob) && tableErr != nil {
+			t.Fatalf("Decompress accepted a blob whose SeekTable fails: %v", tableErr)
+		}
+		if err := Verify(blob, out); err != nil {
+			t.Fatalf("accepted blob fails its own header verification: %v", err)
+		}
+	})
+}

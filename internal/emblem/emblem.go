@@ -64,12 +64,23 @@ const (
 	// outer-code group — their header carries GroupData 0 and the
 	// CatalogGroupID sentinel — and are skipped by the group assembler.
 	KindCatalog
+	// KindIndex emblems carry the selective-restore index
+	// (internal/archindex): the logical→physical map that lets
+	// RestoreRange/RestoreTable decode only the groups a byte range
+	// needs. Like catalog frames they live in a reserved per-sheet slot,
+	// belong to no outer-code group (GroupData = 0, GroupID =
+	// IndexGroupID) and are skipped by the group assembler.
+	KindIndex
 )
 
 // CatalogGroupID is the sentinel GroupID catalog frame headers carry:
 // catalog frames sit outside the outer-code group sequence, so they must
 // never collide with a real (monotonically assigned) group id.
 const CatalogGroupID = 0xFFFF
+
+// IndexGroupID is the sentinel GroupID index frame headers carry, distinct
+// from CatalogGroupID so a surviving header alone names its slot.
+const IndexGroupID = 0xFFFE
 
 func (k Kind) String() string {
 	switch k {
@@ -83,6 +94,8 @@ func (k Kind) String() string {
 		return "raw"
 	case KindCatalog:
 		return "catalog"
+	case KindIndex:
+		return "index"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

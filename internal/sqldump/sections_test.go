@@ -1,0 +1,58 @@
+package sqldump
+
+import (
+	"bytes"
+	"testing"
+
+	"microlonys/tpch"
+)
+
+func TestSections(t *testing.T) {
+	db := tpch.Generate(0.002, 7)
+	dump := Dump(db)
+	secs, err := Sections(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != len(db.Tables) {
+		t.Fatalf("%d sections, want %d tables", len(secs), len(db.Tables))
+	}
+	for i, s := range secs {
+		want := db.Tables[i]
+		if s.Table != want.Name {
+			t.Fatalf("section %d = %q, want %q", i, s.Table, want.Name)
+		}
+		if len(s.Columns) != len(want.Columns) {
+			t.Fatalf("%s: %d columns, want %d", s.Table, len(s.Columns), len(want.Columns))
+		}
+		rows := dump[s.Off : s.Off+s.Len]
+		// The extent is exactly the row lines: row count matches and the
+		// terminator/header stay outside.
+		if n := bytes.Count(rows, []byte("\n")); n != len(want.Rows) {
+			t.Fatalf("%s: extent holds %d lines, want %d rows", s.Table, n, len(want.Rows))
+		}
+		if bytes.Contains(rows, []byte("COPY ")) || bytes.Contains(rows, []byte("\\.")) {
+			t.Fatalf("%s: extent includes COPY framing", s.Table)
+		}
+		if len(want.Rows) > 0 {
+			first := []byte(want.Rows[0][0])
+			if !bytes.HasPrefix(rows, first) {
+				t.Fatalf("%s: extent does not start at first row", s.Table)
+			}
+		}
+	}
+}
+
+func TestSectionsEmptyAndBad(t *testing.T) {
+	if _, err := Sections([]byte("no tables here\n")); err == nil {
+		t.Fatal("want error for table-free input")
+	}
+	if _, err := Sections([]byte("COPY t (a) FROM stdin;\n1\n2\n")); err == nil {
+		t.Fatal("want error for unterminated COPY")
+	}
+	// Empty rows region.
+	secs, err := Sections([]byte("COPY t (a, b) FROM stdin;\n\\.\n"))
+	if err != nil || len(secs) != 1 || secs[0].Len != 0 {
+		t.Fatalf("empty table: %+v, %v", secs, err)
+	}
+}

@@ -23,6 +23,7 @@ type Volume struct {
 	profile     Profile
 	sheetFrames int // frames per sheet; 0 = one unbounded sheet
 	catalog     bool
+	index       bool
 	sheets      []*Medium
 }
 
@@ -60,15 +61,78 @@ func (v *Volume) EnableCatalog() error {
 	if len(v.sheets) > 0 {
 		return fmt.Errorf("media: EnableCatalog on a volume with %d written sheets", len(v.sheets))
 	}
-	if v.sheetFrames == 1 {
-		return fmt.Errorf("media: catalog slot would consume the whole 1-frame sheet")
+	if v.sheetFrames > 0 && v.sheetFrames <= v.reservedIf(v.index)+1-boolInt(v.catalog) {
+		return fmt.Errorf("media: reserved slots would consume the whole %d-frame sheet", v.sheetFrames)
 	}
 	v.catalog = true
 	return nil
 }
 
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // CatalogEnabled reports whether sheets reserve a catalog slot.
 func (v *Volume) CatalogEnabled() bool { return v.catalog }
+
+// EnableIndex reserves one frame of every sheet for a selective-restore
+// index emblem (internal/archindex) — slot 1 when a catalog slot is also
+// reserved, slot 0 otherwise. Like the catalog slot it is counted against
+// the sheet capacity and back-patched via FillIndex once placement is
+// done. Must be called before any writes.
+func (v *Volume) EnableIndex() error {
+	if len(v.sheets) > 0 {
+		return fmt.Errorf("media: EnableIndex on a volume with %d written sheets", len(v.sheets))
+	}
+	if v.sheetFrames > 0 && v.sheetFrames <= v.reservedIf(true) {
+		return fmt.Errorf("media: reserved slots would consume the whole %d-frame sheet", v.sheetFrames)
+	}
+	v.index = true
+	return nil
+}
+
+// IndexEnabled reports whether sheets reserve an index slot.
+func (v *Volume) IndexEnabled() bool { return v.index }
+
+// ReservedSlots returns how many leading frames of every sheet are
+// reserved for out-of-band emblems (catalog, index).
+func (v *Volume) ReservedSlots() int { return v.reservedIf(v.index) }
+
+func (v *Volume) reservedIf(index bool) int {
+	n := 0
+	if v.catalog {
+		n++
+	}
+	if index {
+		n++
+	}
+	return n
+}
+
+// IndexSlot returns the local slot index frames occupy on every sheet.
+func (v *Volume) IndexSlot() int {
+	if v.catalog {
+		return 1
+	}
+	return 0
+}
+
+// FillIndex back-patches sheet s's reserved index slot with the rendered
+// index emblem. The written frame is byte-identical to one written in
+// sequence at that slot (see Medium.WriteAt).
+func (v *Volume) FillIndex(s int, img *raster.Gray) error {
+	if !v.index {
+		return fmt.Errorf("media: FillIndex on a volume without index slots")
+	}
+	m, err := v.Sheet(s)
+	if err != nil {
+		return err
+	}
+	return m.WriteAt(v.IndexSlot(), img)
+}
 
 // FillCatalog back-patches sheet s's reserved first frame with the
 // rendered catalog emblem. The written frame is byte-identical to one
@@ -84,13 +148,13 @@ func (v *Volume) FillCatalog(s int, img *raster.Gray) error {
 	return m.WriteAt(0, img)
 }
 
-// cutSheet opens a fresh sheet, reserving its catalog slot when enabled.
-// The placeholder is a fogged frame (unreadable if never filled — the
-// restore side treats it like any destroyed frame) replaced by
-// FillCatalog after placement.
+// cutSheet opens a fresh sheet, reserving its catalog and index slots when
+// enabled. Each placeholder is a fogged frame (unreadable if never filled —
+// the restore side treats it like any destroyed frame) replaced by
+// FillCatalog/FillIndex after placement.
 func (v *Volume) cutSheet() {
 	m := New(v.profile)
-	if v.catalog {
+	for r := v.ReservedSlots(); r > 0; r-- {
 		fogged := raster.New(v.profile.FrameW, v.profile.FrameH)
 		for j := range fogged.Pix {
 			fogged.Pix[j] = 128
@@ -184,8 +248,8 @@ func (v *Volume) Write(frames []*raster.Gray) error {
 // it.
 func (v *Volume) WriteGroup(frames []*raster.Gray) error {
 	usable := v.sheetFrames
-	if v.catalog && usable > 0 {
-		usable-- // slot 0 of every sheet belongs to the catalog
+	if usable > 0 {
+		usable -= v.ReservedSlots() // leading slots belong to the catalog/index
 	}
 	if v.sheetFrames > 0 && len(frames) > usable {
 		return fmt.Errorf("media: group of %d frames exceeds sheet capacity %d", len(frames), usable)
@@ -200,7 +264,7 @@ func (v *Volume) WriteGroup(frames []*raster.Gray) error {
 // frame pixels — see Medium.Clone), so damaging or reprinting the clone
 // never touches the original. One archive can feed many damage trials.
 func (v *Volume) Clone() *Volume {
-	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog}
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog, index: v.index}
 	out.sheets = make([]*Medium, len(v.sheets))
 	for i, m := range v.sheets {
 		out.sheets[i] = m.Clone()
@@ -221,7 +285,7 @@ func (v *Volume) SetScanner(d Distortions) {
 // preserving the sheet boundaries so carrier-level damage still maps one
 // to one after the copy.
 func (v *Volume) Reprint() (*Volume, error) {
-	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog}
+	out := &Volume{profile: v.profile, sheetFrames: v.sheetFrames, catalog: v.catalog, index: v.index}
 	out.sheets = make([]*Medium, len(v.sheets))
 	for i, m := range v.sheets {
 		rm, err := m.Reprint()

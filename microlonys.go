@@ -44,6 +44,7 @@ package microlonys
 import (
 	"io"
 
+	"microlonys/internal/archindex"
 	"microlonys/internal/core"
 	"microlonys/media"
 )
@@ -133,6 +134,50 @@ func RestoreVolume(v *media.Volume, bootstrapText string, opts RestoreOptions) (
 // recovered.
 func RestoreTo(w io.Writer, v *media.Volume, bootstrapText string, opts RestoreOptions) (*RestoreStats, error) {
 	return core.RestoreToWriter(w, v, bootstrapText, opts)
+}
+
+// ArchiveIndex is a volume's selective-restore index: archive identity
+// and geometry, DBS1 restart-block table and named sections, written one
+// emblem per sheet when Options.Index is set.
+type ArchiveIndex = archindex.Index
+
+// ArchiveSection is one named extent of the original archive — a
+// SQL-dump table or a column — recorded in the ArchiveIndex.
+type ArchiveSection = archindex.Section
+
+// ArchiveSection kinds.
+const (
+	SectionTable  = archindex.SectionTable
+	SectionColumn = archindex.SectionColumn
+)
+
+// RestoreRange restores exactly bytes [off, off+length) of the original
+// archive from an indexed volume (Options.Index), scanning and decoding
+// only the outer-code groups the range touches — whole sheets outside the
+// query are skipped without a single frame scan, and only the overlapping
+// DBS1 restart blocks are decompressed. The bytes are identical to the
+// same slice of a full Restore at any worker count. Volumes without a
+// usable index fall back to a full restore (RestoreStats.IndexFallbacks).
+func RestoreRange(v *media.Volume, bootstrapText string, off, length int, opts RestoreOptions) ([]byte, *RestoreStats, error) {
+	return core.RestoreRange(v, bootstrapText, off, length, opts)
+}
+
+// RestoreTable restores one SQL-dump table's rows region by name through
+// the index's section table, decoding only the groups the table spans.
+func RestoreTable(v *media.Volume, bootstrapText, table string, opts RestoreOptions) ([]byte, *RestoreStats, error) {
+	return core.RestoreTable(v, bootstrapText, table, opts)
+}
+
+// RestoreSection restores one named archive section — a table ("nation")
+// or a column ("nation.n_name") — through the index.
+func RestoreSection(v *media.Volume, bootstrapText, name string, opts RestoreOptions) ([]byte, *RestoreStats, error) {
+	return core.RestoreSection(v, bootstrapText, name, opts)
+}
+
+// ListIndex reads a volume's selective-restore index without decoding any
+// payload group: one index emblem probe per sheet until one parses.
+func ListIndex(v *media.Volume, bootstrapText string, opts RestoreOptions) (*ArchiveIndex, *RestoreStats, error) {
+	return core.ListIndex(v, bootstrapText, opts)
 }
 
 // SalvageOptions configures a Salvage run.
