@@ -1,0 +1,101 @@
+package main
+
+// The exit-code contract, pinned: 0 — restored clean and bit-exact;
+// 2 — restored with losses (partial/salvage zero-fill); 1 — failure.
+// Scripts and cron jobs branch on these, so they are a public API. The
+// suite builds the real binary once and drives it through all three.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"microlonys/internal/mocoder"
+	"microlonys/media"
+)
+
+// buildCLI compiles the command under test into dir and returns the
+// binary path.
+func buildCLI(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "microlonys")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runCLI executes the binary and returns its exit code and output.
+func runCLI(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("running CLI: %v\n%s", err, out)
+	}
+	return exit.ExitCode(), string(out)
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+
+	// A payload spanning several tiny-profile sheets, so a whole sheet
+	// can be destroyed and the partial restore still has work to do.
+	capacity := mocoder.Capacity(media.Tiny().Layout)
+	var payload bytes.Buffer
+	for i := 0; payload.Len() < 40*capacity; i++ {
+		fmt.Fprintf(&payload, "INSERT INTO lineitem VALUES (%d, 155190, 7706, 17, 21168.23, '1996-03-13');\n", i)
+	}
+	input := filepath.Join(dir, "payload.sql")
+	if err := os.WriteFile(input, payload.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("0-clean", func(t *testing.T) {
+		code, out := runCLI(t, bin, "-in", input, "-profile", "tiny")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !bytes.Contains([]byte(out), []byte("RESTORED BIT-EXACT")) {
+			t.Fatalf("clean run did not report bit-exactness:\n%s", out)
+		}
+	})
+
+	t.Run("2-losses", func(t *testing.T) {
+		// -raw keeps the repetitive payload from compressing down to a
+		// single sheet: the volume must span sheets for one to be lost.
+		code, out := runCLI(t, bin, "-in", input, "-profile", "tiny", "-raw",
+			"-sheet-frames", "21", "-catalog", "-partial", "-destroy-sheet", "1")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2 (restored with losses)\n%s", code, out)
+		}
+		if !bytes.Contains([]byte(out), []byte("restored with losses")) {
+			t.Fatalf("lossy run did not report its losses:\n%s", out)
+		}
+	})
+
+	t.Run("1-failure", func(t *testing.T) {
+		code, out := runCLI(t, bin, "-in", filepath.Join(dir, "does-not-exist"), "-profile", "tiny")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\n%s", code, out)
+		}
+		code, _ = runCLI(t, bin, "-in", input, "-profile", "no-such-medium")
+		if code != 1 {
+			t.Fatalf("unknown profile: exit %d, want 1", code)
+		}
+		code, _ = runCLI(t, bin)
+		if code != 1 {
+			t.Fatalf("missing -in: exit %d, want 1", code)
+		}
+	})
+}

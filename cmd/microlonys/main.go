@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	microlonys -in dump.sql [-profile paper|microfilm|cinema]
+//	microlonys -in dump.sql [-profile paper|microfilm|cinema|tiny]
 //	           [-mode native|dynarisc|nested] [-raw] [-depth N]
 //	           [-sheet-frames N] [-catalog] [-index]
 //	           [-range OFF:LEN] [-table NAME] [-list-tables]
@@ -42,7 +42,11 @@
 // restore. The SalvageReport ledger is printed in full.
 //
 // Exit codes: 0 — restored clean (bit-exact where verifiable);
-// 2 — restored with losses (partial/salvage zero-fill); 1 — failure.
+// 2 — restored with losses (partial/salvage restores that zero-filled
+// bytes the outer code could not bring back); 1 — failure (bad
+// arguments, I/O errors, unrecoverable restores, or a restore whose
+// bytes differ from the input). Malformed flags exit 2 via package flag.
+// The regression suite in exitcode_test.go pins all three.
 package main
 
 import (
@@ -61,7 +65,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input file to archive (required; - reads stdin)")
-	profile := flag.String("profile", "paper", "media profile: paper, microfilm, cinema")
+	profile := flag.String("profile", "paper", "media profile: paper, microfilm, cinema, tiny (fast dev medium)")
 	mode := flag.String("mode", "native", "restore mode: native, dynarisc, nested")
 	raw := flag.Bool("raw", false, "archive without DBCoder compression")
 	depth := flag.Int("depth", 0, "DBCoder match-finder depth: lower is faster, higher packs denser (0 = default)")
@@ -89,7 +93,7 @@ func main() {
 
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		fatal("missing -in")
 	}
 
 	var prof media.Profile
@@ -100,6 +104,8 @@ func main() {
 		prof = media.Microfilm()
 	case "cinema":
 		prof = media.CinemaFilm()
+	case "tiny":
+		prof = media.Tiny()
 	default:
 		fatal("unknown profile %q", *profile)
 	}

@@ -87,7 +87,7 @@ func RestoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro RestoreOptions, scratch []scanScratch) (*RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		return nil, fmt.Errorf("%w: %w", ErrRestore, err)
 	}
 	layout := doc.Layout
 	capacity := mocoder.Capacity(layout)
@@ -96,7 +96,7 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 	var moProg *dynarisc.Program
 	if ro.Mode != RestoreNative {
 		if moProg, err = doc.MODecodeProgram(); err != nil {
-			return st, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
+			return st, fmt.Errorf("%w: bootstrap MODecode: %w", ErrRestore, err)
 		}
 	}
 
@@ -185,7 +185,7 @@ func restoreToWriter(w io.Writer, v *media.Volume, bootstrapText string, ro Rest
 		sc := &scratch[worker]
 		scan, err := v.ScanFrameInto(&sc.scan, i)
 		if err != nil {
-			return fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, i, err)
+			return fmt.Errorf("%w: scanning frame %d: %w", ErrRestore, i, err)
 		}
 		res := &results[i]
 		res.scanned = true
@@ -239,7 +239,7 @@ func decompressTail(w io.Writer, asm *assembler, mode Mode) error {
 	switch mode {
 	case RestoreNative:
 		if out, err = dbcoder.Decompress(blob); err != nil {
-			return fmt.Errorf("%w: %v", ErrRestore, err)
+			return fmt.Errorf("%w: %w", ErrRestore, err)
 		}
 	default:
 		if asm.sysBuf == nil {
@@ -247,7 +247,7 @@ func decompressTail(w io.Writer, asm *assembler, mode Mode) error {
 		}
 		dbProg, err := bootstrap.UnmarshalDynaRisc(asm.sysBuf.Bytes())
 		if err != nil {
-			return fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
+			return fmt.Errorf("%w: system emblem payload: %w", ErrRestore, err)
 		}
 		if out, err = emulatedDecompress(dbProg, blob, mode); err != nil {
 			return err
@@ -499,7 +499,7 @@ func (a *assembler) closeGroup() error {
 	if missing > 0 {
 		if err := mocoder.RecoverGroup(full); err != nil {
 			if !a.partial {
-				return fmt.Errorf("%w: group %d: %v", ErrRestore, a.cur.id, err)
+				return fmt.Errorf("%w: group %d: %w", ErrRestore, a.cur.id, err)
 			}
 			// Beyond parity: zero-fill the group's data bytes so every
 			// later group's output offset stays where the archive put it.
@@ -730,19 +730,19 @@ func emulatedDecompress(dbProg *dynarisc.Program, blob []byte, mode Mode) ([]byt
 	if dbcoder.IsSeekable(blob) {
 		blocks, err := dbcoder.SeekTable(blob)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+			return nil, fmt.Errorf("%w: %w", ErrRestore, err)
 		}
 		for _, b := range blocks {
 			part, err := runDBDecode(dbProg, blob[b.CompOff:b.CompOff+b.CompLen], mode)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+				return nil, fmt.Errorf("%w: %w", ErrRestore, err)
 			}
 			out = append(out, part...)
 		}
 	} else {
 		var err error
 		if out, err = runDBDecode(dbProg, blob, mode); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+			return nil, fmt.Errorf("%w: %w", ErrRestore, err)
 		}
 	}
 	// The archived decoder skips the trailing CRC; check its output
@@ -760,7 +760,7 @@ func emulatedDecompress(dbProg *dynarisc.Program, blob []byte, mode Mode) ([]byt
 // ErrRestore, not be silently returned.
 func verifyDBDecodeOutput(blob, out []byte) error {
 	if err := dbcoder.Verify(blob, out); err != nil {
-		return fmt.Errorf("%w: emulated DBDecode output: %v", ErrRestore, err)
+		return fmt.Errorf("%w: emulated DBDecode output: %w", ErrRestore, err)
 	}
 	return nil
 }

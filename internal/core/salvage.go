@@ -141,7 +141,7 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 		return rep, fmt.Errorf("%w: empty sheet bag", ErrRestore)
 	}
 	if err := layout.Validate(); err != nil {
-		return rep, fmt.Errorf("%w: bag media layout: %v", ErrRestore, err)
+		return rep, fmt.Errorf("%w: bag media layout: %w", ErrRestore, err)
 	}
 	capacity := mocoder.Capacity(layout)
 
@@ -251,12 +251,12 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 		}
 		doc, err := best.BootstrapDoc()
 		if err != nil {
-			return rep, fmt.Errorf("%w: emulated salvage: %v", ErrRestore, err)
+			return rep, fmt.Errorf("%w: emulated salvage: %w", ErrRestore, err)
 		}
 		rep.BootstrapRecovered = true
 		rep.BootstrapFromCatalog = true
 		if moProg, err = doc.MODecodeProgram(); err != nil {
-			return rep, fmt.Errorf("%w: catalog replica MODecode: %v", ErrRestore, err)
+			return rep, fmt.Errorf("%w: catalog replica MODecode: %w", ErrRestore, err)
 		}
 		// Re-decode the kept sheets' frames through the recovered program:
 		// the restore path the future user would actually run.
@@ -318,13 +318,24 @@ func salvageToWriter(w io.Writer, sheets []*media.Medium, opts SalvageOptions, s
 	}
 	var asmErr error
 	for i := 0; i < nTotal && asmErr == nil; i++ {
+		// The assembly leg is serial; honor cancellation between groups so
+		// a salvage of a large bag aborts promptly (the scan/decode legs
+		// already stop through forEachFrame).
+		if i%(mocoder.GroupData+mocoder.GroupParity) == 0 && ctx.Err() != nil {
+			asmErr = fmt.Errorf("%w: %w", ErrRestore, ctx.Err())
+			break
+		}
 		asmErr = asm.consume(i, &planner[i])
 	}
 	if asmErr == nil {
 		asmErr = asm.finish()
 	}
 	if asmErr == nil {
-		asmErr = decompressTail(w, asm, opts.Mode)
+		if err := ctx.Err(); err != nil {
+			asmErr = fmt.Errorf("%w: %w", ErrRestore, err)
+		} else {
+			asmErr = decompressTail(w, asm, opts.Mode)
+		}
 	}
 	rep.Stats = *st
 	rep.Complete = asmErr == nil && st.GroupsLost == 0 && st.FramesLost == 0 &&

@@ -105,17 +105,22 @@ func (e *Engine) ListIndex(v *media.Volume, bootstrapText string, ro RestoreOpti
 func restoreRange(v *media.Volume, bootstrapText string, off, length int, ro RestoreOptions, scratch []scanScratch) ([]byte, *RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrRestore, err)
 	}
 	if off < 0 || length < 0 {
 		return nil, nil, fmt.Errorf("%w: negative range %d:%d", ErrRestore, off, length)
 	}
 	st := newSelectStats(v, ro)
-	if x := readIndex(v, doc, ro, scratch, st); x != nil {
+	ctx := orBackground(ro.Context)
+	x, err := readIndex(ctx, v, doc, ro, scratch, st)
+	if err != nil {
+		return nil, st, err
+	}
+	if x != nil {
 		if off+length > x.RawLen {
 			return nil, st, fmt.Errorf("%w: range %d:%d beyond archive of %d bytes", ErrRestore, off, length, x.RawLen)
 		}
-		out, err := selectiveRange(v, doc, x, off, length, ro, scratch, st)
+		out, err := selectiveRange(ctx, v, doc, x, off, length, ro, scratch, st)
 		if err == nil {
 			return out, st, nil
 		}
@@ -129,12 +134,17 @@ func restoreRange(v *media.Volume, bootstrapText string, off, length int, ro Res
 func restoreSection(v *media.Volume, bootstrapText, name string, ro RestoreOptions, scratch []scanScratch) ([]byte, *RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrRestore, err)
 	}
 	st := newSelectStats(v, ro)
-	if x := readIndex(v, doc, ro, scratch, st); x != nil {
+	ctx := orBackground(ro.Context)
+	x, err := readIndex(ctx, v, doc, ro, scratch, st)
+	if err != nil {
+		return nil, st, err
+	}
+	if x != nil {
 		if sec, ok := x.Lookup(name); ok {
-			out, err := selectiveRange(v, doc, x, sec.Off, sec.Len, ro, scratch, st)
+			out, err := selectiveRange(ctx, v, doc, x, sec.Off, sec.Len, ro, scratch, st)
 			if err == nil {
 				return out, st, nil
 			}
@@ -152,10 +162,13 @@ func restoreSection(v *media.Volume, bootstrapText, name string, ro RestoreOptio
 func listIndex(v *media.Volume, bootstrapText string, ro RestoreOptions, scratch []scanScratch) (*archindex.Index, *RestoreStats, error) {
 	doc, err := bootstrap.Parse(bootstrapText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrRestore, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrRestore, err)
 	}
 	st := newSelectStats(v, ro)
-	x := readIndex(v, doc, ro, scratch, st)
+	x, err := readIndex(orBackground(ro.Context), v, doc, ro, scratch, st)
+	if err != nil {
+		return nil, st, err
+	}
 	if x == nil {
 		return nil, st, fmt.Errorf("%w: no readable selective-restore index", ErrRestore)
 	}
@@ -172,23 +185,29 @@ func newSelectStats(v *media.Volume, ro RestoreOptions) *RestoreStats {
 // the archived MODecode program on the index frame too). When every index
 // slot is unreadable it tries the catalog's compressed index replica.
 // Returns nil — with RestoreStats.IndexFallbacks counted — when no usable
-// index exists; the caller falls back to a full restore.
-func readIndex(v *media.Volume, doc *bootstrap.Document, ro RestoreOptions, scratch []scanScratch, st *RestoreStats) *archindex.Index {
+// index exists; the caller falls back to a full restore. The only error is
+// cancellation: each sheet probe checks ctx so a query on a large damaged
+// volume aborts between frame scans, wrapping ErrRestore and the context's
+// error.
+func readIndex(ctx context.Context, v *media.Volume, doc *bootstrap.Document, ro RestoreOptions, scratch []scanScratch, st *RestoreStats) (*archindex.Index, error) {
 	if !doc.Index {
 		st.IndexFallbacks++
-		return nil
+		return nil, nil
 	}
 	var moProg *dynarisc.Program
 	if ro.Mode != RestoreNative {
 		var err error
 		if moProg, err = doc.MODecodeProgram(); err != nil {
 			st.IndexFallbacks++
-			return nil
+			return nil, nil
 		}
 	}
 	sc := &scratch[0]
 	slot := boolInt(doc.Catalog) // the index slot follows the catalog slot
 	for s := 0; s < v.Sheets(); s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrRestore, err)
+		}
 		m, err := v.Sheet(s)
 		if err != nil || m.FrameCount() <= slot {
 			continue
@@ -203,11 +222,14 @@ func readIndex(v *media.Volume, doc *bootstrap.Document, ro RestoreOptions, scra
 		}
 		if x, err := archindex.Parse(payload); err == nil {
 			st.IndexFrames++
-			return x
+			return x, nil
 		}
 	}
 	if doc.Catalog {
 		for s := 0; s < v.Sheets(); s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrRestore, err)
+			}
 			m, err := v.Sheet(s)
 			if err != nil || m.FrameCount() == 0 {
 				continue
@@ -226,12 +248,12 @@ func readIndex(v *media.Volume, doc *bootstrap.Document, ro RestoreOptions, scra
 			}
 			if x, err := archindex.Parse(c.IndexReplica); err == nil {
 				st.CatalogFrames++
-				return x
+				return x, nil
 			}
 		}
 	}
 	st.IndexFallbacks++
-	return nil
+	return nil, nil
 }
 
 // probeFrame scans and decodes one frame serially, tallying it like the
@@ -352,7 +374,7 @@ func planGeometry(x *archindex.Index, capacity int, v *media.Volume) ([]groupExt
 // computes the minimal closed set of groups, scans and decodes only their
 // frames, assembles them with the full restore's outer-code arithmetic
 // and decompresses only the overlapping restart blocks.
-func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index, off, length int, ro RestoreOptions, scratch []scanScratch, st *RestoreStats) ([]byte, error) {
+func selectiveRange(ctx context.Context, v *media.Volume, doc *bootstrap.Document, x *archindex.Index, off, length int, ro RestoreOptions, scratch []scanScratch, st *RestoreStats) ([]byte, error) {
 	capacity := mocoder.Capacity(doc.Layout)
 	geo, err := planGeometry(x, capacity, v)
 	if err != nil {
@@ -410,7 +432,7 @@ func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index
 	var moProg *dynarisc.Program
 	if ro.Mode != RestoreNative {
 		if moProg, err = doc.MODecodeProgram(); err != nil {
-			return nil, fmt.Errorf("%w: bootstrap MODecode: %v", ErrRestore, err)
+			return nil, fmt.Errorf("%w: bootstrap MODecode: %w", ErrRestore, err)
 		}
 	}
 
@@ -423,12 +445,11 @@ func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index
 		}
 	}
 	results := make([]frameResult, len(frameIdx))
-	ctx := orBackground(ro.Context)
 	decErr := forEachFrame(ctx, ro.Workers, len(frameIdx), func(_ context.Context, worker, i int) error {
 		sc := &scratch[worker]
 		scan, err := v.ScanFrameInto(&sc.scan, frameIdx[i])
 		if err != nil {
-			return fmt.Errorf("%w: scanning frame %d: %v", ErrRestore, frameIdx[i], err)
+			return fmt.Errorf("%w: scanning frame %d: %w", ErrRestore, frameIdx[i], err)
 		}
 		res := &results[i]
 		res.scanned = true
@@ -460,6 +481,9 @@ func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index
 	var spanBuf, sysBuf bytes.Buffer
 	base := 0
 	for _, g := range sel {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrRestore, err)
+		}
 		size := g.data + g.parity
 		full := make([][]byte, size)
 		members := 0
@@ -496,7 +520,7 @@ func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index
 		if missing > 0 {
 			if err := mocoder.RecoverGroup(full); err != nil {
 				if !ro.Partial {
-					return nil, fmt.Errorf("%w: group %d: %v", ErrRestore, g.id, err)
+					return nil, fmt.Errorf("%w: group %d: %w", ErrRestore, g.id, err)
 				}
 				lost = true
 				rep.Lost = true
@@ -557,14 +581,14 @@ func selectiveRange(v *media.Volume, doc *bootstrap.Document, x *archindex.Index
 	var dbProg *dynarisc.Program
 	if ro.Mode != RestoreNative {
 		if dbProg, err = bootstrap.UnmarshalDynaRisc(sysBuf.Bytes()); err != nil {
-			return nil, fmt.Errorf("%w: system emblem payload: %v", ErrRestore, err)
+			return nil, fmt.Errorf("%w: system emblem payload: %w", ErrRestore, err)
 		}
 	}
 	decode := func(blob []byte) ([]byte, error) {
 		if ro.Mode == RestoreNative {
 			raw, err := dbcoder.Decompress(blob)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrRestore, err)
+				return nil, fmt.Errorf("%w: %w", ErrRestore, err)
 			}
 			return raw, nil
 		}
@@ -638,7 +662,7 @@ func sectionFallback(v *media.Volume, bootstrapText, name string, ro RestoreOpti
 	data := buf.Bytes()
 	secs, serr := sqldump.Sections(data)
 	if serr != nil {
-		return nil, st, fmt.Errorf("%w: locating %q: %v", ErrRestore, name, serr)
+		return nil, st, fmt.Errorf("%w: locating %q: %w", ErrRestore, name, serr)
 	}
 	table, column := name, ""
 	if i := strings.IndexByte(name, '.'); i > 0 {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"microlonys/media"
 )
@@ -24,6 +25,135 @@ import (
 // ErrInjected is the error every injected I/O fault wraps, so tests can
 // assert the failure they caused is the failure they observed.
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrTransient is the error transient injected faults additionally wrap:
+// the fault a retry would not see again (a momentary stall, a dropped
+// packet, a busy device). Permanent injected faults — the byte-budget
+// Writer/Reader — wrap only ErrInjected. Transient faults also implement
+// `Transient() bool`, the interface jobs.IsTransient classifies by.
+var ErrTransient = errors.New("faultinject: transient fault")
+
+// transientErr marks an injected fault as retryable. It wraps both
+// ErrInjected and ErrTransient and answers Transient() true, so callers
+// can classify through errors.Is, errors.As or an interface probe.
+type transientErr struct {
+	msg string
+}
+
+func (e *transientErr) Error() string { return e.msg }
+
+// Transient reports that a retry may succeed.
+func (e *transientErr) Transient() bool { return true }
+
+// Is matches both fault sentinels.
+func (e *transientErr) Is(target error) bool {
+	return target == ErrInjected || target == ErrTransient
+}
+
+// Flaky is a shared failure budget: the first n operations on any end
+// wrapped by the same Flaky fail with a transient error, then every
+// operation succeeds. Sharing the budget across wrappers — and across a
+// job's retry attempts — is the point: a source that re-opens on retry
+// keeps burning the same countdown, so fail-twice-then-succeed means the
+// third attempt through the same Flaky goes through. Not safe for
+// concurrent use across goroutines; give each concurrent job its own.
+type Flaky struct {
+	remaining int
+	faults    int
+}
+
+// NewFlaky returns a failure budget of n operations.
+func NewFlaky(n int) *Flaky { return &Flaky{remaining: n} }
+
+// Faults reports how many operations have failed so far.
+func (f *Flaky) Faults() int { return f.faults }
+
+// fail consumes one failure from the budget; ok reports whether the
+// operation should proceed.
+func (f *Flaky) fail(op string) error {
+	if f.remaining <= 0 {
+		return nil
+	}
+	f.remaining--
+	f.faults++
+	return &transientErr{msg: fmt.Sprintf("faultinject: transient %s fault (%d of %d)", op, f.faults, f.faults+f.remaining)}
+}
+
+// Reader wraps r so Reads draw on the shared budget.
+func (f *Flaky) Reader(r io.Reader) io.Reader { return &flakyReader{f: f, r: r} }
+
+// Writer wraps w so Writes draw on the shared budget.
+func (f *Flaky) Writer(w io.Writer) io.Writer { return &flakyWriter{f: f, w: w} }
+
+// FlakyReader wraps r so its first failures Read calls fail with a
+// transient error (wrapping ErrInjected and ErrTransient), then reads
+// pass through untouched — the I/O end a retry loop must survive.
+func FlakyReader(r io.Reader, failures int) io.Reader {
+	return NewFlaky(failures).Reader(r)
+}
+
+// FlakyWriter is FlakyReader for the write direction.
+func FlakyWriter(w io.Writer, failures int) io.Writer {
+	return NewFlaky(failures).Writer(w)
+}
+
+type flakyReader struct {
+	f *Flaky
+	r io.Reader
+}
+
+func (fr *flakyReader) Read(p []byte) (int, error) {
+	if err := fr.f.fail("read"); err != nil {
+		return 0, err
+	}
+	return fr.r.Read(p)
+}
+
+type flakyWriter struct {
+	f *Flaky
+	w io.Writer
+}
+
+func (fw *flakyWriter) Write(p []byte) (int, error) {
+	if err := fw.f.fail("write"); err != nil {
+		return 0, err
+	}
+	return fw.w.Write(p)
+}
+
+// SlowReader wraps r so every Read stalls for delay first — a latency
+// injection for exercising timeouts and backpressure, not a fault: the
+// bytes still arrive, just late. sleep is overridable for tests.
+func SlowReader(r io.Reader, delay time.Duration) io.Reader {
+	return &slowReader{r: r, delay: delay, sleep: time.Sleep}
+}
+
+type slowReader struct {
+	r     io.Reader
+	delay time.Duration
+	sleep func(time.Duration)
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	s.sleep(s.delay)
+	return s.r.Read(p)
+}
+
+// SlowWriter is SlowReader for the write direction.
+func SlowWriter(w io.Writer, delay time.Duration) io.Writer {
+	return &slowWriter{w: w, delay: delay, sleep: time.Sleep}
+}
+
+type slowWriter struct {
+	w     io.Writer
+	delay time.Duration
+	sleep func(time.Duration)
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	s.sleep(s.delay)
+	return s.w.Write(p)
+}
 
 // Schedule is a deterministic fault generator. Not safe for concurrent
 // use; derive one per trial from the trial's seed.

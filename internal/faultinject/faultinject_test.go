@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"microlonys/media"
 	"microlonys/raster"
@@ -139,5 +140,102 @@ func TestReaderInjectsAtBudget(t *testing.T) {
 	}
 	if string(got) != "0123456789" {
 		t.Fatalf("read %q before the fault", got)
+	}
+}
+
+// TestFlakyReaderDeterminism: exactly `failures` Read calls fail — with an
+// error matching both ErrInjected and ErrTransient — then every byte comes
+// through untouched. The countdown, not chance, decides.
+func TestFlakyReaderDeterminism(t *testing.T) {
+	const payload = "the archive stream"
+	r := FlakyReader(strings.NewReader(payload), 3)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(make([]byte, 4)); err == nil {
+			t.Fatalf("read %d: want transient fault, got nil", i)
+		} else {
+			if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrTransient) {
+				t.Fatalf("read %d: %v must match ErrInjected and ErrTransient", i, err)
+			}
+			var tr interface{ Transient() bool }
+			if !errors.As(err, &tr) || !tr.Transient() {
+				t.Fatalf("read %d: %v must answer Transient() true", i, err)
+			}
+		}
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("after the budget: %v", err)
+	}
+	if string(got) != payload {
+		t.Fatalf("read %q, want %q", got, payload)
+	}
+}
+
+// TestFlakyWriterDeterminism: the write direction of the same contract —
+// and zero bytes reach the sink on a failed call.
+func TestFlakyWriterDeterminism(t *testing.T) {
+	var buf bytes.Buffer
+	w := FlakyWriter(&buf, 2)
+	for i := 0; i < 2; i++ {
+		if n, err := w.Write([]byte("lost")); err == nil || n != 0 {
+			t.Fatalf("write %d: got (%d, %v), want transient fault and 0 bytes", i, n, err)
+		} else if !errors.Is(err, ErrTransient) {
+			t.Fatalf("write %d: %v must match ErrTransient", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "kept" {
+		t.Fatalf("sink holds %q, want %q (failed writes must deliver nothing)", buf.String(), "kept")
+	}
+}
+
+// TestFlakySharedBudget: one Flaky budget shared across re-opened ends —
+// the retry-attempt shape — keeps one countdown: two attempts burn one
+// failure each, the third reads clean.
+func TestFlakySharedBudget(t *testing.T) {
+	f := NewFlaky(2)
+	for attempt := 0; attempt < 2; attempt++ {
+		r := f.Reader(strings.NewReader("data"))
+		if _, err := io.ReadAll(r); !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d: got %v, want transient fault", attempt, err)
+		}
+	}
+	got, err := io.ReadAll(f.Reader(strings.NewReader("data")))
+	if err != nil || string(got) != "data" {
+		t.Fatalf("third attempt: (%q, %v), want clean read", got, err)
+	}
+	if f.Faults() != 2 {
+		t.Fatalf("faults %d, want 2", f.Faults())
+	}
+}
+
+// TestSlowEndsDelayEveryCall: the latency injection stalls exactly once
+// per call, delivers the bytes untouched, and injects no errors.
+func TestSlowEndsDelayEveryCall(t *testing.T) {
+	var stalls int
+	var total time.Duration
+	sleep := func(d time.Duration) { stalls++; total += d }
+
+	sr := SlowReader(strings.NewReader("abcd"), 5*time.Millisecond).(*slowReader)
+	sr.sleep = sleep
+	got, err := io.ReadAll(sr)
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("slow read: (%q, %v)", got, err)
+	}
+	readStalls := stalls
+	if readStalls == 0 || total != time.Duration(readStalls)*5*time.Millisecond {
+		t.Fatalf("%d stalls totalling %v, want one 5ms stall per Read call", readStalls, total)
+	}
+
+	var buf bytes.Buffer
+	sw := SlowWriter(&buf, 7*time.Millisecond).(*slowWriter)
+	sw.sleep = sleep
+	if _, err := sw.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if stalls != readStalls+1 || buf.String() != "xy" {
+		t.Fatalf("write path: %d stalls, sink %q", stalls-readStalls, buf.String())
 	}
 }

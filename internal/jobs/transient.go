@@ -1,0 +1,19 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+)
+
+// IsTransient classifies an error as retryable. An error is transient
+// when something in its wrap chain implements `Transient() bool` and
+// answers true — the convention faultinject's flaky ends follow and any
+// real I/O layer can adopt. Context cancellation and deadline expiry are
+// never transient: the caller asked to stop, retrying would defy them.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

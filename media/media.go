@@ -114,6 +114,27 @@ func CinemaFilm() Profile {
 	}
 }
 
+// Tiny is a small development profile: the same pipeline and distortion
+// model as the real media at a fraction of the pixels, so demos, smoke
+// tests and service harnesses run in milliseconds per frame. Not
+// calibrated against any physical medium — never use it for capacity or
+// recovery studies.
+func Tiny() Profile {
+	l := emblem.Layout{DataW: 100, DataH: 80, PxPerModule: 4}
+	return Profile{
+		Name:   "tiny-dev",
+		FrameW: l.ImageW(), FrameH: l.ImageH(),
+		ScanW: l.ImageW(), ScanH: l.ImageH(),
+		Layout: l,
+		Scanner: Distortions{
+			RotationDeg: 0.15,
+			BlurRadius:  1,
+			Noise:       3,
+			DustSpecks:  4,
+		},
+	}
+}
+
 // Medium is a simulated physical artifact: a stack of written frames that
 // can be damaged, destroyed and scanned back.
 type Medium struct {
